@@ -1,0 +1,72 @@
+// E4 — §4.2 one-time costs: proxy download (lookup), planning, and
+// component deployment/startup for each site's first client. The paper
+// reports these "sum up to approximately 10 seconds" on its testbed; the
+// absolute value depends on code sizes and link speeds, but the structure
+// (deployment-dominated, incurred once) must hold.
+#include <cstdio>
+#include <memory>
+
+#include "core/case_study.hpp"
+#include "core/framework.hpp"
+#include "mail/mail_spec.hpp"
+#include "mail/registration.hpp"
+
+using namespace psf;
+
+int main() {
+  core::CaseStudySites sites;
+  net::Network network = core::case_study_network(&sites);
+  core::FrameworkOptions options;
+  options.lookup_node = sites.new_york[0];
+  options.server_node = sites.new_york[0];
+  core::Framework fw(std::move(network), options);
+  auto config = std::make_shared<mail::MailServiceConfig>();
+  PSF_CHECK(
+      mail::register_mail_factories(fw.runtime().factories(), config).is_ok());
+  PSF_CHECK(fw.register_service(mail::mail_registration(sites.mail_home),
+                                mail::mail_translator())
+                .is_ok());
+
+  struct Row {
+    const char* site;
+    net::NodeId node;
+    std::int64_t trust;
+  };
+  const Row rows[] = {{"New York", sites.ny_client, 4},
+                      {"San Diego", sites.sd_client, 4},
+                      {"Seattle", sites.sea_client, 2}};
+
+  std::printf("=== One-time service-access costs (simulated seconds) ===\n");
+  std::printf("%-10s %10s %10s %12s %10s  %s\n", "site", "lookup", "planning",
+              "deployment", "total", "(planner wall ms)");
+  bool all_bounded = true;
+  for (const Row& row : rows) {
+    planner::PlanRequest defaults;
+    defaults.interface_name = "ClientInterface";
+    defaults.required_properties.emplace_back(
+        "TrustLevel", spec::PropertyValue::integer(row.trust));
+    defaults.request_rate_rps = 50.0;
+    auto proxy = fw.make_proxy(row.node, "SecureMail", defaults);
+    util::Status status = util::internal_error("incomplete");
+    bool done = false;
+    proxy->bind([&](util::Status st) {
+      status = st;
+      done = true;
+    });
+    fw.run_until_condition([&done]() { return done; },
+                           sim::Duration::from_seconds(300));
+    PSF_CHECK_MSG(status.is_ok(), status.to_string());
+    const runtime::AccessCosts& costs = proxy->outcome().costs;
+    std::printf("%-10s %10.3f %10.3f %12.3f %10.3f  (%.2f)\n", row.site,
+                costs.lookup.seconds(), costs.planning.seconds(),
+                costs.deployment.seconds(), costs.total().seconds(),
+                costs.planning_wall_seconds * 1e3);
+    // One-time costs must stay within the same order the paper reports
+    // (seconds, not minutes) and are dominated by deployment for the WAN
+    // sites.
+    all_bounded = all_bounded && costs.total().seconds() < 60.0;
+  }
+  std::printf("one-time costs bounded (< 60 s per site): %s\n",
+              all_bounded ? "yes" : "NO");
+  return all_bounded ? 0 : 1;
+}

@@ -1,0 +1,231 @@
+// E5 (ablation) — planner scalability: the paper notes its implementation
+// "exhaustively searches" and points to a dynamic-programming algorithm for
+// chain-shaped services [13]. This bench quantifies that tradeoff:
+//   - exhaustive vs DP on path networks of growing length;
+//   - exhaustive planning cost on Waxman topologies of growing size;
+//   - the effect of pre-existing reusable instances on search cost.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "mail/mail_spec.hpp"
+#include "net/topology.hpp"
+#include "planner/dp_chain.hpp"
+#include "planner/linkage.hpp"
+#include "planner/planner.hpp"
+#include "spec/builder.hpp"
+
+namespace {
+
+using namespace psf;
+
+planner::CredentialMapTranslator standard_translator() {
+  planner::CredentialMapTranslator t;
+  t.map_node({"TrustLevel", "trust", spec::PropertyType::kInterval,
+              spec::PropertyValue::integer(3)});
+  t.map_node({"Confidentiality", "secure", spec::PropertyType::kBoolean,
+              spec::PropertyValue::boolean(true)});
+  t.map_link({"Confidentiality", "secure", spec::PropertyType::kBoolean,
+              spec::PropertyValue::boolean(true)});
+  return t;
+}
+
+spec::ServiceSpec chain_spec() {
+  return spec::SpecBuilder("Chain")
+      .interval_property("TrustLevel", 1, 99)
+      .interface("Entry", {})
+      .interface("Mid", {})
+      .interface("Api", {})
+      .component("Client")
+      .implements("Entry", {})
+      .requires_iface("Mid", {})
+      .cpu_per_request(10)
+      .done()
+      .component("Filter")
+      .implements("Mid", {})
+      .requires_iface("Api", {})
+      .rrf(0.2)
+      .cpu_per_request(30)
+      .done()
+      .component("Origin")
+      .implements("Api", {})
+      .cpu_per_request(50)
+      .done()
+      .build();
+}
+
+net::Network path_network(std::size_t n) {
+  net::Network network;
+  net::Credentials node_creds;
+  node_creds.set("trust", std::int64_t{3});
+  node_creds.set("secure", true);
+  std::vector<net::NodeId> nodes;
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes.push_back(
+        network.add_node("p" + std::to_string(i), 1e6, node_creds));
+  }
+  net::Credentials secure;
+  secure.set("secure", true);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    network.add_link(nodes[i], nodes[i + 1], 10e6,
+                     sim::Duration::from_millis(20), secure);
+  }
+  return network;
+}
+
+void BM_ExhaustiveOnPath(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  net::Network network = path_network(n);
+  auto translator = standard_translator();
+  planner::EnvironmentView env(network, translator);
+  spec::ServiceSpec spec = chain_spec();
+  planner::Planner planner(spec, env);
+
+  planner::PlanRequest request;
+  request.interface_name = "Entry";
+  request.client_node = net::NodeId{0};
+
+  std::uint64_t candidates = 0;
+  for (auto _ : state) {
+    planner::SearchStats stats;
+    auto plan = planner.plan(request, {}, &stats);
+    benchmark::DoNotOptimize(plan);
+    candidates = stats.candidates_examined;
+  }
+  state.counters["candidates"] = static_cast<double>(candidates);
+}
+BENCHMARK(BM_ExhaustiveOnPath)->DenseRange(4, 20, 4);
+
+void BM_DpChainOnPath(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  net::Network network = path_network(n);
+  auto translator = standard_translator();
+  planner::EnvironmentView env(network, translator);
+  spec::ServiceSpec spec = chain_spec();
+  std::vector<const spec::ComponentDef*> chain = {
+      spec.find_component("Client"), spec.find_component("Filter"),
+      spec.find_component("Origin")};
+  std::vector<net::NodeId> path;
+  for (std::size_t i = 0; i < n; ++i) {
+    path.push_back(net::NodeId{static_cast<std::uint32_t>(i)});
+  }
+  for (auto _ : state) {
+    auto result = planner::plan_chain_dp(spec, env, chain, path);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_DpChainOnPath)->DenseRange(4, 20, 4)->DenseRange(40, 120, 40);
+
+void BM_MailPlannerOnWaxman(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  net::WaxmanParams params;
+  params.num_nodes = n;
+  util::Rng rng(2026);
+  net::Network network = net::generate_waxman(params, rng);
+  // Give the generated nodes the mail service's credential vocabulary.
+  for (net::NodeId id : network.all_nodes()) {
+    network.node(id).credentials.set(
+        "trust", static_cast<std::int64_t>(2 + id.value % 3));
+    network.node(id).credentials.set("secure", true);
+  }
+  network.node(net::NodeId{0}).credentials.set("trust", std::int64_t{5});
+  for (net::LinkId id : network.all_links()) {
+    network.link(id).credentials.set("secure", (id.value % 3) != 0);
+  }
+
+  spec::ServiceSpec spec = mail::mail_service_spec();
+  auto translator = mail::mail_translator();
+  planner::EnvironmentView env(network, *translator);
+  planner::Planner planner(spec, env);
+
+  // The pre-placed home MailServer at node 0.
+  planner::ExistingInstance home;
+  home.runtime_id = 1;
+  home.component = spec.find_component("MailServer");
+  home.node = net::NodeId{0};
+  home.effective["ServerInterface"]["Confidentiality"] =
+      spec::PropertyValue::boolean(true);
+  home.effective["ServerInterface"]["TrustLevel"] =
+      spec::PropertyValue::integer(5);
+  home.downstream_latency_s = 1e-4;
+
+  planner::PlanRequest request;
+  request.interface_name = "ClientInterface";
+  request.required_properties.emplace_back("TrustLevel",
+                                           spec::PropertyValue::integer(2));
+  request.client_node = net::NodeId{static_cast<std::uint32_t>(n - 1)};
+  request.max_depth = 5;
+
+  std::uint64_t candidates = 0, scored = 0;
+  for (auto _ : state) {
+    planner::SearchStats stats;
+    auto plan = planner.plan(request, {home}, &stats);
+    benchmark::DoNotOptimize(plan);
+    candidates = stats.candidates_examined;
+    scored = stats.plans_scored;
+  }
+  state.counters["candidates"] = static_cast<double>(candidates);
+  state.counters["plans"] = static_cast<double>(scored);
+}
+BENCHMARK(BM_MailPlannerOnWaxman)->Arg(8)->Arg(12)->Arg(16)->Arg(24)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ReuseShrinksSearch(benchmark::State& state) {
+  // With a warm ViewMailServer offered for reuse, the search terminates at
+  // it instead of exploring deep chains.
+  const bool with_existing = state.range(0) != 0;
+  net::Network network = path_network(6);
+  network.node(net::NodeId{5}).credentials.set("trust", std::int64_t{5});
+  spec::ServiceSpec spec = mail::mail_service_spec();
+  auto translator = mail::mail_translator();
+  planner::EnvironmentView env(network, *translator);
+  planner::Planner planner(spec, env);
+
+  std::vector<planner::ExistingInstance> existing;
+  {
+    planner::ExistingInstance home;
+    home.runtime_id = 1;
+    home.component = spec.find_component("MailServer");
+    home.node = net::NodeId{5};
+    home.effective["ServerInterface"]["Confidentiality"] =
+        spec::PropertyValue::boolean(true);
+    home.effective["ServerInterface"]["TrustLevel"] =
+        spec::PropertyValue::integer(5);
+    home.downstream_latency_s = 1e-4;
+    existing.push_back(home);
+  }
+  if (with_existing) {
+    planner::ExistingInstance view;
+    view.runtime_id = 2;
+    view.component = spec.find_component("ViewMailServer");
+    view.node = net::NodeId{1};
+    view.factors.values["TrustLevel"] = spec::PropertyValue::integer(3);
+    view.effective["ServerInterface"]["Confidentiality"] =
+        spec::PropertyValue::boolean(true);
+    view.effective["ServerInterface"]["TrustLevel"] =
+        spec::PropertyValue::integer(3);
+    view.downstream_latency_s = 5e-3;
+    existing.push_back(view);
+  }
+
+  planner::PlanRequest request;
+  request.interface_name = "ClientInterface";
+  request.required_properties.emplace_back("TrustLevel",
+                                           spec::PropertyValue::integer(2));
+  request.client_node = net::NodeId{0};
+  request.max_depth = 5;
+
+  std::uint64_t candidates = 0;
+  for (auto _ : state) {
+    planner::SearchStats stats;
+    auto plan = planner.plan(request, existing, &stats);
+    benchmark::DoNotOptimize(plan);
+    candidates = stats.candidates_examined;
+  }
+  state.counters["candidates"] = static_cast<double>(candidates);
+}
+BENCHMARK(BM_ReuseShrinksSearch)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

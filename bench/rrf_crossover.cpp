@@ -1,0 +1,125 @@
+// E7 (ablation) — where does caching stop paying off?
+//
+// §3.3's load condition "results in a preference for the ViewMailServer
+// component in low-bandwidth environments because of the former's caching
+// benefits". This bench maps that preference boundary: for a sweep of
+// (view RRF, WAN round-trip latency), does the min-latency planner deploy
+// the cache view or connect directly? The crossover line should move the
+// way intuition says: better caches (lower RRF) and slower links both favor
+// the view; a pass-through view (RRF 1.0) is never worth an extra hop.
+#include <cstdio>
+
+#include "planner/planner.hpp"
+#include "spec/builder.hpp"
+
+using namespace psf;
+
+namespace {
+
+spec::ServiceSpec make_spec(double rrf) {
+  return spec::SpecBuilder("Crossover")
+      .interval_property("TrustLevel", 1, 5)
+      .interface("Api", {"TrustLevel"})
+      .interface("Entry", {"TrustLevel"})
+      .component("Client")
+      .implements("Entry", {})
+      .requires_iface("Api", {})
+      .cpu_per_request(10)
+      .done()
+      .component("Origin")
+      .implements("Api", {{"TrustLevel", spec::lit_int(5)}})
+      .condition_ge("TrustLevel", spec::PropertyValue::integer(5))
+      .cpu_per_request(80)
+      .message_bytes(256, 512)
+      .done()
+      .data_view("CacheView", "Origin")
+      .implements("Api", {{"TrustLevel", spec::lit_int(3)}})
+      .requires_iface("Api", {})
+      .rrf(rrf)
+      // A heavyweight cache (2 ms/request at 1M cpu units/s): deploying it
+      // only pays off once the link it hides is slow enough.
+      .cpu_per_request(2000)
+      .message_bytes(256, 512)
+      .code_size(200 * 1024)
+      .done()
+      .build();
+}
+
+// Returns true when the plan contains the cache view.
+bool plans_view(double rrf, double wan_latency_ms) {
+  net::Network network;
+  net::Credentials edge_creds;
+  edge_creds.set("trust", std::int64_t{3});
+  edge_creds.set("secure", true);
+  const net::NodeId edge = network.add_node("edge", 1e6, edge_creds);
+  net::Credentials origin_creds;
+  origin_creds.set("trust", std::int64_t{5});
+  origin_creds.set("secure", true);
+  const net::NodeId origin = network.add_node("origin", 1e6, origin_creds);
+  net::Credentials secure;
+  secure.set("secure", true);
+  network.add_link(edge, origin, 10e6,
+                   sim::Duration::from_millis(wan_latency_ms), secure);
+
+  spec::ServiceSpec service = make_spec(rrf);
+  planner::CredentialMapTranslator translator;
+  translator.map_node({"TrustLevel", "trust", spec::PropertyType::kInterval,
+                       spec::PropertyValue::integer(1)});
+  planner::EnvironmentView env(network, translator);
+  planner::Planner planner(service, env);
+
+  planner::PlanRequest request;
+  request.interface_name = "Entry";
+  request.client_node = edge;
+  request.code_origin = origin;
+  request.request_rate_rps = 10.0;
+
+  auto plan = planner.plan(request);
+  PSF_CHECK_MSG(plan.has_value(), plan.status().to_string());
+  for (const auto& p : plan->placements) {
+    if (p.component->name == "CacheView") return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main() {
+  const double rrfs[] = {0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 0.95, 1.0};
+  const double latencies_ms[] = {0.1, 0.5, 1, 2, 5, 10, 50, 200};
+
+  std::printf("=== cache-view deployment decision (V = view deployed, . = "
+              "direct) ===\n");
+  std::printf("rrf \\ WAN RTT/2 [ms]:");
+  for (double l : latencies_ms) std::printf(" %6.1f", l);
+  std::printf("\n");
+
+  bool monotone = true;
+  for (double rrf : rrfs) {
+    std::printf("%-20.2f", rrf);
+    bool prev = true;
+    bool first = true;
+    for (double l : latencies_ms) {
+      const bool view = plans_view(rrf, l);
+      std::printf(" %6s", view ? "V" : ".");
+      // Along increasing latency, once the view wins it must keep winning.
+      if (!first && view && !prev) {
+        // transitioned . -> V: fine (that is the expected direction)
+      }
+      if (!first && !view && prev && l > latencies_ms[0]) {
+        // transitioned V -> . with rising latency: non-monotone
+        monotone = false;
+      }
+      prev = view;
+      first = false;
+    }
+    std::printf("\n");
+  }
+
+  const bool passthrough_never = !plans_view(1.0, 200.0);
+  std::printf("\npass-through view (rrf=1.0) never deployed: %s\n",
+              passthrough_never ? "yes" : "NO");
+  std::printf("view preference monotone in link latency: %s\n",
+              monotone ? "yes" : "NO");
+  return (passthrough_never && monotone) ? 0 : 1;
+}

@@ -1,0 +1,63 @@
+#include "coherence/directory.hpp"
+
+#include "util/logging.hpp"
+
+namespace psf::coherence {
+
+CoherenceDirectory::CoherenceDirectory(
+    runtime::SmockRuntime& runtime, runtime::RuntimeInstanceId home,
+    std::string push_op, std::unique_ptr<ConflictMap> conflict_map)
+    : runtime_(runtime),
+      home_(home),
+      push_op_(std::move(push_op)),
+      conflict_map_(conflict_map ? std::move(conflict_map)
+                                 : std::make_unique<ConflictMap>()) {}
+
+void CoherenceDirectory::register_replica(runtime::RuntimeInstanceId replica,
+                                          ViewSubscription subscription) {
+  replicas_[replica] = std::move(subscription);
+}
+
+void CoherenceDirectory::unregister_replica(
+    runtime::RuntimeInstanceId replica) {
+  replicas_.erase(replica);
+}
+
+void CoherenceDirectory::subscribe(runtime::RuntimeInstanceId replica,
+                                   const std::string& key) {
+  replicas_[replica].object_keys.insert(key);
+}
+
+void CoherenceDirectory::on_update(const Update& update,
+                                   runtime::RuntimeInstanceId origin) {
+  ++stats_.updates_seen;
+  for (const auto& [replica, subscription] : replicas_) {
+    if (replica == origin) continue;
+    if (!conflict_map_->conflicts(update.descriptor, subscription)) continue;
+    if (!runtime_.exists(replica)) continue;
+
+    auto batch = std::make_shared<UpdateBatch>();
+    batch->replica_id = home_;
+    batch->updates.push_back(update);
+
+    runtime::Request request;
+    request.op = push_op_;
+    request.body = batch;
+    request.wire_bytes = batch->wire_bytes();
+
+    ++stats_.pushes;
+    stats_.push_bytes += request.wire_bytes;
+
+    const net::NodeId home_node = runtime_.instance(home_).node;
+    runtime_.invoke_from_node(home_node, replica, std::move(request),
+                              [](runtime::Response response) {
+                                if (!response.ok) {
+                                  PSF_WARN()
+                                      << "coherence push rejected: "
+                                      << response.error;
+                                }
+                              });
+  }
+}
+
+}  // namespace psf::coherence

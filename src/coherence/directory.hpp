@@ -1,0 +1,63 @@
+// Home-side coherence directory (§3.2: "Smock manages replicated component
+// instances using a directory-based cache coherence protocol ... at the
+// granularity of views").
+//
+// The home component registers each replica with its view subscription.
+// When the home applies an update (whether originated locally or received
+// in a replica's flush batch), it asks the directory which other replicas
+// conflict — per the service's conflict map — and the directory pushes the
+// update to them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "coherence/types.hpp"
+#include "runtime/smock.hpp"
+
+namespace psf::coherence {
+
+struct DirectoryStats {
+  std::uint64_t updates_seen = 0;
+  std::uint64_t pushes = 0;
+  std::uint64_t push_bytes = 0;
+};
+
+class CoherenceDirectory {
+ public:
+  // `push_op`: request op under which replicas apply pushed updates.
+  CoherenceDirectory(runtime::SmockRuntime& runtime,
+                     runtime::RuntimeInstanceId home, std::string push_op,
+                     std::unique_ptr<ConflictMap> conflict_map = nullptr);
+
+  // Registers/updates a replica's subscription.
+  void register_replica(runtime::RuntimeInstanceId replica,
+                        ViewSubscription subscription);
+  void unregister_replica(runtime::RuntimeInstanceId replica);
+  std::size_t replica_count() const { return replicas_.size(); }
+
+  // Expands a replica's subscription with one more key (a view caching a
+  // new account, for example).
+  void subscribe(runtime::RuntimeInstanceId replica, const std::string& key);
+
+  // Called by the home component for every applied update. Pushes the
+  // update to each conflicting replica except `origin` (0 = home-local
+  // update, push to all conflicting replicas).
+  void on_update(const Update& update, runtime::RuntimeInstanceId origin = 0);
+
+  const DirectoryStats& stats() const { return stats_; }
+
+ private:
+  runtime::SmockRuntime& runtime_;
+  runtime::RuntimeInstanceId home_;
+  std::string push_op_;
+  std::unique_ptr<ConflictMap> conflict_map_;
+  std::map<runtime::RuntimeInstanceId, ViewSubscription> replicas_;
+  DirectoryStats stats_;
+};
+
+}  // namespace psf::coherence

@@ -1,0 +1,103 @@
+#include "coherence/replica.hpp"
+
+#include <utility>
+
+#include "util/logging.hpp"
+
+namespace psf::coherence {
+
+ReplicaCoherence::ReplicaCoherence(runtime::SmockRuntime& runtime,
+                                   runtime::RuntimeInstanceId self,
+                                   runtime::RuntimeInstanceId home,
+                                   std::string flush_op,
+                                   CoherencePolicy policy)
+    : ReplicaCoherence(
+          runtime, self,
+          [&runtime, self, home](runtime::Request request,
+                                 runtime::ResponseCallback done) {
+            runtime.invoke_from_node(runtime.instance(self).node, home,
+                                     std::move(request), std::move(done));
+          },
+          std::move(flush_op), policy) {}
+
+ReplicaCoherence::ReplicaCoherence(runtime::SmockRuntime& runtime,
+                                   runtime::RuntimeInstanceId self,
+                                   Transport transport, std::string flush_op,
+                                   CoherencePolicy policy)
+    : runtime_(runtime),
+      self_(self),
+      transport_(std::move(transport)),
+      flush_op_(std::move(flush_op)),
+      policy_(policy) {
+  if (policy_.kind == CoherencePolicy::Kind::kTimeBased) {
+    timer_.emplace(runtime_.simulator(), policy_.period,
+                   [this]() { flush(); });
+    timer_->start();
+  }
+}
+
+ReplicaCoherence::~ReplicaCoherence() = default;
+
+void ReplicaCoherence::record_update(
+    UpdateDescriptor descriptor,
+    std::shared_ptr<const runtime::MessageBody> payload) {
+  queue_.push_back(Update{std::move(descriptor), std::move(payload)});
+  ++stats_.updates_recorded;
+  stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.size());
+  maybe_auto_flush();
+}
+
+void ReplicaCoherence::maybe_auto_flush() {
+  switch (policy_.kind) {
+    case CoherencePolicy::Kind::kNone:
+    case CoherencePolicy::Kind::kTimeBased:
+      return;  // explicit / timer-driven only
+    case CoherencePolicy::Kind::kWriteThrough:
+      flush();
+      return;
+    case CoherencePolicy::Kind::kCountBased:
+      if (queue_.size() >= policy_.max_unpropagated) flush();
+      return;
+  }
+}
+
+void ReplicaCoherence::flush(std::function<void()> done) {
+  if (queue_.empty() || flush_in_flight_) {
+    // Coalesce: a flush finishing re-checks the queue, so pending updates
+    // recorded meanwhile are not lost.
+    if (done) done();
+    return;
+  }
+  flush_in_flight_ = true;
+
+  auto batch = std::make_shared<UpdateBatch>();
+  batch->replica_id = self_;
+  batch->updates = std::move(queue_);
+  queue_.clear();
+
+  ++stats_.flushes;
+  stats_.updates_flushed += batch->updates.size();
+  const std::uint64_t bytes = batch->wire_bytes();
+  stats_.bytes_flushed += bytes;
+
+  runtime::Request request;
+  request.op = flush_op_;
+  request.body = batch;
+  request.wire_bytes = bytes;
+
+  transport_(
+      std::move(request),
+      [this, done = std::move(done)](runtime::Response response) {
+        flush_in_flight_ = false;
+        if (!response.ok) {
+          PSF_WARN() << "coherence flush rejected by home: "
+                     << response.error;
+        }
+        if (done) done();
+        // Drain anything that accumulated while the batch was in flight.
+        maybe_auto_flush();
+        if (flush_listener_) flush_listener_();
+      });
+}
+
+}  // namespace psf::coherence

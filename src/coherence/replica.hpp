@@ -1,0 +1,94 @@
+// Replica-side coherence module.
+//
+// A replicated view component owns one ReplicaCoherence. Local updates are
+// recorded; the policy decides when the accumulated batch ships to the home
+// instance as a single coherence request ("op" chosen by the service, e.g.
+// "mail.sync"). Flush traffic flows through the normal runtime transfer
+// path, so it contends with request traffic on links and CPUs — which is
+// exactly the coherence overhead Fig. 7 measures.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "coherence/policy.hpp"
+#include "coherence/types.hpp"
+#include "runtime/smock.hpp"
+
+namespace psf::coherence {
+
+struct ReplicaStats {
+  std::uint64_t updates_recorded = 0;
+  std::uint64_t flushes = 0;
+  std::uint64_t updates_flushed = 0;
+  std::uint64_t bytes_flushed = 0;
+  std::size_t max_queue_depth = 0;
+};
+
+class ReplicaCoherence {
+ public:
+  // How a flush batch reaches the home: the default (home-instance
+  // constructor) sends directly; the transport constructor routes through a
+  // caller-supplied channel — a replicated view passes its ServerInterface
+  // wire so coherence traffic flows through the same (possibly encrypted)
+  // component chain as request traffic.
+  using Transport =
+      std::function<void(runtime::Request, runtime::ResponseCallback)>;
+
+  ReplicaCoherence(runtime::SmockRuntime& runtime,
+                   runtime::RuntimeInstanceId self,
+                   runtime::RuntimeInstanceId home, std::string flush_op,
+                   CoherencePolicy policy);
+  ReplicaCoherence(runtime::SmockRuntime& runtime,
+                   runtime::RuntimeInstanceId self, Transport transport,
+                   std::string flush_op, CoherencePolicy policy);
+  ~ReplicaCoherence();
+
+  ReplicaCoherence(const ReplicaCoherence&) = delete;
+  ReplicaCoherence& operator=(const ReplicaCoherence&) = delete;
+
+  const CoherencePolicy& policy() const { return policy_; }
+  const ReplicaStats& stats() const { return stats_; }
+  std::size_t pending() const { return queue_.size(); }
+
+  // True while a batch is in flight to the home. Replicated views defer
+  // serving new requests during propagation (the §3.2 protocol "limits the
+  // number of unpropagated messages at each replica": at its limit, the
+  // replica must finish writing back before accepting more work) — this
+  // blocking is the coherence overhead Fig. 7's 500/1000 scenarios measure.
+  bool flushing() const { return flush_in_flight_; }
+
+  // Invoked (if set) every time a flush completes — views use it to drain
+  // requests deferred while flushing.
+  void set_flush_listener(std::function<void()> listener) {
+    flush_listener_ = std::move(listener);
+  }
+
+  // Records a local update; may trigger an automatic flush per the policy.
+  void record_update(UpdateDescriptor descriptor,
+                     std::shared_ptr<const runtime::MessageBody> payload);
+
+  // Ships all pending updates now. `done` (optional) fires when the home
+  // acknowledges. No-op on an empty queue.
+  void flush(std::function<void()> done = nullptr);
+
+ private:
+  void maybe_auto_flush();
+
+  runtime::SmockRuntime& runtime_;
+  runtime::RuntimeInstanceId self_;
+  Transport transport_;
+  std::string flush_op_;
+  CoherencePolicy policy_;
+  std::vector<Update> queue_;
+  bool flush_in_flight_ = false;
+  std::function<void()> flush_listener_;
+  std::optional<sim::PeriodicTimer> timer_;
+  ReplicaStats stats_;
+};
+
+}  // namespace psf::coherence

@@ -1,0 +1,67 @@
+#include "core/case_study.hpp"
+
+#include "util/assert.hpp"
+
+namespace psf::core {
+
+namespace {
+
+std::vector<net::NodeId> build_site(net::Network& network,
+                                    const std::string& prefix,
+                                    std::size_t count, std::int64_t trust,
+                                    double cpu) {
+  std::vector<net::NodeId> nodes;
+  for (std::size_t i = 0; i < count; ++i) {
+    net::Credentials credentials;
+    credentials.set("trust", trust);
+    credentials.set("secure", true);
+    credentials.set("site", prefix);
+    nodes.push_back(network.add_node(prefix + "-" + std::to_string(i), cpu,
+                                     std::move(credentials)));
+  }
+  // Full mesh of secure, fast intra-site links (Fig. 5: 0 ms / 100 Mb/s).
+  net::Credentials secure;
+  secure.set("secure", true);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+      network.add_link(nodes[i], nodes[j], 100e6, sim::Duration::zero(),
+                       secure);
+    }
+  }
+  return nodes;
+}
+
+}  // namespace
+
+net::Network case_study_network(CaseStudySites* sites,
+                                const CaseStudyOptions& options) {
+  PSF_CHECK(sites != nullptr);
+  PSF_CHECK(options.nodes_per_site >= 2);
+  net::Network network;
+
+  sites->new_york = build_site(network, "ny", options.nodes_per_site,
+                               /*trust=*/5, options.node_cpu);
+  sites->san_diego = build_site(network, "sd", options.nodes_per_site,
+                                /*trust=*/4, options.node_cpu);
+  sites->seattle = build_site(network, "sea", options.nodes_per_site,
+                              /*trust=*/2, options.node_cpu);
+
+  // Inter-site WAN links: insecure, slow, limited bandwidth (Fig. 5). The
+  // gateway is node 0 of each site.
+  net::Credentials insecure;
+  insecure.set("secure", false);
+  network.add_link(sites->san_diego[0], sites->new_york[0], 50e6,
+                   sim::Duration::from_millis(100), insecure);
+  network.add_link(sites->seattle[0], sites->san_diego[0], 20e6,
+                   sim::Duration::from_millis(200), insecure);
+  network.add_link(sites->seattle[0], sites->new_york[0], 8e6,
+                   sim::Duration::from_millis(400), insecure);
+
+  sites->mail_home = sites->new_york[1];
+  sites->ny_client = sites->new_york[options.nodes_per_site - 1];
+  sites->sd_client = sites->san_diego[options.nodes_per_site - 1];
+  sites->sea_client = sites->seattle[options.nodes_per_site - 1];
+  return network;
+}
+
+}  // namespace psf::core

@@ -1,0 +1,38 @@
+// The paper's §4 case-study world: the Fig. 5 three-site topology (New York
+// main office, San Diego branch, Seattle partner organization).
+//
+// Link parameters from Fig. 5:
+//   - intra-site: secure, 0 ms, 100 Mb/s;
+//   - San Diego  <-> New York: insecure, 100 ms, 50 Mb/s;
+//   - Seattle    <-> San Diego: insecure, 200 ms, 20 Mb/s;
+//   - Seattle    <-> New York:  insecure, 400 ms,  8 Mb/s.
+// Trust: New York nodes 5, San Diego 4, Seattle (partner) 2.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace psf::core {
+
+struct CaseStudySites {
+  std::vector<net::NodeId> new_york;
+  std::vector<net::NodeId> san_diego;
+  std::vector<net::NodeId> seattle;
+
+  net::NodeId mail_home;   // New York node hosting the primary MailServer
+  net::NodeId ny_client;   // client nodes used by the experiments
+  net::NodeId sd_client;
+  net::NodeId sea_client;
+};
+
+struct CaseStudyOptions {
+  std::size_t nodes_per_site = 3;
+  double node_cpu = 1e6;  // cpu units per second
+};
+
+net::Network case_study_network(CaseStudySites* sites,
+                                const CaseStudyOptions& options = {});
+
+}  // namespace psf::core

@@ -1,0 +1,63 @@
+#include "core/framework.hpp"
+
+#include "util/logging.hpp"
+
+namespace psf::core {
+
+Framework::Framework(net::Network network, FrameworkOptions options)
+    : network_(std::move(network)),
+      sim_(),
+      runtime_(sim_, network_),
+      lookup_(options.lookup_node),
+      server_(runtime_, options.server_node, lookup_),
+      monitor_(sim_, network_) {
+  PSF_CHECK_MSG(network_.node_count() > 0, "empty network");
+  PSF_CHECK(options.lookup_node.value < network_.node_count());
+  PSF_CHECK(options.server_node.value < network_.node_count());
+}
+
+util::Status Framework::register_service(
+    runtime::ServiceRegistration registration,
+    std::shared_ptr<const planner::PropertyTranslator> translator) {
+  util::Status result = util::internal_error("registration did not complete");
+  bool completed = false;
+  server_.register_service(std::move(registration), std::move(translator),
+                           [&result, &completed](util::Status st) {
+                             result = st;
+                             completed = true;
+                           });
+  sim_.run();
+  if (!completed) {
+    return util::internal_error(
+        "registration callback never fired (simulation deadlock)");
+  }
+  return result;
+}
+
+std::unique_ptr<runtime::GenericProxy> Framework::make_proxy(
+    net::NodeId client_node, const std::string& service,
+    planner::PlanRequest defaults) {
+  return std::make_unique<runtime::GenericProxy>(runtime_, lookup_,
+                                                 client_node, service,
+                                                 std::move(defaults));
+}
+
+std::vector<runtime::RuntimeInstanceId> Framework::fail_node(
+    net::NodeId node) {
+  auto lost = runtime_.crash_node(node);
+  monitor_.report_node_failure(node);
+  return lost;
+}
+
+void Framework::enable_adaptation(const std::string& service) {
+  monitor_.subscribe(
+      [this, service](const runtime::NetworkMonitor::ChangeEvent&) {
+        auto st = server_.refresh_environment(service);
+        if (!st) {
+          PSF_WARN() << "adaptation refresh failed for '" << service
+                     << "': " << st.to_string();
+        }
+      });
+}
+
+}  // namespace psf::core

@@ -1,0 +1,92 @@
+// Framework facade — owns the full stack (simulator, network, Smock
+// runtime, lookup service, generic server, network monitor) and exposes the
+// paper's Fig. 1 timeline as a handful of calls:
+//
+//   Framework fw(std::move(network));
+//   fw.register_service(mail::mail_registration(home), mail::mail_translator());
+//   auto proxy = fw.make_proxy(client_node, "SecureMail", request_defaults);
+//   proxy->invoke(...);          // binds on first use: plan + deploy
+//   fw.run();                    // drive the simulation
+//
+// enable_adaptation() wires the §6 extension: network-monitor events
+// re-translate the service's environment view so subsequent (re)planning
+// sees fresh properties.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "net/network.hpp"
+#include "runtime/generic.hpp"
+#include "runtime/lookup.hpp"
+#include "runtime/monitor.hpp"
+#include "runtime/smock.hpp"
+#include "sim/simulator.hpp"
+
+namespace psf::core {
+
+struct FrameworkOptions {
+  // Hosts for the infrastructure services; default to node 0.
+  net::NodeId lookup_node{0};
+  net::NodeId server_node{0};
+};
+
+class Framework {
+ public:
+  explicit Framework(net::Network network, FrameworkOptions options = {});
+
+  sim::Simulator& simulator() { return sim_; }
+  net::Network& network() { return network_; }
+  runtime::SmockRuntime& runtime() { return runtime_; }
+  runtime::LookupService& lookup() { return lookup_; }
+  runtime::GenericServer& server() { return server_; }
+  runtime::NetworkMonitor& monitor() { return monitor_; }
+
+  // Registers a service and drives the simulator until registration (and
+  // initial placements) complete.
+  util::Status register_service(
+      runtime::ServiceRegistration registration,
+      std::shared_ptr<const planner::PropertyTranslator> translator);
+
+  std::unique_ptr<runtime::GenericProxy> make_proxy(
+      net::NodeId client_node, const std::string& service,
+      planner::PlanRequest defaults);
+
+  // Re-translate `service`'s environment whenever the monitor reports a
+  // change, so later planning sees current properties.
+  void enable_adaptation(const std::string& service);
+
+  // Fault injection: crashes every instance on `node` and fires a
+  // kNodeFailure monitor event (which a RedeploymentManager turns into
+  // recovery). Returns the lost instance ids.
+  std::vector<runtime::RuntimeInstanceId> fail_node(net::NodeId node);
+
+  // Simulation drivers.
+  std::size_t run() { return sim_.run(); }
+  std::size_t run_for(sim::Duration d) {
+    return sim_.run_until(sim_.now() + d);
+  }
+
+  // Steps the simulation until `done()` holds, the event queue drains, or
+  // `max` simulated time elapses — required whenever periodic activity
+  // (coherence timers, monitors) keeps the queue permanently non-empty.
+  bool run_until_condition(const std::function<bool()>& done,
+                           sim::Duration max) {
+    const sim::Time deadline = sim_.now() + max;
+    while (!done()) {
+      if (sim_.now() > deadline) return done();
+      if (!sim_.step()) return done();
+    }
+    return true;
+  }
+
+ private:
+  net::Network network_;
+  sim::Simulator sim_;
+  runtime::SmockRuntime runtime_;
+  runtime::LookupService lookup_;
+  runtime::GenericServer server_;
+  runtime::NetworkMonitor monitor_;
+};
+
+}  // namespace psf::core

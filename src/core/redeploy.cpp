@@ -1,0 +1,210 @@
+#include "core/redeploy.hpp"
+
+#include <set>
+
+#include "util/logging.hpp"
+
+namespace psf::core {
+
+const char* redeploy_outcome_name(RedeployEvent::Outcome outcome) {
+  switch (outcome) {
+    case RedeployEvent::Outcome::kStillValid: return "still-valid";
+    case RedeployEvent::Outcome::kRedeployed: return "redeployed";
+    case RedeployEvent::Outcome::kUnsatisfiable: return "unsatisfiable";
+    case RedeployEvent::Outcome::kFailed: return "failed";
+  }
+  return "?";
+}
+
+RedeploymentManager::RedeploymentManager(Framework& framework,
+                                         std::string service)
+    : fw_(framework), service_(std::move(service)) {
+  PSF_CHECK_MSG(fw_.server().service_spec(service_) != nullptr,
+                "service not registered");
+  fw_.monitor().subscribe(
+      [this](const runtime::NetworkMonitor::ChangeEvent&) {
+        // Fresh properties first, then decide what still holds.
+        auto st = fw_.server().refresh_environment(service_);
+        if (!st) {
+          PSF_WARN() << "redeploy: environment refresh failed: "
+                     << st.to_string();
+          return;
+        }
+        check_now();
+      });
+}
+
+std::size_t RedeploymentManager::track(runtime::AccessOutcome outcome,
+                                       planner::PlanRequest request) {
+  PSF_CHECK_MSG(outcome.instances.size() == outcome.plan.placements.size(),
+                "AccessOutcome missing per-placement instances");
+  backing_.push_back(outcome.instances);
+  tracked_.push_back(Tracked{std::move(outcome), std::move(request)});
+  return tracked_.size() - 1;
+}
+
+void RedeploymentManager::check_now() {
+  if (checking_) return;  // a monitor storm must not recurse
+  checking_ = true;
+  for (std::size_t i = 0; i < tracked_.size(); ++i) revalidate(i);
+  checking_ = false;
+}
+
+void RedeploymentManager::revalidate(std::size_t index) {
+  Tracked& tracked = tracked_[index];
+  const spec::ServiceSpec* spec = fw_.server().service_spec(service_);
+  const planner::EnvironmentView* env = fw_.server().environment(service_);
+  PSF_CHECK(spec != nullptr && env != nullptr);
+
+  planner::ValidationReport report = planner::validate_plan(
+      *spec, *env, tracked.request, tracked.outcome.plan,
+      fw_.server().existing_instances(service_));
+  // Plan-level validation cannot see runtime crashes: also require every
+  // backing instance to still be alive.
+  for (std::size_t i = 0; i < backing_[index].size(); ++i) {
+    if (!fw_.runtime().exists(backing_[index][i])) {
+      report.violations.push_back(planner::Violation{
+          planner::Violation::Kind::kStructure,
+          static_cast<planner::InstanceId>(i),
+          "backing runtime instance " +
+              std::to_string(backing_[index][i]) + " no longer exists"});
+    }
+  }
+  if (report.ok()) {
+    events_.push_back(RedeployEvent{fw_.simulator().now(), index,
+                                    RedeployEvent::Outcome::kStillValid,
+                                    ""});
+    return;
+  }
+
+  PSF_INFO() << "redeploy: tracked deployment " << index
+             << " invalid after network change:\n"
+             << report.to_string();
+
+  // Replan + deploy asynchronously; the swap happens in the callback so
+  // this is safe to call from inside a simulator event.
+  fw_.server().request_access(
+      service_, tracked.request,
+      [this, index, violations = report.to_string()](
+          util::Expected<runtime::AccessOutcome> fresh) {
+        RedeployEvent event;
+        event.at = fw_.simulator().now();
+        event.tracked_index = index;
+        if (!fresh.has_value()) {
+          event.outcome =
+              fresh.status().code() == util::ErrorCode::kUnsatisfiable
+                  ? RedeployEvent::Outcome::kUnsatisfiable
+                  : RedeployEvent::Outcome::kFailed;
+          event.detail = violations + "; replan: " + fresh.status().to_string();
+          events_.push_back(std::move(event));
+          return;
+        }
+        runtime::DeployedPlan deployed;
+        deployed.instances = fresh->instances;
+        deployed.entry = fresh->entry;
+        auto st =
+            swap_deployment(index, tracked_[index], fresh->plan, deployed);
+        if (!st) {
+          event.outcome = RedeployEvent::Outcome::kFailed;
+          event.detail = violations + "; swap: " + st.to_string();
+        } else {
+          ++redeploys_;
+          event.outcome = RedeployEvent::Outcome::kRedeployed;
+          event.detail = violations;
+          // Record the new backing (entry slot holds the preserved old
+          // entry id, set by swap_deployment via tracked_[index]).
+          backing_[index] = tracked_[index].outcome.instances;
+        }
+        events_.push_back(std::move(event));
+      });
+}
+
+util::Status RedeploymentManager::swap_deployment(
+    std::size_t index, Tracked& tracked,
+    const planner::DeploymentPlan& new_plan,
+    const runtime::DeployedPlan& deployed) {
+  runtime::SmockRuntime& rt = fw_.runtime();
+  const runtime::RuntimeInstanceId old_entry = tracked.outcome.entry;
+  const runtime::RuntimeInstanceId new_entry = deployed.entry;
+  if (!rt.exists(old_entry)) {
+    return util::failed_precondition("old entry instance vanished");
+  }
+
+  // 1. Graft the new chain onto the client's live entry instance so the
+  //    proxy binding survives the reconfiguration.
+  for (const auto& [iface, target] : rt.instance(new_entry).wires) {
+    if (auto st = rt.wire(old_entry, iface, target); !st) return st;
+  }
+
+  // 2. The freshly deployed entry was only a template; retire it.
+  //    (absorb_deployment never pooled it, so no forget needed.)
+  if (new_entry != old_entry) {
+    if (auto st = rt.uninstall(new_entry); !st) return st;
+  }
+
+  // 3. Release the old plan's load reservations on reused instances.
+  //    (Copies: step 4 overwrites tracked.outcome in place.)
+  const planner::DeploymentPlan old_plan = tracked.outcome.plan;
+  const std::vector<runtime::RuntimeInstanceId> old_backing =
+      tracked.outcome.instances;
+  for (std::size_t i = 0; i < old_plan.placements.size(); ++i) {
+    const planner::Placement& p = old_plan.placements[i];
+    if (p.reuse_existing) {
+      (void)fw_.server().release_load(service_, p.existing_runtime_id,
+                                      p.inbound_rate_rps);
+    }
+  }
+
+  // 4. Adopt the new plan, preserving the live entry id.
+  std::vector<runtime::RuntimeInstanceId> new_backing = deployed.instances;
+  for (auto& id : new_backing) {
+    if (id == new_entry) id = old_entry;
+  }
+  tracked.outcome.plan = new_plan;
+  tracked.outcome.instances = new_backing;
+  // entry id stays old_entry.
+
+  // 5. Garbage-collect: components the old plan deployed that no tracked
+  //    deployment (including the new one) references anymore.
+  // (backing_[index] still holds the old ids at this point — exclude it,
+  // or nothing old would ever be collectible.)
+  const std::set<runtime::RuntimeInstanceId> still_used = [&] {
+    std::set<runtime::RuntimeInstanceId> used;
+    for (std::size_t i = 0; i < backing_.size(); ++i) {
+      if (i == index) continue;
+      used.insert(backing_[i].begin(), backing_[i].end());
+    }
+    used.insert(new_backing.begin(), new_backing.end());
+    // Transitive closure over live wiring: a reused view may still forward
+    // through its original tunnel, so everything reachable from a used
+    // instance stays alive.
+    std::vector<runtime::RuntimeInstanceId> frontier(used.begin(),
+                                                     used.end());
+    while (!frontier.empty()) {
+      const runtime::RuntimeInstanceId id = frontier.back();
+      frontier.pop_back();
+      if (!rt.exists(id)) continue;
+      for (const auto& [iface, target] : rt.instance(id).wires) {
+        if (used.insert(target).second) frontier.push_back(target);
+      }
+    }
+    return used;
+  }();
+  for (std::size_t i = 0; i < old_plan.placements.size(); ++i) {
+    const planner::Placement& p = old_plan.placements[i];
+    const runtime::RuntimeInstanceId id = old_backing[i];
+    if (p.reuse_existing) continue;           // not ours to retire
+    if (id == old_entry) continue;            // preserved
+    if (still_used.count(id) != 0) continue;  // someone else still wired
+    if (!rt.exists(id)) continue;
+    if (rt.instance(id).def->static_placement) continue;  // never retire
+    (void)fw_.server().forget_instance(service_, id);
+    if (auto st = rt.uninstall(id); !st) {
+      PSF_WARN() << "redeploy: failed to retire instance " << id << ": "
+                 << st.to_string();
+    }
+  }
+  return util::Status::ok();
+}
+
+}  // namespace psf::core

@@ -1,0 +1,93 @@
+// Automatic redeployment (the paper's §6 future work, made concrete).
+//
+// A RedeploymentManager tracks live deployments (the AccessOutcome of each
+// bound client plus the request that produced it). On every network-monitor
+// event it:
+//
+//   1. re-translates the service's environment (via the generic server);
+//   2. re-validates each tracked plan against the *new* environment with
+//      the independent validator (planner/validate.hpp);
+//   3. for plans that are now in violation — a link turned insecure, a node
+//      lost trust, capacity vanished — replans, deploys the replacement,
+//      rewires the client's live entry instance onto the new chain (so the
+//      client's proxy binding keeps working and stateful views are reused,
+//      preserving cached state), and garbage-collects components that no
+//      tracked deployment references anymore.
+//
+// Redeployment is also triggerable manually (check_now) and reports every
+// decision through its event log.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/framework.hpp"
+#include "planner/validate.hpp"
+
+namespace psf::core {
+
+struct RedeployEvent {
+  sim::Time at;
+  std::size_t tracked_index = 0;
+  enum class Outcome {
+    kStillValid,     // validation passed; nothing to do
+    kRedeployed,     // replanned + rewired successfully
+    kUnsatisfiable,  // no valid plan exists in the new environment
+    kFailed,         // replan succeeded but deployment/rewire failed
+  };
+  Outcome outcome = Outcome::kStillValid;
+  std::string detail;  // violations found / failure reason
+};
+
+const char* redeploy_outcome_name(RedeployEvent::Outcome outcome);
+
+class RedeploymentManager {
+ public:
+  // Subscribes to the framework's monitor. `service` must already be
+  // registered.
+  RedeploymentManager(Framework& framework, std::string service);
+
+  // Tracks a live deployment. Returns its index.
+  std::size_t track(runtime::AccessOutcome outcome,
+                    planner::PlanRequest request);
+
+  std::size_t tracked_count() const { return tracked_.size(); }
+  const planner::DeploymentPlan& current_plan(std::size_t index) const {
+    return tracked_.at(index).outcome.plan;
+  }
+
+  // Re-validates (and redeploys as needed) all tracked deployments against
+  // the current environment. Invoked automatically on monitor events; also
+  // callable directly. Appends to the event log.
+  void check_now();
+
+  const std::vector<RedeployEvent>& events() const { return events_; }
+  std::size_t redeploy_count() const { return redeploys_; }
+
+ private:
+  struct Tracked {
+    runtime::AccessOutcome outcome;
+    planner::PlanRequest request;
+  };
+
+  void revalidate(std::size_t index);
+
+  // Rewires `tracked`'s live entry instance to the new plan's wiring and
+  // retires components that are no longer referenced.
+  util::Status swap_deployment(std::size_t index, Tracked& tracked,
+                               const planner::DeploymentPlan& new_plan,
+                               const runtime::DeployedPlan& deployed);
+
+  Framework& fw_;
+  std::string service_;
+  std::vector<Tracked> tracked_;
+  // Runtime ids backing each tracked deployment, index-aligned with
+  // tracked_[i].outcome.plan.placements.
+  std::vector<std::vector<runtime::RuntimeInstanceId>> backing_;
+  std::vector<RedeployEvent> events_;
+  std::size_t redeploys_ = 0;
+  bool checking_ = false;
+};
+
+}  // namespace psf::core

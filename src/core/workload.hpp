@@ -1,0 +1,83 @@
+// Closed-loop mail workload driver for the §4.2 experiments: each client
+// "simulates the behavior of a cluster of users by sending out 100 messages
+// and receiving messages 10 times at the maximum rate permitted by a
+// deployment" — here with a small configurable think time between
+// operations so coherence periods are exercised.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "mail/config.hpp"
+#include "mail/types.hpp"
+#include "runtime/generic.hpp"
+#include "runtime/smock.hpp"
+#include "util/stats.hpp"
+
+namespace psf::core {
+
+struct WorkloadParams {
+  std::size_t sends = 100;
+  std::size_t receives = 10;  // one interleaved after every sends/receives sends
+  sim::Duration think = sim::Duration::from_millis(20);
+  std::int64_t low_sensitivity = 2;   // cacheable at trust >= 2
+  std::int64_t high_sensitivity = 5;  // only the home may store/serve these
+  // Every Nth send (1-based) uses high sensitivity; 0 disables. Send
+  // sensitivity shapes which traffic a view can absorb.
+  std::size_t high_send_every = 0;
+  // Every Nth receive asks for high-sensitivity content (forwarded past any
+  // lower-trust view). This is what realizes the view's RRF at run time.
+  std::size_t high_receive_every = 5;
+  std::uint64_t body_bytes = 2048;
+};
+
+struct WorkloadStats {
+  std::uint64_t sends_ok = 0;
+  std::uint64_t sends_failed = 0;
+  std::uint64_t receives_ok = 0;
+  std::uint64_t receives_failed = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t plaintext_mismatches = 0;  // decrypted body != expected
+};
+
+class WorkloadClient {
+ public:
+  // `transport` issues one service operation (a bound proxy's invoke, or a
+  // direct invoke_from_node for hand-built deployments).
+  using Transport =
+      std::function<void(runtime::Request, runtime::ResponseCallback)>;
+
+  WorkloadClient(runtime::SmockRuntime& runtime, std::string user,
+                 mail::MailConfigPtr config, Transport transport,
+                 WorkloadParams params);
+
+  // Begins the closed loop (first op after one think time).
+  void start();
+
+  bool finished() const { return finished_; }
+  const WorkloadStats& stats() const { return stats_; }
+  util::SampleSet& send_latency_ms() { return send_latency_ms_; }
+
+ private:
+  void schedule_next();
+  void issue_op();
+  void issue_send();
+  void issue_receive();
+  void op_completed();
+
+  runtime::SmockRuntime& runtime_;
+  std::string user_;
+  mail::MailConfigPtr config_;
+  Transport transport_;
+  WorkloadParams params_;
+
+  std::size_t sends_issued_ = 0;
+  std::size_t receives_issued_ = 0;
+  std::uint64_t next_message_id_ = 1;
+  bool finished_ = false;
+  WorkloadStats stats_;
+  util::SampleSet send_latency_ms_;
+};
+
+}  // namespace psf::core

@@ -1,0 +1,64 @@
+// Toy symmetric cipher + MAC used by the Encryptor/Decryptor components.
+//
+// >>> NOT CRYPTOGRAPHICALLY SECURE. <<<
+// The paper used the Cryptix JCE; what the framework actually needs from the
+// crypto substrate is (a) a payload transformation so confidentiality
+// semantics are exercised end-to-end, (b) keys bound to (user, sensitivity
+// level) so trust decisions about key placement are real, and (c) a
+// deterministic CPU cost per byte so encryption shows up in latency
+// measurements. A keystream XOR + keyed hash delivers all three at
+// simulation fidelity; see DESIGN.md §2.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace psf::crypto {
+
+struct SymmetricKey {
+  std::uint64_t k0 = 0;
+  std::uint64_t k1 = 0;
+
+  bool operator==(const SymmetricKey&) const = default;
+};
+
+// Deterministic key derivation from a master secret + label; stands in for
+// account-setup-time key-pair generation (paper §2).
+SymmetricKey derive_key(std::uint64_t master_secret, const std::string& label);
+
+// Keystream XOR; encryption and decryption are the same operation.
+// `nonce` must differ per message (the mail runtime uses the message id).
+std::vector<std::uint8_t> apply_keystream(const SymmetricKey& key,
+                                          std::uint64_t nonce,
+                                          std::span<const std::uint8_t> data);
+
+// Keyed 64-bit tag over the ciphertext (toy integrity check).
+std::uint64_t compute_mac(const SymmetricKey& key,
+                          std::span<const std::uint8_t> data);
+
+// A sealed payload: ciphertext + nonce + tag.
+struct SealedBlob {
+  std::vector<std::uint8_t> ciphertext;
+  std::uint64_t nonce = 0;
+  std::uint64_t mac = 0;
+
+  // Wire size, for the network cost model (nonce + mac overhead).
+  std::size_t wire_size() const { return ciphertext.size() + 16; }
+};
+
+SealedBlob seal(const SymmetricKey& key, std::uint64_t nonce,
+                std::span<const std::uint8_t> plaintext);
+
+// Returns false (and leaves `out` empty) on MAC mismatch.
+bool unseal(const SymmetricKey& key, const SealedBlob& blob,
+            std::vector<std::uint8_t>& out);
+
+// Cost model: abstract cpu units consumed to seal/unseal `bytes` bytes.
+// Tuned so encrypting a 4 KB mail body costs about one tenth of a mail-server
+// request (the paper reports encryption overhead as minor relative to
+// transfer time on slow links).
+double crypto_cpu_cost(std::size_t bytes);
+
+}  // namespace psf::crypto

@@ -1,0 +1,44 @@
+#include "crypto/keystore.hpp"
+
+namespace psf::crypto {
+
+void KeyStore::provision_user(const std::string& user,
+                              std::int64_t max_level) {
+  for (std::int64_t level = 1; level <= max_level; ++level) {
+    const KeyRef ref{user, level};
+    if (keys_.find(ref) != keys_.end()) continue;
+    keys_[ref] =
+        derive_key(master_secret_, user + "#" + std::to_string(level));
+  }
+}
+
+util::Expected<SymmetricKey> KeyStore::key(const KeyRef& ref) const {
+  auto it = keys_.find(ref);
+  if (it == keys_.end()) {
+    return util::not_found("no key for user '" + ref.user + "' level " +
+                           std::to_string(ref.sensitivity_level));
+  }
+  return it->second;
+}
+
+util::Status KeyStore::release_to_node(const std::string& node,
+                                       const std::string& user,
+                                       std::int64_t level) {
+  for (std::int64_t l = 1; l <= level; ++l) {
+    if (!has_key(KeyRef{user, l})) {
+      return util::not_found("user '" + user + "' has no key at level " +
+                             std::to_string(l));
+    }
+  }
+  auto& released = releases_[{node, user}];
+  released = std::max(released, level);
+  return util::Status::ok();
+}
+
+std::int64_t KeyStore::released_level(const std::string& node,
+                                      const std::string& user) const {
+  auto it = releases_.find({node, user});
+  return it == releases_.end() ? 0 : it->second;
+}
+
+}  // namespace psf::crypto

@@ -1,0 +1,63 @@
+// Per-(user, sensitivity-level) key management (paper §2: "Each level is
+// associated with an encryption/decryption key pair (one per user) generated
+// at account setup time").
+//
+// Key *placement* is the security-relevant part for the planner: a node may
+// hold keys only up to its trust level. The keystore tracks which levels
+// were released to which node, so tests can assert the framework never
+// ships a level-5 key to a trust-2 node.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "crypto/cipher.hpp"
+#include "util/status.hpp"
+
+namespace psf::crypto {
+
+struct KeyRef {
+  std::string user;
+  std::int64_t sensitivity_level = 0;
+
+  bool operator==(const KeyRef&) const = default;
+  auto operator<=>(const KeyRef&) const = default;
+};
+
+class KeyStore {
+ public:
+  explicit KeyStore(std::uint64_t master_secret)
+      : master_secret_(master_secret) {}
+
+  // Generates (idempotently) keys for levels 1..max_level for a user.
+  void provision_user(const std::string& user, std::int64_t max_level);
+
+  bool has_key(const KeyRef& ref) const {
+    return keys_.find(ref) != keys_.end();
+  }
+
+  util::Expected<SymmetricKey> key(const KeyRef& ref) const;
+
+  // Records that keys for `user` up to `level` were released to `node`.
+  // Fails when any key for the user at ≤ level is missing.
+  util::Status release_to_node(const std::string& node,
+                               const std::string& user, std::int64_t level);
+
+  // Highest level released to the node for the user (0 = none).
+  std::int64_t released_level(const std::string& node,
+                              const std::string& user) const;
+
+  std::size_t key_count() const { return keys_.size(); }
+
+ private:
+  std::uint64_t master_secret_;
+  std::map<KeyRef, SymmetricKey> keys_;
+  // (node, user) -> max released level
+  std::map<std::pair<std::string, std::string>, std::int64_t> releases_;
+};
+
+}  // namespace psf::crypto

@@ -1,0 +1,65 @@
+// MailClient and ViewMailClient — the client-side entry components.
+//
+// MailClient offers full functionality (send/receive plus the address
+// book); ViewMailClient is the paper's *object view* of it, restricting the
+// interface to send/receive only (§3.1: "restricts the functionality of the
+// MailClient: both support standard send and receive operations, but the
+// latter provides additional features such as access to an address book").
+//
+// Sensitivity handling (paper §2): the client transparently seals outgoing
+// message bodies under the sender's key for the message's sensitivity
+// level, and unseals (and MAC-verifies) incoming bodies under the
+// recipient's key.
+#pragma once
+
+#include <cstdint>
+
+#include "mail/config.hpp"
+#include "mail/types.hpp"
+#include "runtime/smock.hpp"
+
+namespace psf::mail {
+
+struct MailClientStats {
+  std::uint64_t sends = 0;
+  std::uint64_t receives = 0;
+  std::uint64_t messages_decrypted = 0;
+  std::uint64_t mac_failures = 0;
+  std::uint64_t rejected_ops = 0;
+};
+
+class MailClientComponent : public runtime::Component {
+ public:
+  explicit MailClientComponent(MailConfigPtr config)
+      : config_(std::move(config)) {}
+
+  void handle_request(const runtime::Request& request,
+                      runtime::ResponseCallback done) override;
+
+  const MailClientStats& client_stats() const { return stats_; }
+
+ protected:
+  // Object-view hook: returns true when the op is available. The base class
+  // allows everything; ViewMailClient narrows it.
+  virtual bool supports(const std::string& op) const;
+
+  MailConfigPtr config_;
+  MailClientStats stats_;
+
+ private:
+  void handle_send(const runtime::Request& request,
+                   runtime::ResponseCallback done);
+  void handle_receive(const runtime::Request& request,
+                      runtime::ResponseCallback done);
+};
+
+class ViewMailClientComponent : public MailClientComponent {
+ public:
+  explicit ViewMailClientComponent(MailConfigPtr config)
+      : MailClientComponent(std::move(config)) {}
+
+ protected:
+  bool supports(const std::string& op) const override;
+};
+
+}  // namespace psf::mail

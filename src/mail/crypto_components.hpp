@@ -1,0 +1,80 @@
+// Encryptor / Decryptor tunnel components.
+//
+// The planner inserts an Encryptor→Decryptor pair when a linkage must cross
+// an environment that breaks the Confidentiality property (paper §3.3 and
+// Fig. 6). They are *transparent* components: they forward any operation
+// unchanged, wrapping it in a sealed envelope for the insecure segment.
+//
+// Simulation shortcut (documented in DESIGN.md): the envelope seals a
+// deterministic byte image of the same length as the inner message rather
+// than a serialized form of it — the cipher and MAC run for real (cost and
+// integrity checking are genuine), while the structured body rides along
+// for the in-process simulation.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/cipher.hpp"
+#include "mail/config.hpp"
+#include "runtime/smock.hpp"
+
+namespace psf::mail {
+
+inline constexpr const char* kTunnelOp = "enc.tunnel";
+
+struct TunnelBody : runtime::MessageBody {
+  std::string inner_op;
+  std::shared_ptr<const runtime::MessageBody> inner;
+  std::uint64_t inner_wire_bytes = 0;
+  std::string principal;
+  crypto::SealedBlob blob;  // seal of a byte image of the inner message
+};
+
+struct TunnelStats {
+  std::uint64_t requests_sealed = 0;
+  std::uint64_t responses_unsealed = 0;
+  std::uint64_t mac_failures = 0;
+};
+
+class EncryptorComponent : public runtime::Component {
+ public:
+  explicit EncryptorComponent(MailConfigPtr config)
+      : config_(std::move(config)) {}
+
+  void handle_request(const runtime::Request& request,
+                      runtime::ResponseCallback done) override;
+
+  const TunnelStats& tunnel_stats() const { return stats_; }
+
+ private:
+  MailConfigPtr config_;
+  TunnelStats stats_;
+  std::uint64_t nonce_ = 0;
+};
+
+class DecryptorComponent : public runtime::Component {
+ public:
+  explicit DecryptorComponent(MailConfigPtr config)
+      : config_(std::move(config)) {}
+
+  void handle_request(const runtime::Request& request,
+                      runtime::ResponseCallback done) override;
+
+  const TunnelStats& tunnel_stats() const { return stats_; }
+
+ private:
+  MailConfigPtr config_;
+  TunnelStats stats_;
+  std::uint64_t nonce_ = 1;  // distinct stream from the encryptor side
+};
+
+// The shared tunnel key: in a deployed system this would be negotiated at
+// deployment time; both ends derive it from the service master secret.
+crypto::SymmetricKey tunnel_key(const MailServiceConfig& config);
+
+// Deterministic byte image of a message of `bytes` length (what the tunnel
+// actually seals).
+std::vector<std::uint8_t> tunnel_image(std::uint64_t bytes,
+                                       std::uint64_t nonce);
+
+}  // namespace psf::mail

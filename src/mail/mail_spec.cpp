@@ -1,0 +1,144 @@
+#include "mail/mail_spec.hpp"
+
+#include "spec/parser.hpp"
+#include "util/assert.hpp"
+
+namespace psf::mail {
+
+const std::string& mail_spec_source() {
+  static const std::string kSource = R"PSDL(
+// Security-sensitive mail service (paper Fig. 2).
+//
+// Deviations from the figure, each required to make the published case
+// study executable, are called out inline.
+service SecureMail {
+  property Confidentiality { type: boolean; }
+  property TrustLevel { type: interval(1, 5); }
+  property User { type: string; }
+
+  interface ClientInterface { properties: Confidentiality, TrustLevel; }
+  interface ServerInterface { properties: Confidentiality, TrustLevel; }
+  // Fig. 2 lists only Confidentiality here; TrustLevel is added so the
+  // transparent Encryptor/Decryptor pair can pass the server's trust level
+  // through the tunnel (the figure's prose assumes exactly this).
+  interface DecryptorInterface { properties: Confidentiality, TrustLevel; }
+
+  // Property modification rules (paper Fig. 4): confidentiality survives
+  // only environments that are themselves confidential.
+  rule Confidentiality {
+    (T, T) -> T;
+    (F, any) -> F;
+    (any, F) -> F;
+  }
+
+  component MailClient {
+    implements ClientInterface { Confidentiality = F; TrustLevel = 4; }
+    requires ServerInterface { Confidentiality = T; TrustLevel = 4; }
+    // Fig. 2 uses `User = Alice` (an access-control list); we generalize to
+    // the trust level so any sufficiently trusted node may host the full
+    // client.
+    conditions { node.TrustLevel >= 4; }
+    behaviors {
+      cpu_per_request: 20;
+      bytes_per_request: 2300;
+      bytes_per_response: 2800;
+      code_size: 150 KB;
+    }
+  }
+
+  // Object view: send/receive only, no address book; deployable on (and
+  // demanding of) less trusted environments.
+  object view ViewMailClient represents MailClient {
+    implements ClientInterface { Confidentiality = F; TrustLevel = 2; }
+    requires ServerInterface { Confidentiality = T; TrustLevel = 2; }
+    conditions { node.TrustLevel >= 2; }
+    behaviors {
+      cpu_per_request: 15;
+      bytes_per_request: 2300;
+      bytes_per_response: 2800;
+      code_size: 80 KB;
+    }
+  }
+
+  component MailServer {
+    static;  // the primary server is pre-placed at the service home (§4)
+    implements ServerInterface { Confidentiality = T; TrustLevel = 5; }
+    conditions { node.TrustLevel >= 5; }
+    behaviors {
+      capacity: 1000;
+      cpu_per_request: 100;
+      bytes_per_request: 2300;
+      bytes_per_response: 3200;
+      code_size: 500 KB;
+    }
+  }
+
+  // Data view: caches a subset of accounts; its trust level (and therefore
+  // which sensitivity levels it may store) factors from the hosting node.
+  data view ViewMailServer represents MailServer {
+    factors { TrustLevel = node.TrustLevel; }
+    implements ServerInterface { Confidentiality = T; TrustLevel = factor.TrustLevel; }
+    requires ServerInterface { Confidentiality = T; TrustLevel = factor.TrustLevel; }
+    // Fig. 2's (1,3)-style window: views live on partially trusted nodes;
+    // the fully trusted home hosts the real server instead.
+    conditions { node.TrustLevel in (2, 4); }
+    behaviors {
+      rrf: 0.2;
+      capacity: 500;
+      cpu_per_request: 60;
+      bytes_per_request: 2300;
+      bytes_per_response: 3200;
+      code_size: 300 KB;
+    }
+  }
+
+  component Encryptor {
+    transparent;
+    implements ServerInterface { Confidentiality = T; }
+    requires DecryptorInterface { }
+    behaviors {
+      cpu_per_request: 12;
+      bytes_per_request: 2348;
+      bytes_per_response: 3248;
+      code_size: 60 KB;
+    }
+  }
+
+  component Decryptor {
+    transparent;
+    implements DecryptorInterface { }
+    requires ServerInterface { Confidentiality = T; }
+    behaviors {
+      cpu_per_request: 12;
+      bytes_per_request: 2300;
+      bytes_per_response: 3200;
+      code_size: 60 KB;
+    }
+  }
+}
+)PSDL";
+  return kSource;
+}
+
+spec::ServiceSpec mail_service_spec() {
+  auto parsed = spec::parse_spec(mail_spec_source());
+  PSF_CHECK_MSG(parsed.has_value(), parsed.status().to_string());
+  return std::move(parsed).value();
+}
+
+std::shared_ptr<planner::CredentialMapTranslator> mail_translator() {
+  auto translator = std::make_shared<planner::CredentialMapTranslator>();
+  translator->map_node({"TrustLevel", "trust", spec::PropertyType::kInterval,
+                        spec::PropertyValue::integer(1)});
+  translator->map_node({"Confidentiality", "secure",
+                        spec::PropertyType::kBoolean,
+                        spec::PropertyValue::boolean(false)});
+  translator->map_node(
+      {"User", "user", spec::PropertyType::kString, spec::PropertyValue()});
+  translator->map_link({"Confidentiality", "secure",
+                        spec::PropertyType::kBoolean,
+                        spec::PropertyValue::boolean(false)});
+  return translator;
+}
+
+}  // namespace psf::mail

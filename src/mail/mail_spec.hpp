@@ -1,0 +1,27 @@
+// The mail service's declarative specification (paper Fig. 2, in PSDL) and
+// the credential→property translator for its environments.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "planner/environment.hpp"
+#include "spec/model.hpp"
+
+namespace psf::mail {
+
+// The PSDL source text — kept as text (not a builder) so the production
+// path exercises the same parser a service developer would use.
+const std::string& mail_spec_source();
+
+// Parsed + validated specification. Aborts on parse failure (the source is
+// a compiled-in constant; failure is a bug).
+spec::ServiceSpec mail_service_spec();
+
+// Maps network credentials to the mail service's properties:
+//   node:  TrustLevel <- "trust" (interval), Confidentiality <- "secure"
+//   link:  Confidentiality <- "secure" (default F — untagged links are
+//          assumed insecure, failing closed)
+std::shared_ptr<planner::CredentialMapTranslator> mail_translator();
+
+}  // namespace psf::mail

@@ -1,0 +1,59 @@
+#include "mail/registration.hpp"
+
+#include "mail/client.hpp"
+#include "mail/crypto_components.hpp"
+#include "mail/mail_spec.hpp"
+#include "mail/server.hpp"
+#include "mail/view_server.hpp"
+
+namespace psf::mail {
+
+util::Status register_mail_factories(runtime::ComponentFactoryRegistry& reg,
+                                     MailConfigPtr config) {
+  if (auto st = reg.register_type(
+          "MailClient",
+          [config]() { return std::make_unique<MailClientComponent>(config); });
+      !st) {
+    return st;
+  }
+  if (auto st = reg.register_type("ViewMailClient", [config]() {
+        return std::make_unique<ViewMailClientComponent>(config);
+      });
+      !st) {
+    return st;
+  }
+  if (auto st = reg.register_type("MailServer", [config]() {
+        return std::make_unique<MailServerComponent>(config);
+      });
+      !st) {
+    return st;
+  }
+  if (auto st = reg.register_type("ViewMailServer", [config]() {
+        return std::make_unique<ViewMailServerComponent>(config);
+      });
+      !st) {
+    return st;
+  }
+  if (auto st = reg.register_type("Encryptor", [config]() {
+        return std::make_unique<EncryptorComponent>(config);
+      });
+      !st) {
+    return st;
+  }
+  return reg.register_type("Decryptor", [config]() {
+    return std::make_unique<DecryptorComponent>(config);
+  });
+}
+
+runtime::ServiceRegistration mail_registration(net::NodeId home) {
+  runtime::ServiceRegistration registration;
+  registration.spec = mail_service_spec();
+  registration.code_origin = home;
+  registration.initial_placements.push_back(
+      runtime::InitialPlacement{"MailServer", home, {}});
+  registration.proxy_code_bytes = 48 * 1024;
+  registration.attributes = {{"kind", "mail"}, {"security", "sensitive"}};
+  return registration;
+}
+
+}  // namespace psf::mail

@@ -1,0 +1,20 @@
+// Glue: registers the mail component factories with a runtime (the "mobile
+// code" base) and builds the ServiceRegistration handed to a GenericServer.
+#pragma once
+
+#include "mail/config.hpp"
+#include "runtime/generic.hpp"
+
+namespace psf::mail {
+
+// Registers factories for all six mail components. The factories capture
+// `config`, which is how scenario knobs (coherence policy, keystore) reach
+// dynamically deployed instances.
+util::Status register_mail_factories(runtime::ComponentFactoryRegistry& reg,
+                                     MailConfigPtr config);
+
+// A registration that pre-places the primary MailServer at `home` and
+// serves component code from there.
+runtime::ServiceRegistration mail_registration(net::NodeId home);
+
+}  // namespace psf::mail

@@ -1,0 +1,16 @@
+#include "mail/types.hpp"
+
+namespace psf::mail {
+
+std::uint64_t send_wire_bytes(const MailMessage& message) {
+  return 256 + message.body_bytes();  // headers + addressing + body
+}
+
+std::uint64_t receive_result_wire_bytes(
+    const std::vector<MailMessage>& msgs) {
+  std::uint64_t total = 128;
+  for (const MailMessage& m : msgs) total += 128 + m.body_bytes();
+  return total;
+}
+
+}  // namespace psf::mail

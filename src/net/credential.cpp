@@ -1,0 +1,69 @@
+#include "net/credential.hpp"
+
+#include <sstream>
+
+namespace psf::net {
+
+std::string credential_value_to_string(const CredentialValue& v) {
+  struct Visitor {
+    std::string operator()(bool b) const { return b ? "true" : "false"; }
+    std::string operator()(std::int64_t i) const { return std::to_string(i); }
+    std::string operator()(double d) const {
+      std::ostringstream oss;
+      oss << d;
+      return oss.str();
+    }
+    std::string operator()(const std::string& s) const { return s; }
+  };
+  return std::visit(Visitor{}, v);
+}
+
+bool Credentials::get_bool(const std::string& name, bool fallback) const {
+  auto v = get(name);
+  if (!v) return fallback;
+  if (auto* b = std::get_if<bool>(&*v)) return *b;
+  if (auto* i = std::get_if<std::int64_t>(&*v)) return *i != 0;
+  return fallback;
+}
+
+std::int64_t Credentials::get_int(const std::string& name,
+                                  std::int64_t fallback) const {
+  auto v = get(name);
+  if (!v) return fallback;
+  if (auto* i = std::get_if<std::int64_t>(&*v)) return *i;
+  if (auto* d = std::get_if<double>(&*v)) return static_cast<std::int64_t>(*d);
+  if (auto* b = std::get_if<bool>(&*v)) return *b ? 1 : 0;
+  return fallback;
+}
+
+double Credentials::get_double(const std::string& name,
+                               double fallback) const {
+  auto v = get(name);
+  if (!v) return fallback;
+  if (auto* d = std::get_if<double>(&*v)) return *d;
+  if (auto* i = std::get_if<std::int64_t>(&*v)) return static_cast<double>(*i);
+  return fallback;
+}
+
+std::string Credentials::get_string(const std::string& name,
+                                    const std::string& fallback) const {
+  auto v = get(name);
+  if (!v) return fallback;
+  if (auto* s = std::get_if<std::string>(&*v)) return *s;
+  return credential_value_to_string(*v);
+}
+
+std::string Credentials::to_string() const {
+  std::ostringstream oss;
+  oss << "{";
+  bool first = true;
+  for (const auto& [name, value] : values_) {
+    if (!first) oss << ", ";
+    first = false;
+    oss << name << "=" << credential_value_to_string(value);
+  }
+  oss << "}";
+  return oss.str();
+}
+
+}  // namespace psf::net

@@ -1,0 +1,212 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+
+namespace psf::net {
+
+NodeId Network::add_node(std::string name, double cpu_capacity,
+                         Credentials credentials) {
+  PSF_CHECK_MSG(cpu_capacity > 0.0, "node cpu capacity must be positive");
+  NodeId id{static_cast<std::uint32_t>(nodes_.size())};
+  Node n;
+  n.id = id;
+  n.name = std::move(name);
+  n.cpu_capacity = cpu_capacity;
+  n.credentials = std::move(credentials);
+  nodes_.push_back(std::move(n));
+  adjacency_.emplace_back();
+  invalidate_cache();
+  return id;
+}
+
+LinkId Network::add_link(NodeId a, NodeId b, double bandwidth_bps,
+                         sim::Duration latency, Credentials credentials) {
+  PSF_CHECK(a.valid() && a.value < nodes_.size());
+  PSF_CHECK(b.valid() && b.value < nodes_.size());
+  PSF_CHECK_MSG(a != b, "self links are not modeled");
+  PSF_CHECK_MSG(bandwidth_bps > 0.0, "link bandwidth must be positive");
+  PSF_CHECK_MSG(latency.nanos() >= 0, "negative link latency");
+  LinkId id{static_cast<std::uint32_t>(links_.size())};
+  Link l;
+  l.id = id;
+  l.a = a;
+  l.b = b;
+  l.bandwidth_bps = bandwidth_bps;
+  l.latency = latency;
+  l.credentials = std::move(credentials);
+  links_.push_back(std::move(l));
+  adjacency_[a.value].push_back(id);
+  adjacency_[b.value].push_back(id);
+  invalidate_cache();
+  return id;
+}
+
+Node& Network::node(NodeId id) {
+  PSF_CHECK(id.valid() && id.value < nodes_.size());
+  return nodes_[id.value];
+}
+
+const Node& Network::node(NodeId id) const {
+  PSF_CHECK(id.valid() && id.value < nodes_.size());
+  return nodes_[id.value];
+}
+
+Link& Network::link(LinkId id) {
+  PSF_CHECK(id.valid() && id.value < links_.size());
+  return links_[id.value];
+}
+
+const Link& Network::link(LinkId id) const {
+  PSF_CHECK(id.valid() && id.value < links_.size());
+  return links_[id.value];
+}
+
+std::optional<NodeId> Network::find_node(const std::string& name) const {
+  for (const Node& n : nodes_) {
+    if (n.name == name) return n.id;
+  }
+  return std::nullopt;
+}
+
+const std::vector<LinkId>& Network::links_of(NodeId n) const {
+  PSF_CHECK(n.valid() && n.value < adjacency_.size());
+  return adjacency_[n.value];
+}
+
+std::optional<LinkId> Network::link_between(NodeId a, NodeId b) const {
+  for (LinkId lid : links_of(a)) {
+    const Link& l = links_[lid.value];
+    if ((l.a == a && l.b == b) || (l.a == b && l.b == a)) return lid;
+  }
+  return std::nullopt;
+}
+
+std::optional<Route> Network::route(NodeId from, NodeId to) const {
+  PSF_CHECK(from.valid() && from.value < nodes_.size());
+  PSF_CHECK(to.valid() && to.value < nodes_.size());
+  if (from == to) return Route{};
+
+  struct State {
+    std::int64_t latency_ns;
+    std::uint32_t hops;
+    NodeId node;
+    bool operator>(const State& o) const {
+      if (latency_ns != o.latency_ns) return latency_ns > o.latency_ns;
+      if (hops != o.hops) return hops > o.hops;
+      return node.value > o.node.value;
+    }
+  };
+
+  constexpr std::int64_t kInf = INT64_MAX;
+  std::vector<std::int64_t> best(nodes_.size(), kInf);
+  std::vector<std::uint32_t> best_hops(nodes_.size(), UINT32_MAX);
+  std::vector<LinkId> via(nodes_.size());
+  std::priority_queue<State, std::vector<State>, std::greater<State>> pq;
+
+  best[from.value] = 0;
+  best_hops[from.value] = 0;
+  pq.push(State{0, 0, from});
+
+  while (!pq.empty()) {
+    const State s = pq.top();
+    pq.pop();
+    if (s.latency_ns > best[s.node.value] ||
+        (s.latency_ns == best[s.node.value] &&
+         s.hops > best_hops[s.node.value])) {
+      continue;
+    }
+    if (s.node == to) break;
+    for (LinkId lid : adjacency_[s.node.value]) {
+      const Link& l = links_[lid.value];
+      const NodeId next = l.other(s.node);
+      const std::int64_t cand = s.latency_ns + l.latency.nanos();
+      const std::uint32_t cand_hops = s.hops + 1;
+      if (cand < best[next.value] ||
+          (cand == best[next.value] && cand_hops < best_hops[next.value])) {
+        best[next.value] = cand;
+        best_hops[next.value] = cand_hops;
+        via[next.value] = lid;
+        pq.push(State{cand, cand_hops, next});
+      }
+    }
+  }
+
+  if (best[to.value] == kInf) return std::nullopt;
+
+  Route r;
+  r.total_latency = sim::Duration::from_nanos(best[to.value]);
+  NodeId cur = to;
+  while (cur != from) {
+    const LinkId lid = via[cur.value];
+    r.links.push_back(lid);
+    r.bottleneck_bandwidth_bps =
+        std::min(r.bottleneck_bandwidth_bps, links_[lid.value].bandwidth_bps);
+    cur = links_[lid.value].other(cur);
+  }
+  std::reverse(r.links.begin(), r.links.end());
+  return r;
+}
+
+const Route* Network::cached_route(NodeId from, NodeId to) const {
+  const std::size_t n = nodes_.size();
+  if (!cache_valid_) {
+    route_cache_.assign(n * n, std::nullopt);
+    cache_valid_ = true;
+  }
+  const std::size_t idx = static_cast<std::size_t>(from.value) * n + to.value;
+  PSF_CHECK(idx < route_cache_.size());
+  if (!route_cache_[idx].has_value()) {
+    auto r = route(from, to);
+    // Cache even disconnected pairs as an empty "infinite" route marker.
+    if (!r) {
+      Route unreachable;
+      unreachable.total_latency = sim::Duration::from_nanos(INT64_MAX / 2);
+      unreachable.bottleneck_bandwidth_bps = 0.0;
+      route_cache_[idx] = unreachable;
+    } else {
+      route_cache_[idx] = std::move(*r);
+    }
+  }
+  return &*route_cache_[idx];
+}
+
+std::vector<NodeId> Network::all_nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(nodes_.size());
+  for (const Node& n : nodes_) out.push_back(n.id);
+  return out;
+}
+
+std::vector<LinkId> Network::all_links() const {
+  std::vector<LinkId> out;
+  out.reserve(links_.size());
+  for (const Link& l : links_) out.push_back(l.id);
+  return out;
+}
+
+std::string Network::to_string() const {
+  std::ostringstream oss;
+  oss << "Network(" << nodes_.size() << " nodes, " << links_.size()
+      << " links)\n";
+  for (const Node& n : nodes_) {
+    oss << "  node " << n.id.value << " '" << n.name
+        << "' cpu=" << n.cpu_capacity << " " << n.credentials.to_string()
+        << "\n";
+  }
+  for (const Link& l : links_) {
+    oss << "  link " << l.id.value << " " << nodes_[l.a.value].name << " <-> "
+        << nodes_[l.b.value].name << " bw=" << l.bandwidth_bps / 1e6
+        << "Mbps lat=" << l.latency.millis() << "ms "
+        << l.credentials.to_string() << "\n";
+  }
+  return oss.str();
+}
+
+void Network::invalidate_cache() {
+  cache_valid_ = false;
+  route_cache_.clear();
+}
+
+}  // namespace psf::net

@@ -1,0 +1,139 @@
+// Network graph model used by both the planner (resource/credential view)
+// and the runtime (message cost model).
+//
+// Nodes carry CPU capacity (abstract "cpu units"/second; one unit ≈ the cost
+// the spec's Behaviors express per request) and credentials. Links carry
+// latency, bandwidth, and credentials (e.g. secure=true). Links are
+// bidirectional, matching the paper's Fig. 5 topology.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/credential.hpp"
+#include "sim/time.hpp"
+#include "util/assert.hpp"
+
+namespace psf::net {
+
+struct NodeId {
+  std::uint32_t value = kInvalid;
+  static constexpr std::uint32_t kInvalid = UINT32_MAX;
+
+  constexpr bool valid() const { return value != kInvalid; }
+  constexpr bool operator==(const NodeId&) const = default;
+  constexpr auto operator<=>(const NodeId&) const = default;
+};
+
+struct LinkId {
+  std::uint32_t value = kInvalid;
+  static constexpr std::uint32_t kInvalid = UINT32_MAX;
+
+  constexpr bool valid() const { return value != kInvalid; }
+  constexpr bool operator==(const LinkId&) const = default;
+  constexpr auto operator<=>(const LinkId&) const = default;
+};
+
+struct Node {
+  NodeId id;
+  std::string name;
+  double cpu_capacity = 1e6;   // cpu units per second
+  double cpu_reserved = 0.0;   // planner reservations
+  Credentials credentials;
+  // Position in an abstract plane; set by topology generators (Waxman needs
+  // distances), zero for hand-built topologies.
+  double x = 0.0;
+  double y = 0.0;
+
+  double cpu_available() const { return cpu_capacity - cpu_reserved; }
+};
+
+struct Link {
+  LinkId id;
+  NodeId a;
+  NodeId b;
+  double bandwidth_bps = 100e6;
+  sim::Duration latency = sim::Duration::zero();
+  double bandwidth_reserved_bps = 0.0;  // planner reservations
+  Credentials credentials;
+
+  double bandwidth_available_bps() const {
+    return bandwidth_bps - bandwidth_reserved_bps;
+  }
+
+  NodeId other(NodeId n) const {
+    PSF_CHECK(n == a || n == b);
+    return n == a ? b : a;
+  }
+
+  // Time to move `bytes` across this link: propagation + serialization.
+  sim::Duration transfer_time(std::uint64_t bytes) const {
+    const double serialize_s =
+        static_cast<double>(bytes) * 8.0 / bandwidth_bps;
+    return latency + sim::Duration::from_seconds(serialize_s);
+  }
+};
+
+// A route between two nodes: the link sequence of a shortest (by latency)
+// path, plus aggregate metrics the planner uses for constraint checks.
+struct Route {
+  std::vector<LinkId> links;
+  sim::Duration total_latency = sim::Duration::zero();
+  double bottleneck_bandwidth_bps = std::numeric_limits<double>::infinity();
+
+  bool local() const { return links.empty(); }
+};
+
+class Network {
+ public:
+  NodeId add_node(std::string name, double cpu_capacity = 1e6,
+                  Credentials credentials = {});
+  LinkId add_link(NodeId a, NodeId b, double bandwidth_bps,
+                  sim::Duration latency, Credentials credentials = {});
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t link_count() const { return links_.size(); }
+
+  Node& node(NodeId id);
+  const Node& node(NodeId id) const;
+  Link& link(LinkId id);
+  const Link& link(LinkId id) const;
+
+  std::optional<NodeId> find_node(const std::string& name) const;
+
+  // All links incident to `n`.
+  const std::vector<LinkId>& links_of(NodeId n) const;
+
+  // Direct link between a and b, if one exists (first added wins).
+  std::optional<LinkId> link_between(NodeId a, NodeId b) const;
+
+  // Shortest path from `from` to `to` minimizing total latency; ties broken
+  // by hop count then link id for determinism. Empty route if from == to;
+  // nullopt if disconnected.
+  std::optional<Route> route(NodeId from, NodeId to) const;
+
+  // All-pairs convenience built on route(); used by the planner's
+  // environment view. Results are cached; the cache resets on mutation.
+  const Route* cached_route(NodeId from, NodeId to) const;
+
+  // Iteration support (ids are dense).
+  std::vector<NodeId> all_nodes() const;
+  std::vector<LinkId> all_links() const;
+
+  std::string to_string() const;
+
+ private:
+  void invalidate_cache();
+
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  std::vector<std::vector<LinkId>> adjacency_;
+  // route cache: indexed [from * n + to]; empty when invalid.
+  mutable std::vector<std::optional<Route>> route_cache_;
+  mutable bool cache_valid_ = false;
+};
+
+}  // namespace psf::net

@@ -1,0 +1,221 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace psf::net {
+
+namespace {
+
+double distance(const Node& a, const Node& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+sim::Duration latency_for_distance(double dist, double latency_per_unit_us) {
+  // Floor of 10us models switching overhead even for co-located nodes.
+  return sim::Duration::from_micros(std::max(10.0, dist * latency_per_unit_us));
+}
+
+// Connects any disconnected components by linking each component's
+// lowest-id node to its geometrically nearest node in the visited set.
+// Deterministic, and geometrically sensible for Waxman graphs.
+void ensure_connected(Network& net, double min_bw, double max_bw,
+                      double latency_per_unit_us, util::Rng& rng) {
+  const std::size_t n = net.node_count();
+  if (n <= 1) return;
+  std::vector<std::uint32_t> comp(n, UINT32_MAX);
+  std::uint32_t num_comps = 0;
+  for (std::uint32_t start = 0; start < n; ++start) {
+    if (comp[start] != UINT32_MAX) continue;
+    // BFS flood.
+    std::vector<NodeId> frontier{NodeId{start}};
+    comp[start] = num_comps;
+    while (!frontier.empty()) {
+      NodeId cur = frontier.back();
+      frontier.pop_back();
+      for (LinkId lid : net.links_of(cur)) {
+        NodeId next = net.link(lid).other(cur);
+        if (comp[next.value] == UINT32_MAX) {
+          comp[next.value] = num_comps;
+          frontier.push_back(next);
+        }
+      }
+    }
+    ++num_comps;
+  }
+  if (num_comps == 1) return;
+
+  // Attach every non-zero component to the nearest node of component 0's
+  // growing hull.
+  std::vector<bool> attached(num_comps, false);
+  attached[0] = true;
+  for (std::uint32_t c = 1; c < num_comps; ++c) {
+    NodeId best_from{}, best_to{};
+    double best_dist = 1e300;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (comp[i] != c) continue;
+      for (std::uint32_t j = 0; j < n; ++j) {
+        if (!attached[comp[j]]) continue;
+        const double d = distance(net.node(NodeId{i}), net.node(NodeId{j}));
+        if (d < best_dist) {
+          best_dist = d;
+          best_from = NodeId{i};
+          best_to = NodeId{j};
+        }
+      }
+    }
+    PSF_CHECK(best_from.valid() && best_to.valid());
+    const double bw = rng.uniform(min_bw, max_bw);
+    net.add_link(best_from, best_to, bw,
+                 latency_for_distance(best_dist, latency_per_unit_us));
+    attached[c] = true;
+  }
+}
+
+void place_nodes(Network& net, std::size_t count, double plane_size,
+                 double min_cpu, double max_cpu, const std::string& prefix,
+                 util::Rng& rng) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const double cpu = rng.uniform(min_cpu, max_cpu);
+    NodeId id = net.add_node(prefix + std::to_string(i), cpu);
+    Node& node = net.node(id);
+    node.x = rng.uniform(0.0, plane_size);
+    node.y = rng.uniform(0.0, plane_size);
+  }
+}
+
+}  // namespace
+
+Network generate_waxman(const WaxmanParams& params, util::Rng& rng) {
+  PSF_CHECK(params.num_nodes >= 1);
+  PSF_CHECK(params.alpha > 0.0 && params.beta > 0.0);
+  Network net;
+  place_nodes(net, params.num_nodes, params.plane_size, params.min_cpu,
+              params.max_cpu, "w", rng);
+
+  const double max_dist = params.plane_size * std::sqrt(2.0);
+  for (std::uint32_t i = 0; i < params.num_nodes; ++i) {
+    for (std::uint32_t j = i + 1; j < params.num_nodes; ++j) {
+      const double d = distance(net.node(NodeId{i}), net.node(NodeId{j}));
+      const double p = params.alpha * std::exp(-d / (params.beta * max_dist));
+      if (rng.bernoulli(p)) {
+        const double bw =
+            rng.uniform(params.min_bandwidth_bps, params.max_bandwidth_bps);
+        net.add_link(NodeId{i}, NodeId{j}, bw,
+                     latency_for_distance(d, params.latency_per_unit_us));
+      }
+    }
+  }
+  ensure_connected(net, params.min_bandwidth_bps, params.max_bandwidth_bps,
+                   params.latency_per_unit_us, rng);
+  return net;
+}
+
+Network generate_barabasi_albert(const BarabasiAlbertParams& params,
+                                 util::Rng& rng) {
+  PSF_CHECK(params.num_nodes >= 2);
+  PSF_CHECK(params.links_per_new_node >= 1);
+  Network net;
+  place_nodes(net, params.num_nodes, params.plane_size, params.min_cpu,
+              params.max_cpu, "ba", rng);
+
+  // Endpoint multiset for preferential attachment: each link contributes
+  // both endpoints, so a draw is proportional to degree.
+  std::vector<std::uint32_t> endpoints;
+
+  // Seed clique among the first m+1 nodes.
+  const std::size_t m = std::min(params.links_per_new_node,
+                                 params.num_nodes - 1);
+  for (std::uint32_t i = 0; i <= m; ++i) {
+    for (std::uint32_t j = i + 1; j <= m; ++j) {
+      const double d = distance(net.node(NodeId{i}), net.node(NodeId{j}));
+      const double bw =
+          rng.uniform(params.min_bandwidth_bps, params.max_bandwidth_bps);
+      net.add_link(NodeId{i}, NodeId{j}, bw,
+                   latency_for_distance(d, params.latency_per_unit_us));
+      endpoints.push_back(i);
+      endpoints.push_back(j);
+    }
+  }
+
+  for (std::uint32_t v = static_cast<std::uint32_t>(m) + 1;
+       v < params.num_nodes; ++v) {
+    std::vector<std::uint32_t> chosen;
+    while (chosen.size() < m) {
+      const std::uint32_t candidate =
+          endpoints[rng.uniform_u64(0, endpoints.size() - 1)];
+      if (candidate == v) continue;
+      if (std::find(chosen.begin(), chosen.end(), candidate) != chosen.end()) {
+        continue;
+      }
+      chosen.push_back(candidate);
+    }
+    for (std::uint32_t u : chosen) {
+      const double d = distance(net.node(NodeId{v}), net.node(NodeId{u}));
+      const double bw =
+          rng.uniform(params.min_bandwidth_bps, params.max_bandwidth_bps);
+      net.add_link(NodeId{v}, NodeId{u}, bw,
+                   latency_for_distance(d, params.latency_per_unit_us));
+      endpoints.push_back(v);
+      endpoints.push_back(u);
+    }
+  }
+  return net;
+}
+
+Network generate_hierarchical(const HierarchicalParams& params,
+                              util::Rng& rng) {
+  // Generate the AS-level skeleton first, then expand each AS node into a
+  // router-level Waxman graph and rewire AS-level links to random gateway
+  // routers in each AS.
+  Network as_graph = generate_waxman(params.as_level, rng);
+
+  Network net;
+  std::vector<std::vector<NodeId>> as_members(as_graph.node_count());
+
+  for (std::uint32_t as = 0; as < as_graph.node_count(); ++as) {
+    util::Rng sub = rng.fork();
+    Network routers = generate_waxman(params.router_level, sub);
+    // Copy router subgraph into the flat network, offsetting positions so
+    // each AS occupies its own region of the plane.
+    const Node& as_node = as_graph.node(NodeId{as});
+    std::vector<NodeId> mapping;
+    mapping.reserve(routers.node_count());
+    for (std::uint32_t r = 0; r < routers.node_count(); ++r) {
+      const Node& src = routers.node(NodeId{r});
+      NodeId id = net.add_node(
+          "as" + std::to_string(as) + ".r" + std::to_string(r),
+          src.cpu_capacity);
+      Node& dst = net.node(id);
+      dst.x = as_node.x + src.x / 10.0;
+      dst.y = as_node.y + src.y / 10.0;
+      dst.credentials.set("as", static_cast<std::int64_t>(as));
+      mapping.push_back(id);
+      as_members[as].push_back(id);
+    }
+    for (LinkId lid : routers.all_links()) {
+      const Link& l = routers.link(lid);
+      net.add_link(mapping[l.a.value], mapping[l.b.value], l.bandwidth_bps,
+                   l.latency);
+    }
+  }
+
+  for (LinkId lid : as_graph.all_links()) {
+    const Link& l = as_graph.link(lid);
+    const auto& from_members = as_members[l.a.value];
+    const auto& to_members = as_members[l.b.value];
+    const NodeId gw_a =
+        from_members[rng.uniform_u64(0, from_members.size() - 1)];
+    const NodeId gw_b = to_members[rng.uniform_u64(0, to_members.size() - 1)];
+    net.add_link(gw_a, gw_b,
+                 l.bandwidth_bps * params.inter_as_bandwidth_scale,
+                 l.latency * params.inter_as_latency_scale);
+  }
+  return net;
+}
+
+}  // namespace psf::net

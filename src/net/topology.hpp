@@ -1,0 +1,60 @@
+// Topology generators in the style of BRITE (Medina & Matta, BU-CS-2000-005),
+// which the paper used to produce its case-study network.
+//
+// Three models are provided:
+//  - Waxman: random geometric placement, P(u,v) = alpha * exp(-d / (beta*L));
+//  - Barabási–Albert: incremental growth with preferential attachment;
+//  - hierarchical: a Waxman AS-level graph whose nodes are expanded into
+//    router-level Waxman subgraphs (BRITE's top-down mode).
+//
+// All generators guarantee a connected graph (a deterministic spanning pass
+// adds any missing links) and are fully determined by the seed.
+#pragma once
+
+#include <cstdint>
+
+#include "net/network.hpp"
+#include "util/rng.hpp"
+
+namespace psf::net {
+
+struct WaxmanParams {
+  std::size_t num_nodes = 20;
+  double alpha = 0.4;          // link-probability scale
+  double beta = 0.2;           // distance sensitivity
+  double plane_size = 1000.0;  // nodes placed in [0, plane_size]^2
+  // Resource ranges; drawn uniformly per node/link.
+  double min_bandwidth_bps = 10e6;
+  double max_bandwidth_bps = 100e6;
+  double min_cpu = 0.5e6;
+  double max_cpu = 2e6;
+  // Latency per unit of plane distance (speed-of-light-ish proxy).
+  double latency_per_unit_us = 1.0;
+};
+
+struct BarabasiAlbertParams {
+  std::size_t num_nodes = 20;
+  std::size_t links_per_new_node = 2;  // BRITE's m
+  double plane_size = 1000.0;
+  double min_bandwidth_bps = 10e6;
+  double max_bandwidth_bps = 100e6;
+  double min_cpu = 0.5e6;
+  double max_cpu = 2e6;
+  double latency_per_unit_us = 1.0;
+};
+
+struct HierarchicalParams {
+  WaxmanParams as_level;      // num_nodes = number of ASes
+  WaxmanParams router_level;  // num_nodes = routers per AS
+  // Inter-AS links are slower and higher-latency than intra-AS links.
+  double inter_as_bandwidth_scale = 0.2;
+  double inter_as_latency_scale = 5.0;
+};
+
+Network generate_waxman(const WaxmanParams& params, util::Rng& rng);
+Network generate_barabasi_albert(const BarabasiAlbertParams& params,
+                                 util::Rng& rng);
+Network generate_hierarchical(const HierarchicalParams& params,
+                              util::Rng& rng);
+
+}  // namespace psf::net

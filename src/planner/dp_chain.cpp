@@ -1,0 +1,215 @@
+#include "planner/dp_chain.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace psf::planner {
+
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+util::Expected<ChainPlanResult> plan_chain_dp(
+    const spec::ServiceSpec& spec, const EnvironmentView& env,
+    const std::vector<const spec::ComponentDef*>& chain,
+    const std::vector<net::NodeId>& path, const ChainPlanOptions& options) {
+  const std::size_t k = chain.size();
+  const std::size_t m = path.size();
+  if (k == 0) return util::invalid_argument("empty component chain");
+  if (m == 0) return util::invalid_argument("empty node path");
+  const net::Network& network = env.network();
+
+  // Verify the path is actually a path in the network and collect its links.
+  std::vector<const net::Link*> path_links;  // path_links[j]: n_j -> n_{j+1}
+  path_links.reserve(m - 1);
+  for (std::size_t j = 0; j + 1 < m; ++j) {
+    auto lid = network.link_between(path[j], path[j + 1]);
+    if (!lid) {
+      return util::invalid_argument(
+          "path nodes " + network.node(path[j]).name + " and " +
+          network.node(path[j + 1]).name + " are not adjacent");
+    }
+    path_links.push_back(&network.link(*lid));
+  }
+
+  // prefix[i] = fraction of client requests reaching chain[i].
+  std::vector<double> prefix(k, 1.0);
+  for (std::size_t i = 1; i < k; ++i) {
+    prefix[i] = prefix[i - 1] * chain[i - 1]->behaviors.rrf;
+  }
+
+  // Feasibility of hosting component i at path position j: installation
+  // conditions + node CPU capacity at the component's arrival rate.
+  auto feasible = [&](std::size_t i, std::size_t j) {
+    const spec::Environment& node_env = env.node_env(path[j]);
+    for (const spec::Condition& cond : chain[i]->conditions) {
+      if (!cond.holds(node_env)) return false;
+    }
+    const net::Node& node = network.node(path[j]);
+    const double rate = options.request_rate_rps * prefix[i];
+    if (rate * chain[i]->behaviors.cpu_per_request > node.cpu_available()) {
+      return false;
+    }
+    if (chain[i]->behaviors.capacity_rps > 0.0 &&
+        rate > chain[i]->behaviors.capacity_rps) {
+      return false;
+    }
+    return true;
+  };
+
+  // cpu_cost[i][j]: weighted seconds of CPU for component i at position j.
+  auto cpu_cost = [&](std::size_t i, std::size_t j) {
+    return prefix[i] * chain[i]->behaviors.cpu_per_request /
+           network.node(path[j]).cpu_capacity;
+  };
+
+  // Link cost of the hop sequence (a..b) carrying requests into component i,
+  // weighted by that component's arrival fraction, plus a bandwidth check.
+  auto hop_cost = [&](std::size_t i, std::size_t a, std::size_t b) {
+    double total = 0.0;
+    const double rate = options.request_rate_rps * prefix[i];
+    const double bits =
+        static_cast<double>(chain[i]->behaviors.bytes_per_request +
+                            chain[i]->behaviors.bytes_per_response) *
+        8.0;
+    for (std::size_t j = a; j < b; ++j) {
+      const net::Link& link = *path_links[j];
+      if (rate * bits > link.bandwidth_available_bps()) return kInfinity;
+      total += 2.0 * link.latency.seconds() +
+               bits / link.bandwidth_bps;
+    }
+    return prefix[i] * total;
+  };
+
+  // Property compatibility between consecutive components i-1 (client) and
+  // i (server) when placed at positions a and b: every literal requirement
+  // of i-1 must be satisfied by i's declared value after transformation
+  // across the links in between. Environment references in view factors
+  // bind against the server's node environment.
+  auto compatible = [&](std::size_t i, std::size_t a, std::size_t b) {
+    const spec::ComponentDef& client = *chain[i - 1];
+    const spec::ComponentDef& server = *chain[i];
+    if (client.requires_.empty()) return true;
+    const spec::LinkageDecl& req = client.requires_.front();
+    const spec::LinkageDecl* impl = server.find_implements(req.interface_name);
+    if (impl == nullptr) return false;
+    const spec::Environment& server_env = env.node_env(path[b]);
+    const spec::Environment& client_env = env.node_env(path[a]);
+
+    auto resolve = [&](const spec::ValueExpr& expr,
+                       const spec::Environment& node_env,
+                       const spec::ComponentDef& comp) -> spec::PropertyValue {
+      switch (expr.kind) {
+        case spec::ValueExpr::Kind::kLiteral:
+          return expr.literal;
+        case spec::ValueExpr::Kind::kEnvRef:
+          if (expr.env_scope == spec::EnvScope::kNode) {
+            return node_env.get(expr.ref_name)
+                .value_or(spec::PropertyValue());
+          }
+          return {};
+        case spec::ValueExpr::Kind::kFactorRef:
+          // Factors bind from the node environment in this approximation.
+          for (const spec::PropertyAssignment& f : comp.factors) {
+            if (f.property == expr.ref_name) {
+              if (f.value.kind == spec::ValueExpr::Kind::kEnvRef &&
+                  f.value.env_scope == spec::EnvScope::kNode) {
+                return node_env.get(f.value.ref_name)
+                    .value_or(spec::PropertyValue());
+              }
+              if (f.value.kind == spec::ValueExpr::Kind::kLiteral) {
+                return f.value.literal;
+              }
+            }
+          }
+          return {};
+        case spec::ValueExpr::Kind::kAny:
+          return {};
+      }
+      return {};
+    };
+
+    for (const spec::PropertyAssignment& pa : req.properties) {
+      const spec::PropertyValue required =
+          resolve(pa.value, client_env, client);
+      if (!required.is_set()) continue;
+      spec::PropertyValue offered;
+      if (auto expr = impl->value_of(pa.property)) {
+        offered = resolve(*expr, server_env, server);
+      } else if (server.transparent) {
+        continue;  // decided downstream; approximated as satisfiable
+      }
+      // Degrade across each link (and intermediate node) between them.
+      for (std::size_t j = b; j-- > a;) {
+        const net::Link& link = *path_links[j];
+        offered = spec.rules.apply(
+            pa.property, offered,
+            env.link_env(link.id).get(pa.property)
+                .value_or(spec::PropertyValue()));
+        if (j > a) {
+          offered = spec.rules.apply(
+              pa.property, offered,
+              env.node_env(path[j]).get(pa.property)
+                  .value_or(spec::PropertyValue()));
+        }
+      }
+      if (!offered.satisfies(required)) return false;
+    }
+    return true;
+  };
+
+  // dp[i][j]: minimum cost with chain[i] hosted at path position j.
+  std::vector<std::vector<double>> dp(k, std::vector<double>(m, kInfinity));
+  std::vector<std::vector<std::size_t>> parent(
+      k, std::vector<std::size_t>(m, SIZE_MAX));
+
+  for (std::size_t j = 0; j < m; ++j) {
+    if (options.pin_first && j != 0) break;
+    if (feasible(0, j)) dp[0][j] = cpu_cost(0, j);
+  }
+
+  for (std::size_t i = 1; i < k; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      if (!feasible(i, j)) continue;
+      for (std::size_t jp = 0; jp <= j; ++jp) {
+        if (dp[i - 1][jp] == kInfinity) continue;
+        if (!compatible(i, jp, j)) continue;
+        const double hop = hop_cost(i, jp, j);
+        if (hop == kInfinity) continue;
+        const double cost = dp[i - 1][jp] + hop + cpu_cost(i, j);
+        if (cost < dp[i][j]) {
+          dp[i][j] = cost;
+          parent[i][j] = jp;
+        }
+      }
+    }
+  }
+
+  std::size_t best_j = SIZE_MAX;
+  double best = kInfinity;
+  for (std::size_t j = 0; j < m; ++j) {
+    if (options.pin_last && j != m - 1) continue;
+    if (dp[k - 1][j] < best) {
+      best = dp[k - 1][j];
+      best_j = j;
+    }
+  }
+  if (best_j == SIZE_MAX) {
+    return util::unsatisfiable(
+        "no feasible order-preserving mapping of the chain onto the path");
+  }
+
+  ChainPlanResult result;
+  result.expected_latency_s = best;
+  result.assignment.assign(k, 0);
+  std::size_t j = best_j;
+  for (std::size_t i = k; i-- > 0;) {
+    result.assignment[i] = j;
+    if (i > 0) j = parent[i][j];
+  }
+  return result;
+}
+
+}  // namespace psf::planner

@@ -1,0 +1,155 @@
+#include "planner/linkage.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace psf::planner {
+
+namespace {
+
+std::size_t subtree_size(const LinkageNode& node) {
+  std::size_t n = 1;
+  for (const auto& child : node.children) n += subtree_size(*child);
+  return n;
+}
+
+std::unique_ptr<LinkageNode> clone(const LinkageNode& node) {
+  auto copy = std::make_unique<LinkageNode>();
+  copy->component = node.component;
+  for (const auto& child : node.children) {
+    copy->children.push_back(clone(*child));
+  }
+  return copy;
+}
+
+void describe(const LinkageNode& node, std::ostringstream& oss) {
+  oss << node.component->name;
+  if (node.children.empty()) return;
+  if (node.children.size() == 1) {
+    oss << " -> ";
+    describe(*node.children[0], oss);
+    return;
+  }
+  oss << " -> (";
+  for (std::size_t i = 0; i < node.children.size(); ++i) {
+    if (i) oss << " | ";
+    describe(*node.children[i], oss);
+  }
+  oss << ")";
+}
+
+class Enumerator {
+ public:
+  Enumerator(const spec::ServiceSpec& spec, const LinkageOptions& options)
+      : spec_(spec), options_(options) {}
+
+  std::vector<LinkageTree> run(const std::string& interface_name) {
+    std::vector<LinkageTree> out;
+    for (auto& root : satisfy(interface_name, 1)) {
+      if (out.size() >= options_.max_trees) break;
+      out.push_back(LinkageTree{std::move(root)});
+    }
+    return out;
+  }
+
+ private:
+  // All subtrees rooted at a component implementing `iface`, at `depth`.
+  std::vector<std::unique_ptr<LinkageNode>> satisfy(const std::string& iface,
+                                                    std::size_t depth) {
+    std::vector<std::unique_ptr<LinkageNode>> out;
+    if (depth > options_.max_depth) return out;
+    for (const spec::ComponentDef* comp : spec_.implementers_of(iface)) {
+      // Solve each required interface independently, then take the cross
+      // product across requirement positions.
+      std::vector<std::vector<std::unique_ptr<LinkageNode>>> alternatives;
+      bool feasible = true;
+      for (const spec::LinkageDecl& req : comp->requires_) {
+        auto subs = satisfy(req.interface_name, depth + 1);
+        if (subs.empty()) {
+          feasible = false;
+          break;
+        }
+        alternatives.push_back(std::move(subs));
+      }
+      if (!feasible) continue;
+
+      // Build the cross product of child alternatives iteratively.
+      std::vector<std::vector<const LinkageNode*>> partial{{}};
+      for (const auto& alt : alternatives) {
+        std::vector<std::vector<const LinkageNode*>> next;
+        for (const auto& prefix : partial) {
+          for (const auto& option : alt) {
+            auto extended = prefix;
+            extended.push_back(option.get());
+            next.push_back(std::move(extended));
+          }
+        }
+        partial = std::move(next);
+      }
+      for (const auto& combo : partial) {
+        if (out.size() >= options_.max_trees) return out;
+        auto node = std::make_unique<LinkageNode>();
+        node->component = comp;
+        for (const LinkageNode* child : combo) {
+          node->children.push_back(clone(*child));
+        }
+        out.push_back(std::move(node));
+      }
+    }
+    return out;
+  }
+
+  const spec::ServiceSpec& spec_;
+  const LinkageOptions& options_;
+};
+
+}  // namespace
+
+std::size_t LinkageTree::size() const {
+  return root ? subtree_size(*root) : 0;
+}
+
+bool LinkageTree::is_chain() const {
+  const LinkageNode* node = root.get();
+  while (node != nullptr) {
+    if (node->children.size() > 1) return false;
+    node = node->children.empty() ? nullptr : node->children[0].get();
+  }
+  return true;
+}
+
+std::vector<const spec::ComponentDef*> LinkageTree::as_chain() const {
+  PSF_CHECK_MSG(is_chain(), "as_chain() on a non-chain linkage tree");
+  std::vector<const spec::ComponentDef*> out;
+  const LinkageNode* node = root.get();
+  while (node != nullptr) {
+    out.push_back(node->component);
+    node = node->children.empty() ? nullptr : node->children[0].get();
+  }
+  return out;
+}
+
+std::string LinkageTree::to_string() const {
+  if (!root) return "<empty>";
+  std::ostringstream oss;
+  describe(*root, oss);
+  return oss.str();
+}
+
+std::vector<LinkageTree> enumerate_linkages(const spec::ServiceSpec& spec,
+                                            const std::string& interface_name,
+                                            const LinkageOptions& options) {
+  Enumerator e(spec, options);
+  return e.run(interface_name);
+}
+
+std::vector<std::string> describe_linkages(
+    const std::vector<LinkageTree>& trees) {
+  std::vector<std::string> out;
+  out.reserve(trees.size());
+  for (const auto& t : trees) out.push_back(t.to_string());
+  return out;
+}
+
+}  // namespace psf::planner

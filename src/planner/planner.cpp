@@ -1,0 +1,723 @@
+#include "planner/planner.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+
+#include "util/logging.hpp"
+#include "util/thread_pool.hpp"
+
+namespace psf::planner {
+
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+// Round-trip cost of one request/response exchange over a route.
+double edge_rtt_seconds(const net::Network& network, const net::Route& route,
+                        std::uint64_t bytes_request,
+                        std::uint64_t bytes_response) {
+  double total = 0.0;
+  for (net::LinkId lid : route.links) {
+    const net::Link& link = network.link(lid);
+    total += 2.0 * link.latency.seconds();
+    total += static_cast<double>(bytes_request) * 8.0 / link.bandwidth_bps;
+    total += static_cast<double>(bytes_response) * 8.0 / link.bandwidth_bps;
+  }
+  return total;
+}
+
+// Lexicographic plan score: lower is better on every field.
+struct Score {
+  double primary = kInfinity;
+  double secondary = kInfinity;
+  double tertiary = kInfinity;
+
+  bool operator<(const Score& other) const {
+    if (primary != other.primary) return primary < other.primary;
+    if (secondary != other.secondary) return secondary < other.secondary;
+    return tertiary < other.tertiary;
+  }
+};
+
+Score score_plan(Objective objective, const PlanMetrics& m) {
+  switch (objective) {
+    case Objective::kMinLatency:
+      return {m.expected_latency_s, m.deployment_cost_s,
+              static_cast<double>(m.new_components)};
+    case Objective::kMinDeploymentCost:
+      return {m.deployment_cost_s + static_cast<double>(m.new_components),
+              m.expected_latency_s, 0.0};
+    case Objective::kMaxCapacity:
+      return {-m.min_headroom, m.expected_latency_s, m.deployment_cost_s};
+  }
+  return {};
+}
+
+class Search {
+ public:
+  Search(const spec::ServiceSpec& spec, const EnvironmentView& env,
+         const PlanRequest& request,
+         const std::vector<ExistingInstance>& existing, SearchStats& stats)
+      : spec_(spec),
+        env_(env),
+        network_(env.network()),
+        request_(request),
+        existing_(existing),
+        stats_(stats) {
+    node_load_.assign(network_.node_count(), 0.0);
+    link_load_.assign(network_.link_count(), 0.0);
+    existing_added_rps_.assign(existing.size(), 0.0);
+  }
+
+  std::optional<DeploymentPlan> run() {
+    satisfy(request_.interface_name, request_.required_properties,
+            request_.client_node, request_.request_rate_rps, /*depth=*/1,
+            /*entry_level=*/true, kNoParent,
+            [this](InstanceId root, double padded_s, double warm_s) {
+              finish_plan(root, padded_s, warm_s);
+            });
+    return std::move(best_);
+  }
+
+ private:
+  using Requirements =
+      std::vector<std::pair<std::string, spec::PropertyValue>>;
+  // sink(root, padded, warm): both values are edge_rtt + subtree latency as
+  // seen from the caller. `padded` applies the cold-view discount to newly
+  // deployed views and drives plan *scoring*; `warm` uses true RRFs and is
+  // what gets recorded (and later reused as an existing instance's
+  // downstream latency once its cache is warm).
+  using Sink = std::function<void(InstanceId, double, double)>;
+
+  // A solved child edge, kept for transparent property inheritance.
+  struct ChildRecord {
+    InstanceId root;
+    std::string iface;
+    const net::Route* route_to_parent;  // from the child's node to `parent`
+  };
+
+  // ---- value resolution ---------------------------------------------------
+
+  spec::PropertyValue resolve(const spec::ValueExpr& expr,
+                              const spec::Environment& node_env,
+                              const FactorBindings& factors) const {
+    switch (expr.kind) {
+      case spec::ValueExpr::Kind::kLiteral:
+        return expr.literal;
+      case spec::ValueExpr::Kind::kEnvRef:
+        if (expr.env_scope == spec::EnvScope::kNode) {
+          return node_env.get(expr.ref_name).value_or(spec::PropertyValue());
+        }
+        return {};  // link refs are not meaningful at placement time
+      case spec::ValueExpr::Kind::kFactorRef: {
+        auto it = factors.values.find(expr.ref_name);
+        return it == factors.values.end() ? spec::PropertyValue()
+                                          : it->second;
+      }
+      case spec::ValueExpr::Kind::kAny:
+        return {};
+    }
+    return {};
+  }
+
+  // ---- search ---------------------------------------------------------
+
+  // Explores every feasible way to provide `iface` (meeting `reqs`) to a
+  // consumer at `from`; for each, invokes `sink` with the working state
+  // extended by the candidate subtree, then undoes the extension.
+  static constexpr InstanceId kNoParent = UINT32_MAX;
+
+  // True when linking `parent` to a candidate that is the *same component
+  // with the same factor bindings*. Two identically-configured instances of
+  // one view hold the same data, so chaining them yields no additional
+  // request reduction — permitting it would let the search stack caches to
+  // multiply RRF for free (a degenerate optimum the paper's case study
+  // never exhibits; Seattle's view chains to San Diego's because their
+  // trust factors differ).
+  bool duplicates_parent(InstanceId parent, const spec::ComponentDef* comp,
+                         const FactorBindings& factors) const {
+    if (parent == kNoParent) return false;
+    const Placement& p = placements_[parent];
+    return p.component == comp && p.factors == factors;
+  }
+
+  // Views extend the duplicate check to the entire requirement path: a
+  // second identically-configured instance of one data view anywhere in the
+  // chain holds the same cached contents, so it contributes no real request
+  // reduction — even when a transparent tunnel sits between the two copies.
+  bool view_duplicated_on_path(const spec::ComponentDef* comp,
+                               const FactorBindings& factors) const {
+    if (!comp->is_view()) return false;
+    for (const auto& [path_comp, path_factors] : view_path_) {
+      if (path_comp == comp && path_factors == factors) return true;
+    }
+    return false;
+  }
+
+  void satisfy(const std::string& iface, const Requirements& reqs,
+               net::NodeId from, double rate, std::size_t depth,
+               bool entry_level, InstanceId parent, const Sink& sink) {
+    if (depth > request_.max_depth) return;
+
+    // (a) Reuse an already-running instance.
+    if (!entry_level) {
+      for (std::size_t e = 0; e < existing_.size(); ++e) {
+        try_existing(e, iface, reqs, from, rate, parent, sink);
+      }
+    }
+
+    // (b) Deploy a new component.
+    for (const spec::ComponentDef& comp : spec_.components) {
+      const spec::LinkageDecl* impl = comp.find_implements(iface);
+      if (impl == nullptr) continue;
+      if (entry_level && request_.pin_entry_to_client) {
+        try_new(comp, *impl, request_.client_node, iface, reqs, from, rate,
+                depth, parent, sink);
+      } else {
+        for (net::NodeId node : network_.all_nodes()) {
+          try_new(comp, *impl, node, iface, reqs, from, rate, depth, parent,
+                  sink);
+        }
+      }
+    }
+  }
+
+  void try_existing(std::size_t index, const std::string& iface,
+                    const Requirements& reqs, net::NodeId from, double rate,
+                    InstanceId parent, const Sink& sink) {
+    const ExistingInstance& inst = existing_[index];
+    ++stats_.candidates_examined;
+    auto eff_it = inst.effective.find(iface);
+    if (eff_it == inst.effective.end()) return;
+    if (duplicates_parent(parent, inst.component, inst.factors) ||
+        view_duplicated_on_path(inst.component, inst.factors)) {
+      ++stats_.rejected_duplicate_view;
+      return;
+    }
+
+    const double capacity = inst.component->behaviors.capacity_rps;
+    if (capacity > 0.0 &&
+        inst.current_load_rps + existing_added_rps_[index] + rate > capacity) {
+      ++stats_.rejected_instance_capacity;
+      return;
+    }
+
+    const net::Route* route_in = network_.cached_route(from, inst.node);
+    if (route_in->bottleneck_bandwidth_bps == 0.0 && !route_in->local()) {
+      ++stats_.rejected_unroutable;
+      return;
+    }
+    const net::Route* route_back = network_.cached_route(inst.node, from);
+
+    // §3.3 condition 2 against the instance's stored effective properties.
+    for (const auto& [prop, required] : reqs) {
+      spec::PropertyValue v;
+      auto vit = eff_it->second.find(prop);
+      if (vit != eff_it->second.end()) v = vit->second;
+      v = env_.transform_along(spec_.rules, prop, v, *route_back, inst.node);
+      if (!v.satisfies(required)) {
+        ++stats_.rejected_compatibility;
+        return;
+      }
+    }
+
+    // §3.3 condition 3 for the new edge.
+    if (!reserve_route(*route_in, inst.component->behaviors, rate)) {
+      ++stats_.rejected_link_capacity;
+      return;
+    }
+
+    InstanceId pid;
+    bool created = false;
+    auto placed = placed_existing_.find(inst.runtime_id);
+    if (placed != placed_existing_.end()) {
+      pid = placed->second;
+    } else {
+      pid = static_cast<InstanceId>(placements_.size());
+      Placement p;
+      p.id = pid;
+      p.component = inst.component;
+      p.node = inst.node;
+      p.factors = inst.factors;
+      p.effective = inst.effective;
+      p.expected_latency_s = inst.downstream_latency_s;
+      p.reuse_existing = true;
+      p.existing_runtime_id = inst.runtime_id;
+      placements_.push_back(std::move(p));
+      placed_existing_[inst.runtime_id] = pid;
+      created = true;
+    }
+    placements_[pid].inbound_rate_rps += rate;
+    existing_added_rps_[index] += rate;
+
+    const double rtt = edge_rtt_seconds(
+        network_, *route_in, inst.component->behaviors.bytes_per_request,
+        inst.component->behaviors.bytes_per_response);
+    // An existing instance is warm on both tracks.
+    sink(pid, rtt + inst.downstream_latency_s,
+         rtt + inst.downstream_latency_s);
+
+    // Undo.
+    existing_added_rps_[index] -= rate;
+    placements_[pid].inbound_rate_rps -= rate;
+    if (created) {
+      placed_existing_.erase(inst.runtime_id);
+      placements_.pop_back();
+    }
+    release_route(*route_in, inst.component->behaviors, rate);
+  }
+
+  void try_new(const spec::ComponentDef& comp, const spec::LinkageDecl& impl,
+               net::NodeId node, const std::string& iface,
+               const Requirements& reqs, net::NodeId from, double rate,
+               std::size_t depth, InstanceId parent, const Sink& sink) {
+    ++stats_.candidates_examined;
+
+    // Static components only participate through pre-placed instances.
+    if (comp.static_placement) {
+      ++stats_.rejected_static;
+      return;
+    }
+
+    // Cycle guard: never place the same component twice on the same node
+    // along one requirement path.
+    if (path_.count({&comp, node.value}) != 0) {
+      ++stats_.rejected_cycle;
+      return;
+    }
+
+    const spec::Environment& node_env = env_.node_env(node);
+
+    // §3.3 condition 1: installation conditions.
+    for (const spec::Condition& cond : comp.conditions) {
+      if (!cond.holds(node_env)) {
+        ++stats_.rejected_condition;
+        return;
+      }
+    }
+
+    // Bind factors against the node environment.
+    FactorBindings factors;
+    for (const spec::PropertyAssignment& f : comp.factors) {
+      spec::PropertyValue v = resolve(f.value, node_env, factors);
+      if (!v.is_set()) {
+        ++stats_.rejected_factor;
+        return;  // unbindable factor: infeasible here
+      }
+      factors.values[f.property] = std::move(v);
+    }
+    if (duplicates_parent(parent, &comp, factors) ||
+        view_duplicated_on_path(&comp, factors)) {
+      ++stats_.rejected_duplicate_view;
+      return;
+    }
+
+    const net::Route* route_in = network_.cached_route(from, node);
+    if (route_in->bottleneck_bandwidth_bps == 0.0 && !route_in->local()) {
+      ++stats_.rejected_unroutable;
+      return;
+    }
+    const net::Route* route_back = network_.cached_route(node, from);
+
+    // Early filter for §3.3 condition 2: a *declared* value that fails its
+    // requirement can only be rescued by a modification rule; without a rule
+    // for the property, prune before recursing.
+    for (const auto& [prop, required] : reqs) {
+      if (auto declared = impl.value_of(prop)) {
+        const spec::PropertyValue v = resolve(*declared, node_env, factors);
+        if (v.is_set() && spec_.rules.find(prop) == nullptr &&
+            !v.satisfies(required)) {
+          ++stats_.subtrees_pruned;
+          ++stats_.rejected_compatibility;
+          return;
+        }
+      }
+    }
+
+    // §3.3 condition 3: node CPU, component capacity, inbound link load.
+    const double cpu_add = rate * comp.behaviors.cpu_per_request;
+    const net::Node& host = network_.node(node);
+    if (node_load_[node.value] + cpu_add > host.cpu_available()) {
+      ++stats_.rejected_node_capacity;
+      return;
+    }
+    if (comp.behaviors.capacity_rps > 0.0 &&
+        rate > comp.behaviors.capacity_rps) {
+      ++stats_.rejected_instance_capacity;
+      return;
+    }
+    if (!reserve_route(*route_in, comp.behaviors, rate)) {
+      ++stats_.rejected_link_capacity;
+      return;
+    }
+    node_load_[node.value] += cpu_add;
+    path_.insert({&comp, node.value});
+    if (comp.is_view()) view_path_.emplace_back(&comp, factors);
+
+    const InstanceId pid = static_cast<InstanceId>(placements_.size());
+    {
+      Placement p;
+      p.id = pid;
+      p.component = &comp;
+      p.node = node;
+      p.factors = factors;
+      p.inbound_rate_rps = rate;
+      placements_.push_back(std::move(p));
+    }
+
+    const double cpu_time_s =
+        comp.behaviors.cpu_per_request / host.cpu_capacity;
+    // Cold-cache discount for newly deployed views (see PlanRequest).
+    const double warm_rrf = comp.behaviors.rrf;
+    double padded_rrf = warm_rrf;
+    if (comp.is_view()) {
+      padded_rrf =
+          std::min(1.0, warm_rrf +
+                            request_.cold_view_penalty * (1.0 - warm_rrf));
+    }
+    std::vector<ChildRecord> children;
+
+    satisfy_children(
+        comp, factors, node_env, pid, node, rate * padded_rrf, depth,
+        0, 0.0, 0.0, children,
+        [&](double children_padded_s, double children_warm_s) {
+          Placement& self = placements_[pid];
+          self.expected_latency_s = cpu_time_s + warm_rrf * children_warm_s;
+          const double padded_latency_s =
+              cpu_time_s + padded_rrf * children_padded_s;
+          self.effective =
+              compute_effective(comp, node_env, factors, children);
+
+          // §3.3 condition 2 in full: effective properties, degraded along
+          // the route back to the consumer, must satisfy the requirements.
+          auto eff_it = self.effective.find(iface);
+          PSF_CHECK(eff_it != self.effective.end());
+          for (const auto& [prop, required] : reqs) {
+            spec::PropertyValue v;
+            auto vit = eff_it->second.find(prop);
+            if (vit != eff_it->second.end()) v = vit->second;
+            v = env_.transform_along(spec_.rules, prop, v, *route_back, node);
+            if (!v.satisfies(required)) {
+              ++stats_.subtrees_pruned;
+              ++stats_.rejected_compatibility;
+              return;
+            }
+          }
+
+          const double rtt = edge_rtt_seconds(
+              network_, *route_in, comp.behaviors.bytes_per_request,
+              comp.behaviors.bytes_per_response);
+          sink(pid, rtt + padded_latency_s, rtt + self.expected_latency_s);
+        });
+
+    // Undo (children are fully undone by their own frames).
+    PSF_CHECK(placements_.size() == static_cast<std::size_t>(pid) + 1);
+    placements_.pop_back();
+    if (comp.is_view()) view_path_.pop_back();
+    path_.erase({&comp, node.value});
+    node_load_[node.value] -= cpu_add;
+    release_route(*route_in, comp.behaviors, rate);
+  }
+
+  // Satisfies comp.requires_[index..) in declaration order; when all are
+  // placed, calls done(total_cost) where total_cost = Σ over children of
+  // (edge rtt + child subtree latency).
+  void satisfy_children(const spec::ComponentDef& comp,
+                        const FactorBindings& factors,
+                        const spec::Environment& node_env, InstanceId parent,
+                        net::NodeId node, double child_rate, std::size_t depth,
+                        std::size_t index, double padded_so_far,
+                        double warm_so_far, std::vector<ChildRecord>& children,
+                        const std::function<void(double, double)>& done) {
+    if (index == comp.requires_.size()) {
+      done(padded_so_far, warm_so_far);
+      return;
+    }
+    const spec::LinkageDecl& req = comp.requires_[index];
+
+    // Resolve this edge's requirements to literals (factor/env refs bind in
+    // the *requiring* component's context).
+    Requirements reqs;
+    for (const spec::PropertyAssignment& pa : req.properties) {
+      spec::PropertyValue v = resolve(pa.value, node_env, factors);
+      if (v.is_set()) reqs.emplace_back(pa.property, std::move(v));
+    }
+
+    satisfy(req.interface_name, reqs, node, child_rate, depth + 1,
+            /*entry_level=*/false, parent,
+            [&](InstanceId child_root, double edge_padded_s,
+                double edge_warm_s) {
+              const net::NodeId child_node = placements_[child_root].node;
+              wires_.push_back(Wire{parent, req.interface_name, child_root,
+                                    *network_.cached_route(node, child_node),
+                                    child_rate});
+              children.push_back(
+                  ChildRecord{child_root, req.interface_name,
+                              network_.cached_route(child_node, node)});
+              satisfy_children(comp, factors, node_env, parent, node,
+                               child_rate, depth, index + 1,
+                               padded_so_far + edge_padded_s,
+                               warm_so_far + edge_warm_s, children, done);
+              children.pop_back();
+              wires_.pop_back();
+            });
+  }
+
+  // ---- constraint helpers -------------------------------------------------
+
+  bool reserve_route(const net::Route& route, const spec::Behaviors& b,
+                     double rate) {
+    const double add_bps =
+        rate *
+        static_cast<double>(b.bytes_per_request + b.bytes_per_response) * 8.0;
+    for (net::LinkId lid : route.links) {
+      const net::Link& link = network_.link(lid);
+      if (link_load_[lid.value] + add_bps > link.bandwidth_available_bps()) {
+        return false;
+      }
+    }
+    for (net::LinkId lid : route.links) link_load_[lid.value] += add_bps;
+    return true;
+  }
+
+  void release_route(const net::Route& route, const spec::Behaviors& b,
+                     double rate) {
+    const double add_bps =
+        rate *
+        static_cast<double>(b.bytes_per_request + b.bytes_per_response) * 8.0;
+    for (net::LinkId lid : route.links) link_load_[lid.value] -= add_bps;
+  }
+
+  EffectiveProps compute_effective(
+      const spec::ComponentDef& comp, const spec::Environment& node_env,
+      const FactorBindings& factors,
+      const std::vector<ChildRecord>& children) const {
+    EffectiveProps out;
+    for (const spec::LinkageDecl& decl : comp.implements) {
+      const spec::InterfaceDef* iface =
+          spec_.find_interface(decl.interface_name);
+      PSF_CHECK(iface != nullptr);
+      auto& props = out[decl.interface_name];
+      for (const std::string& prop : iface->properties) {
+        spec::PropertyValue value;
+        if (auto expr = decl.value_of(prop)) {
+          value = resolve(*expr, node_env, factors);
+        } else if (comp.transparent) {
+          // Inherit from downstream: the minimum across children of the
+          // child's effective value transformed along the connecting route.
+          spec::PropertyValue inherited;
+          bool first = true;
+          for (const ChildRecord& child : children) {
+            const Placement& cp = placements_[child.root];
+            spec::PropertyValue cv;
+            for (const auto& [child_iface, child_props] : cp.effective) {
+              auto pit = child_props.find(prop);
+              if (pit != child_props.end()) {
+                cv = pit->second;
+                break;
+              }
+            }
+            cv = env_.transform_along(spec_.rules, prop, cv,
+                                      *child.route_to_parent, cp.node);
+            if (first) {
+              inherited = cv;
+              first = false;
+            } else {
+              inherited = spec::PropertyValue::min_of(inherited, cv);
+            }
+          }
+          value = inherited;
+        }
+        if (value.is_set()) props[prop] = value;
+      }
+    }
+    return out;
+  }
+
+  // ---- plan completion ------------------------------------------------
+
+  void finish_plan(InstanceId root, double padded_s, double warm_s) {
+    ++stats_.plans_scored;
+    PlanMetrics metrics;
+    // Report the warm (steady-state) expectation; score with the padded
+    // value so cold-cache effects influence the choice.
+    metrics.expected_latency_s = warm_s;
+
+    const net::NodeId origin = request_.code_origin.valid()
+                                   ? request_.code_origin
+                                   : request_.client_node;
+    double headroom = 1.0;
+    for (const Placement& p : placements_) {
+      if (p.reuse_existing) {
+        ++metrics.reused_components;
+        continue;
+      }
+      ++metrics.new_components;
+      const net::Route* code_route = network_.cached_route(origin, p.node);
+      for (net::LinkId lid : code_route->links) {
+        const net::Link& link = network_.link(lid);
+        metrics.deployment_cost_s +=
+            link.latency.seconds() +
+            static_cast<double>(p.component->behaviors.code_size_bytes) *
+                8.0 / link.bandwidth_bps;
+      }
+      if (p.component->behaviors.capacity_rps > 0.0) {
+        headroom = std::min(headroom,
+                            1.0 - p.inbound_rate_rps /
+                                      p.component->behaviors.capacity_rps);
+      }
+    }
+    for (std::size_t i = 0; i < node_load_.size(); ++i) {
+      if (node_load_[i] <= 0.0) continue;
+      const net::Node& n =
+          network_.node(net::NodeId{static_cast<std::uint32_t>(i)});
+      const double u = node_load_[i] / n.cpu_available();
+      metrics.max_node_utilization = std::max(metrics.max_node_utilization, u);
+      headroom = std::min(headroom, 1.0 - u);
+    }
+    for (std::size_t i = 0; i < link_load_.size(); ++i) {
+      if (link_load_[i] <= 0.0) continue;
+      const net::Link& l =
+          network_.link(net::LinkId{static_cast<std::uint32_t>(i)});
+      const double u = link_load_[i] / l.bandwidth_available_bps();
+      metrics.max_link_utilization = std::max(metrics.max_link_utilization, u);
+      headroom = std::min(headroom, 1.0 - u);
+    }
+    metrics.min_headroom = headroom;
+
+    PlanMetrics scoring = metrics;
+    scoring.expected_latency_s = padded_s;
+    const Score score = score_plan(request_.objective, scoring);
+    if (best_ && !(score < best_score_)) return;
+
+    DeploymentPlan plan;
+    plan.placements = placements_;
+    plan.wires = wires_;
+    plan.entry = root;
+    plan.metrics = metrics;
+    best_ = std::move(plan);
+    best_score_ = score;
+  }
+
+  const spec::ServiceSpec& spec_;
+  const EnvironmentView& env_;
+  const net::Network& network_;
+  const PlanRequest& request_;
+  const std::vector<ExistingInstance>& existing_;
+  SearchStats& stats_;
+
+  // Working state (mutated along the DFS, undone on backtrack).
+  std::vector<Placement> placements_;
+  std::vector<Wire> wires_;
+  std::vector<double> node_load_;  // added cpu units/s per node
+  std::vector<double> link_load_;  // added bps per link
+  std::vector<double> existing_added_rps_;
+  std::map<std::uint64_t, InstanceId> placed_existing_;
+  std::set<std::pair<const spec::ComponentDef*, std::uint32_t>> path_;
+  std::vector<std::pair<const spec::ComponentDef*, FactorBindings>>
+      view_path_;
+
+  std::optional<DeploymentPlan> best_;
+  Score best_score_;
+};
+
+}  // namespace
+
+std::string SearchStats::to_string() const {
+  std::ostringstream oss;
+  oss << "examined " << candidates_examined << " candidates, scored "
+      << plans_scored << " plan(s); rejections:";
+  const std::pair<const char*, std::uint64_t> rows[] = {
+      {"static", rejected_static},
+      {"cycle", rejected_cycle},
+      {"duplicate-view", rejected_duplicate_view},
+      {"condition", rejected_condition},
+      {"factor", rejected_factor},
+      {"compatibility", rejected_compatibility},
+      {"node-capacity", rejected_node_capacity},
+      {"link-capacity", rejected_link_capacity},
+      {"instance-capacity", rejected_instance_capacity},
+      {"unroutable", rejected_unroutable},
+  };
+  bool any = false;
+  for (const auto& [label, count] : rows) {
+    if (count == 0) continue;
+    oss << " " << label << "=" << count;
+    any = true;
+  }
+  if (!any) oss << " none";
+  return oss.str();
+}
+
+const char* objective_name(Objective o) {
+  switch (o) {
+    case Objective::kMinLatency: return "min-latency";
+    case Objective::kMinDeploymentCost: return "min-deployment-cost";
+    case Objective::kMaxCapacity: return "max-capacity";
+  }
+  return "?";
+}
+
+std::vector<util::Expected<DeploymentPlan>> Planner::plan_many(
+    const std::vector<PlanRequest>& requests,
+    const std::vector<ExistingInstance>& existing,
+    std::size_t num_threads) const {
+  std::vector<util::Expected<DeploymentPlan>> results;
+  results.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    results.emplace_back(util::internal_error("not planned"));
+  }
+  if (requests.empty()) return results;
+
+  const std::size_t threads =
+      num_threads == 0
+          ? std::min(requests.size(), util::ThreadPool::default_thread_count())
+          : num_threads;
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      results[i] = plan(requests[i], existing);
+    }
+    return results;
+  }
+  util::ThreadPool pool(threads);
+  pool.parallel_for(requests.size(), [&](std::size_t i) {
+    results[i] = plan(requests[i], existing);
+  });
+  return results;
+}
+
+util::Expected<DeploymentPlan> Planner::plan(
+    const PlanRequest& request, const std::vector<ExistingInstance>& existing,
+    SearchStats* stats) const {
+  if (spec_.find_interface(request.interface_name) == nullptr) {
+    return util::not_found("service '" + spec_.name +
+                           "' has no interface named '" +
+                           request.interface_name + "'");
+  }
+  if (!request.client_node.valid() ||
+      request.client_node.value >= env_.network().node_count()) {
+    return util::invalid_argument("invalid client node");
+  }
+  if (request.request_rate_rps < 0.0) {
+    return util::invalid_argument("negative request rate");
+  }
+
+  SearchStats local_stats;
+  Search search(spec_, env_, request, existing, local_stats);
+  std::optional<DeploymentPlan> best = search.run();
+  if (stats != nullptr) *stats = local_stats;
+  if (!best) {
+    return util::unsatisfiable(
+        "no deployment of '" + spec_.name + "' satisfies interface '" +
+        request.interface_name + "' from node '" +
+        env_.network().node(request.client_node).name + "'");
+  }
+  return std::move(*best);
+}
+
+}  // namespace psf::planner

@@ -1,0 +1,129 @@
+// The planning module (paper §3.3).
+//
+// Given a service specification, the translated environment view of the
+// network, and a client request for an interface (with required property
+// values), the planner searches for the deployment that best satisfies the
+// request: which components (and view configurations) to instantiate, where,
+// and how to wire them. The search fuses linkage enumeration with network
+// mapping, exactly as the paper's implementation does, validating the three
+// §3.3 conditions for every linked pair:
+//
+//   1. each component's installation Conditions hold in its node's
+//      environment;
+//   2. the server side's *effective* interface properties — after factor
+//      binding, transparent pass-through, and modification-rule degradation
+//      along the connecting route — satisfy the client side's requirements;
+//   3. the traffic implied by the request rate (scaled by RRF through the
+//      component graph) fits within node CPU, link bandwidth, and component
+//      capacity limits.
+//
+// Plans may bind to already-deployed instances (ExistingInstance), which is
+// how a Seattle request reuses the San Diego ViewMailServer in the paper's
+// case study.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "planner/environment.hpp"
+#include "planner/plan.hpp"
+#include "spec/model.hpp"
+#include "util/status.hpp"
+
+namespace psf::planner {
+
+// A component instance that is already running, offered for reuse.
+struct ExistingInstance {
+  std::uint64_t runtime_id = 0;
+  const spec::ComponentDef* component = nullptr;
+  net::NodeId node;
+  FactorBindings factors;
+  EffectiveProps effective;
+  double downstream_latency_s = 0.0;  // expected latency behind this instance
+  double current_load_rps = 0.0;
+};
+
+enum class Objective { kMinLatency, kMinDeploymentCost, kMaxCapacity };
+
+const char* objective_name(Objective o);
+
+struct PlanRequest {
+  std::string interface_name;
+  // Required property values (the client's QoS/security expectations).
+  std::vector<std::pair<std::string, spec::PropertyValue>> required_properties;
+  net::NodeId client_node;
+  double request_rate_rps = 1.0;
+  // Where component code is downloaded from when computing deployment cost;
+  // defaults to the client node when invalid.
+  net::NodeId code_origin;
+  Objective objective = Objective::kMinLatency;
+  // The entry component is normally instantiated at the client's own node
+  // (the paper's MailClient always runs beside the requesting application).
+  bool pin_entry_to_client = true;
+  std::size_t max_depth = 6;
+  // A freshly deployed view starts with a cold cache, so at plan time its
+  // request-reduction factor is discounted: rrf' = rrf + penalty*(1 - rrf).
+  // This is what makes the planner attach to an existing warm replica when
+  // one is equally placed, instead of conjuring an identical cold twin,
+  // while still preferring a *local* new cache over a remote warm one when
+  // the WAN savings dominate.
+  double cold_view_penalty = 0.1;
+};
+
+struct SearchStats {
+  std::uint64_t candidates_examined = 0;
+  std::uint64_t subtrees_pruned = 0;
+  std::uint64_t plans_scored = 0;
+
+  // Rejection breakdown — why candidates fell out of the search. The
+  // dominant cause is the first place to look when a request comes back
+  // kUnsatisfiable ("everything failed the trust condition" reads very
+  // differently from "every link was over capacity").
+  std::uint64_t rejected_static = 0;        // static component, no instance
+  std::uint64_t rejected_cycle = 0;         // same (component,node) on path
+  std::uint64_t rejected_duplicate_view = 0;
+  std::uint64_t rejected_condition = 0;     // §3.3 condition 1
+  std::uint64_t rejected_factor = 0;        // unbindable factor
+  std::uint64_t rejected_compatibility = 0; // §3.3 condition 2
+  std::uint64_t rejected_node_capacity = 0; // §3.3 condition 3 (cpu)
+  std::uint64_t rejected_link_capacity = 0; // §3.3 condition 3 (bandwidth)
+  std::uint64_t rejected_instance_capacity = 0;
+  std::uint64_t rejected_unroutable = 0;
+
+  std::string to_string() const;
+};
+
+class Planner {
+ public:
+  Planner(const spec::ServiceSpec& spec, const EnvironmentView& env)
+      : spec_(spec), env_(env) {}
+
+  // Finds the best deployment; kUnsatisfiable when no mapping meets all
+  // constraints. Thread-compatible: concurrent plan() calls are safe.
+  util::Expected<DeploymentPlan> plan(
+      const PlanRequest& request,
+      const std::vector<ExistingInstance>& existing = {},
+      SearchStats* stats = nullptr) const;
+
+  // Plans many requests concurrently across a thread pool (what-if
+  // analysis: each plan is computed against the same snapshot of existing
+  // instances and does NOT see the others' resource reservations — commit
+  // them one at a time through the generic server for that). num_threads
+  // 0 = hardware concurrency. Results are index-aligned with requests.
+  std::vector<util::Expected<DeploymentPlan>> plan_many(
+      const std::vector<PlanRequest>& requests,
+      const std::vector<ExistingInstance>& existing = {},
+      std::size_t num_threads = 0) const;
+
+  const spec::ServiceSpec& spec() const { return spec_; }
+  const EnvironmentView& environment() const { return env_; }
+
+ private:
+  const spec::ServiceSpec& spec_;
+  const EnvironmentView& env_;
+};
+
+}  // namespace psf::planner

@@ -1,0 +1,37 @@
+// Deployment engine: realizes a DeploymentPlan through the node wrappers —
+// install new components (charging code downloads from the service's code
+// origin), wire every linkage, start instances servers-first.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "planner/plan.hpp"
+#include "runtime/smock.hpp"
+#include "util/status.hpp"
+
+namespace psf::runtime {
+
+struct DeployedPlan {
+  // Runtime instance per plan placement (index-aligned with
+  // plan.placements); reused placements map to their existing instance.
+  std::vector<RuntimeInstanceId> instances;
+  RuntimeInstanceId entry = 0;
+  sim::Duration elapsed = sim::Duration::zero();
+};
+
+class DeploymentEngine {
+ public:
+  explicit DeploymentEngine(SmockRuntime& runtime) : runtime_(runtime) {}
+
+  // Asynchronously installs/wires/starts the plan. Code for new components
+  // downloads from `code_origin` concurrently (the wrappers act in
+  // parallel); wiring happens after every install lands.
+  void deploy(const planner::DeploymentPlan& plan, net::NodeId code_origin,
+              std::function<void(util::Expected<DeployedPlan>)> done);
+
+ private:
+  SmockRuntime& runtime_;
+};
+
+}  // namespace psf::runtime

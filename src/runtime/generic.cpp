@@ -1,0 +1,436 @@
+#include "runtime/generic.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/logging.hpp"
+
+namespace psf::runtime {
+
+namespace {
+
+// Resolves the declared implements properties of an initial placement (no
+// downstream chain exists yet, so transparent inheritance contributes
+// nothing — initial components are normally roots like MailServer anyway).
+planner::EffectiveProps initial_effective(const spec::ServiceSpec& spec,
+                                          const spec::ComponentDef& comp,
+                                          const spec::Environment& node_env,
+                                          const planner::FactorBindings& factors) {
+  planner::EffectiveProps out;
+  for (const spec::LinkageDecl& decl : comp.implements) {
+    const spec::InterfaceDef* iface = spec.find_interface(decl.interface_name);
+    PSF_CHECK(iface != nullptr);
+    auto& props = out[decl.interface_name];
+    for (const std::string& prop : iface->properties) {
+      auto expr = decl.value_of(prop);
+      if (!expr) continue;
+      spec::PropertyValue value;
+      switch (expr->kind) {
+        case spec::ValueExpr::Kind::kLiteral:
+          value = expr->literal;
+          break;
+        case spec::ValueExpr::Kind::kEnvRef:
+          if (expr->env_scope == spec::EnvScope::kNode) {
+            value = node_env.get(expr->ref_name)
+                        .value_or(spec::PropertyValue());
+          }
+          break;
+        case spec::ValueExpr::Kind::kFactorRef: {
+          auto it = factors.values.find(expr->ref_name);
+          if (it != factors.values.end()) value = it->second;
+          break;
+        }
+        case spec::ValueExpr::Kind::kAny:
+          break;
+      }
+      if (value.is_set()) props[prop] = value;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void GenericServer::register_service(
+    ServiceRegistration registration,
+    std::shared_ptr<const planner::PropertyTranslator> translator,
+    std::function<void(util::Status)> ready) {
+  if (auto st = registration.spec.validate(); !st) {
+    ready(st);
+    return;
+  }
+  const std::string name = registration.spec.name;
+  if (services_.count(name) != 0) {
+    ready(util::already_exists("service '" + name + "' already registered"));
+    return;
+  }
+
+  auto state = std::make_unique<ServiceState>();
+  state->registration = std::move(registration);
+  state->translator = std::move(translator);
+  state->env = std::make_unique<planner::EnvironmentView>(runtime_.network(),
+                                                          *state->translator);
+  state->planner = std::make_unique<planner::Planner>(
+      state->registration.spec, *state->env);
+
+  ServiceAdvertisement ad;
+  ad.service_name = name;
+  ad.attributes = state->registration.attributes;
+  ad.server_host = host_;
+  ad.proxy_code_bytes = state->registration.proxy_code_bytes;
+  ad.server = this;
+  if (auto st = lookup_.register_service(std::move(ad)); !st) {
+    ready(st);
+    return;
+  }
+
+  ServiceState* raw = state.get();
+  services_.emplace(name, std::move(state));
+
+  // Deploy initial placements. Installation is local to each node (the
+  // service operator pre-stages its own components), so no code transfer.
+  auto pending = std::make_shared<std::size_t>(
+      raw->registration.initial_placements.size());
+  auto first_error = std::make_shared<util::Status>();
+  if (*pending == 0) {
+    ready(util::Status::ok());
+    return;
+  }
+  for (const InitialPlacement& ip : raw->registration.initial_placements) {
+    const spec::ComponentDef* comp =
+        raw->registration.spec.find_component(ip.component);
+    if (comp == nullptr) {
+      ready(util::not_found("initial placement references unknown component '" +
+                            ip.component + "'"));
+      return;
+    }
+    runtime_.install(
+        *comp, ip.node, ip.factors, ip.node,
+        [this, raw, comp, ip, pending, first_error,
+         ready](util::Expected<RuntimeInstanceId> id) {
+          --*pending;
+          if (!id) {
+            if (first_error->is_ok()) *first_error = id.status();
+          } else {
+            Instance& inst = runtime_.instance(*id);
+            inst.effective = initial_effective(
+                raw->registration.spec, *comp,
+                raw->env->node_env(ip.node), ip.factors);
+            inst.downstream_latency_s =
+                comp->behaviors.cpu_per_request /
+                runtime_.network().node(ip.node).cpu_capacity;
+            auto st = runtime_.start(*id);
+            PSF_CHECK_MSG(st.is_ok(), st.to_string());
+
+            planner::ExistingInstance existing;
+            existing.runtime_id = *id;
+            existing.component = comp;
+            existing.node = ip.node;
+            existing.factors = ip.factors;
+            existing.effective = inst.effective;
+            existing.downstream_latency_s = inst.downstream_latency_s;
+            existing.current_load_rps = 0.0;
+            raw->existing.push_back(std::move(existing));
+          }
+          if (*pending == 0) ready(*first_error);
+        });
+  }
+}
+
+void GenericServer::request_access(
+    const std::string& service, planner::PlanRequest request,
+    std::function<void(util::Expected<AccessOutcome>)> done) {
+  ServiceState* state = state_of(service);
+  if (state == nullptr) {
+    done(util::not_found("service '" + service + "' not registered"));
+    return;
+  }
+  if (!request.code_origin.valid()) {
+    request.code_origin = state->registration.code_origin;
+  }
+
+  // Run the planner (host wall-clock measured for the benches), then charge
+  // the equivalent CPU at this server's host before deploying.
+  const auto wall_start = std::chrono::steady_clock::now();
+  planner::SearchStats stats;
+  auto plan = state->planner->plan(request, state->existing, &stats);
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  if (!plan) {
+    done(plan.status());
+    return;
+  }
+
+  const double planning_units =
+      state->registration.planning_cpu_per_candidate *
+      static_cast<double>(stats.candidates_examined);
+  const sim::Time before_planning = runtime_.simulator().now();
+
+  auto plan_value = std::make_shared<planner::DeploymentPlan>(
+      std::move(plan).value());
+  runtime_.charge_cpu(
+      host_, planning_units,
+      [this, state, plan_value, wall_seconds, before_planning,
+       done = std::move(done)]() mutable {
+        const sim::Time after_planning = runtime_.simulator().now();
+        engine_.deploy(
+            *plan_value, state->registration.code_origin,
+            [this, state, plan_value, wall_seconds, before_planning,
+             after_planning,
+             done = std::move(done)](util::Expected<DeployedPlan> deployed) {
+              if (!deployed) {
+                done(deployed.status());
+                return;
+              }
+              absorb_deployment(*state, *plan_value, *deployed);
+              AccessOutcome outcome;
+              outcome.entry = deployed->entry;
+              outcome.plan = *plan_value;
+              outcome.instances = deployed->instances;
+              outcome.costs.planning = after_planning - before_planning;
+              outcome.costs.deployment = deployed->elapsed;
+              outcome.costs.planning_wall_seconds = wall_seconds;
+              done(std::move(outcome));
+            });
+      });
+}
+
+void GenericServer::absorb_deployment(ServiceState& state,
+                                      const planner::DeploymentPlan& plan,
+                                      const DeployedPlan& deployed) {
+  for (std::size_t i = 0; i < plan.placements.size(); ++i) {
+    const planner::Placement& p = plan.placements[i];
+    if (p.reuse_existing) {
+      // Account the additional load on the reused instance.
+      for (auto& existing : state.existing) {
+        if (existing.runtime_id == p.existing_runtime_id) {
+          existing.current_load_rps += p.inbound_rate_rps;
+        }
+      }
+      continue;
+    }
+    if (p.id == plan.entry) continue;  // client-private entry component
+    planner::ExistingInstance existing;
+    existing.runtime_id = deployed.instances[i];
+    existing.component = p.component;
+    existing.node = p.node;
+    existing.factors = p.factors;
+    existing.effective = p.effective;
+    existing.downstream_latency_s = p.expected_latency_s;
+    existing.current_load_rps = p.inbound_rate_rps;
+    state.existing.push_back(std::move(existing));
+  }
+}
+
+util::Status GenericServer::refresh_environment(const std::string& service) {
+  ServiceState* state = state_of(service);
+  if (state == nullptr) {
+    return util::not_found("service '" + service + "' not registered");
+  }
+  state->env = std::make_unique<planner::EnvironmentView>(runtime_.network(),
+                                                          *state->translator);
+  state->planner = std::make_unique<planner::Planner>(
+      state->registration.spec, *state->env);
+
+  // Quarantine reusable instances the new environment no longer justifies:
+  // an instance whose installation conditions fail, or whose factor
+  // bindings no longer re-derive from its node's environment (e.g. a
+  // trust-4 view on a node demoted to trust 3), must not be offered to
+  // future plans. The instance keeps running — redeployment managers decide
+  // when to retire it.
+  auto factors_rederive = [&](const planner::ExistingInstance& inst) {
+    for (const spec::PropertyAssignment& f : inst.component->factors) {
+      spec::PropertyValue derived;
+      switch (f.value.kind) {
+        case spec::ValueExpr::Kind::kLiteral:
+          derived = f.value.literal;
+          break;
+        case spec::ValueExpr::Kind::kEnvRef:
+          if (f.value.env_scope == spec::EnvScope::kNode) {
+            derived = state->env->node_env(inst.node)
+                          .get(f.value.ref_name)
+                          .value_or(spec::PropertyValue());
+          }
+          break;
+        default:
+          break;
+      }
+      auto it = inst.factors.values.find(f.property);
+      if (it == inst.factors.values.end() || !(it->second == derived)) {
+        return false;
+      }
+    }
+    return true;
+  };
+  auto still_valid = [&](const planner::ExistingInstance& inst) {
+    if (!runtime_.exists(inst.runtime_id)) return false;  // crashed/retired
+    const spec::Environment& env = state->env->node_env(inst.node);
+    for (const spec::Condition& cond : inst.component->conditions) {
+      if (!cond.holds(env)) return false;
+    }
+    return factors_rederive(inst);
+  };
+  for (auto it = state->existing.begin(); it != state->existing.end();) {
+    if (still_valid(*it)) {
+      ++it;
+    } else {
+      PSF_INFO() << "environment refresh quarantines instance "
+                 << it->runtime_id << " (" << it->component->name << " at "
+                 << runtime_.network().node(it->node).name << ")";
+      it = state->existing.erase(it);
+    }
+  }
+  return util::Status::ok();
+}
+
+util::Status GenericServer::forget_instance(const std::string& service,
+                                            RuntimeInstanceId id) {
+  ServiceState* state = state_of(service);
+  if (state == nullptr) {
+    return util::not_found("service '" + service + "' not registered");
+  }
+  for (auto it = state->existing.begin(); it != state->existing.end(); ++it) {
+    if (it->runtime_id == id) {
+      state->existing.erase(it);
+      return util::Status::ok();
+    }
+  }
+  return util::not_found("instance " + std::to_string(id) +
+                         " not in the reusable pool");
+}
+
+util::Status GenericServer::release_load(const std::string& service,
+                                         RuntimeInstanceId id,
+                                         double rate_rps) {
+  ServiceState* state = state_of(service);
+  if (state == nullptr) {
+    return util::not_found("service '" + service + "' not registered");
+  }
+  for (auto& existing : state->existing) {
+    if (existing.runtime_id == id) {
+      existing.current_load_rps =
+          std::max(0.0, existing.current_load_rps - rate_rps);
+      return util::Status::ok();
+    }
+  }
+  return util::not_found("instance " + std::to_string(id) +
+                         " not in the reusable pool");
+}
+
+const std::vector<planner::ExistingInstance>& GenericServer::existing_instances(
+    const std::string& service) const {
+  static const std::vector<planner::ExistingInstance> kEmpty;
+  const ServiceState* state = state_of(service);
+  return state == nullptr ? kEmpty : state->existing;
+}
+
+const spec::ServiceSpec* GenericServer::service_spec(
+    const std::string& service) const {
+  const ServiceState* state = state_of(service);
+  return state == nullptr ? nullptr : &state->registration.spec;
+}
+
+const planner::EnvironmentView* GenericServer::environment(
+    const std::string& service) const {
+  const ServiceState* state = state_of(service);
+  return state == nullptr ? nullptr : state->env.get();
+}
+
+GenericServer::ServiceState* GenericServer::state_of(
+    const std::string& service) {
+  auto it = services_.find(service);
+  return it == services_.end() ? nullptr : it->second.get();
+}
+
+const GenericServer::ServiceState* GenericServer::state_of(
+    const std::string& service) const {
+  auto it = services_.find(service);
+  return it == services_.end() ? nullptr : it->second.get();
+}
+
+// ---- GenericProxy ----------------------------------------------------------
+
+void GenericProxy::bind(std::function<void(util::Status)> done) {
+  if (bound_) {
+    done(util::Status::ok());
+    return;
+  }
+  waiters_.push_back(std::move(done));
+  if (binding_) return;  // an earlier bind is in flight; join it
+  binding_ = true;
+
+  const ServiceAdvertisement* ad = lookup_.find(service_);
+  if (ad == nullptr || ad->server == nullptr) {
+    binding_ = false;
+    auto waiters = std::move(waiters_);
+    waiters_.clear();
+    for (auto& w : waiters) {
+      w(util::not_found("service '" + service_ + "' not in lookup service"));
+    }
+    return;
+  }
+
+  const sim::Time t0 = runtime_.simulator().now();
+  // Step 2 of Fig. 1: attribute query to the lookup node, proxy download
+  // back to the client.
+  runtime_.send_bytes(client_node_, lookup_.host(), 512, [this, ad, t0]() {
+    runtime_.send_bytes(
+        lookup_.host(), client_node_, ad->proxy_code_bytes, [this, ad, t0]() {
+          const sim::Time lookup_done = runtime_.simulator().now();
+          // Step 3: forward the access request (with credentials) to the
+          // generic server.
+          planner::PlanRequest request = defaults_;
+          request.client_node = client_node_;
+          runtime_.send_bytes(
+              client_node_, ad->server_host, 1024,
+              [this, ad, request, t0, lookup_done]() {
+                ad->server->request_access(
+                    service_, request,
+                    [this, ad, t0,
+                     lookup_done](util::Expected<AccessOutcome> outcome) {
+                      if (!outcome) {
+                        finish_bind(outcome.status());
+                        return;
+                      }
+                      outcome_ = std::move(outcome).value();
+                      outcome_.costs.lookup = lookup_done - t0;
+                      // Small acknowledgement back to the client completes
+                      // the generic→specific proxy swap.
+                      runtime_.send_bytes(ad->server_host, client_node_, 256,
+                                          [this]() {
+                                            bound_ = true;
+                                            finish_bind(util::Status::ok());
+                                          });
+                    });
+              });
+        });
+  });
+}
+
+void GenericProxy::finish_bind(util::Status status) {
+  binding_ = false;
+  auto waiters = std::move(waiters_);
+  waiters_.clear();
+  for (auto& w : waiters) w(status);
+}
+
+void GenericProxy::invoke(Request request, ResponseCallback done) {
+  if (!bound_) {
+    bind([this, request = std::move(request),
+          done = std::move(done)](util::Status st) mutable {
+      if (!st) {
+        done(Response::failure("bind failed: " + st.to_string()));
+        return;
+      }
+      runtime_.invoke_from_node(client_node_, outcome_.entry,
+                                std::move(request), std::move(done));
+    });
+    return;
+  }
+  runtime_.invoke_from_node(client_node_, outcome_.entry, std::move(request),
+                            std::move(done));
+}
+
+}  // namespace psf::runtime

@@ -1,0 +1,176 @@
+// Generic proxy and generic server (§3.2, steps 1–5 of Fig. 1).
+//
+// Service registration installs an advertisement + generic proxy in the
+// lookup service and deploys the service's initial components (e.g. the
+// MailServer at its home node). A client's GenericProxy, on first use,
+// looks up the service, downloads the proxy code, and sends an access
+// request to the generic server, which plans a deployment (charging
+// planning CPU at its host), drives the deployment engine, and returns a
+// binding to the entry component — at which point the generic proxy
+// "replaces itself with a service-specific proxy" and later calls go
+// straight to the deployed entry instance.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "planner/environment.hpp"
+#include "planner/planner.hpp"
+#include "runtime/deployment.hpp"
+#include "runtime/lookup.hpp"
+#include "runtime/smock.hpp"
+#include "util/status.hpp"
+
+namespace psf::runtime {
+
+struct InitialPlacement {
+  std::string component;  // component name in the spec
+  net::NodeId node;
+  planner::FactorBindings factors;
+};
+
+struct ServiceRegistration {
+  spec::ServiceSpec spec;
+  net::NodeId code_origin;  // where component code is served from
+  std::vector<InitialPlacement> initial_placements;
+  std::uint64_t proxy_code_bytes = 32 * 1024;
+  std::map<std::string, std::string> attributes;
+  // Abstract CPU units the generic server spends per planner candidate
+  // examined; models planning as real work at the server host.
+  double planning_cpu_per_candidate = 0.5;
+};
+
+// One-time costs of establishing service access (§4.2 reports these summing
+// to ~10 s in the paper's configurations).
+struct AccessCosts {
+  sim::Duration lookup = sim::Duration::zero();    // query + proxy download
+  sim::Duration planning = sim::Duration::zero();  // at the server host
+  sim::Duration deployment = sim::Duration::zero();
+  double planning_wall_seconds = 0.0;  // host wall-clock, for benches
+
+  sim::Duration total() const { return lookup + planning + deployment; }
+};
+
+struct AccessOutcome {
+  RuntimeInstanceId entry = 0;
+  planner::DeploymentPlan plan;
+  // Runtime instance behind each plan placement (index-aligned); reused
+  // placements resolve to the pre-existing instance.
+  std::vector<RuntimeInstanceId> instances;
+  AccessCosts costs;
+};
+
+class GenericServer {
+ public:
+  GenericServer(SmockRuntime& runtime, net::NodeId host,
+                LookupService& lookup)
+      : runtime_(runtime), host_(host), lookup_(lookup), engine_(runtime) {}
+
+  net::NodeId host() const { return host_; }
+
+  // Registers the service: validates the spec, advertises it in the lookup
+  // service, deploys initial placements (locally at their nodes — no code
+  // transfer), and invokes `ready`.
+  void register_service(
+      ServiceRegistration registration,
+      std::shared_ptr<const planner::PropertyTranslator> translator,
+      std::function<void(util::Status)> ready);
+
+  // Plans + deploys an access path for a client. `request.client_node` and
+  // the interface must be set by the caller (the proxy fills these in).
+  void request_access(
+      const std::string& service, planner::PlanRequest request,
+      std::function<void(util::Expected<AccessOutcome>)> done);
+
+  // Re-translates environments after the network changed (monitor callback)
+  // and replans still-registered access paths on demand.
+  util::Status refresh_environment(const std::string& service);
+
+  // Reusable instances the planner may bind to (diagnostics/tests).
+  const std::vector<planner::ExistingInstance>& existing_instances(
+      const std::string& service) const;
+
+  // Removes an instance from the reusable pool (it is being retired by a
+  // redeployment); does not touch the runtime instance itself.
+  util::Status forget_instance(const std::string& service,
+                               RuntimeInstanceId id);
+
+  // Shifts recorded load off a reused instance when a deployment that was
+  // using it is retired.
+  util::Status release_load(const std::string& service, RuntimeInstanceId id,
+                            double rate_rps);
+
+  const spec::ServiceSpec* service_spec(const std::string& service) const;
+  const planner::EnvironmentView* environment(const std::string& service) const;
+
+ private:
+  struct ServiceState {
+    ServiceRegistration registration;
+    std::shared_ptr<const planner::PropertyTranslator> translator;
+    std::unique_ptr<planner::EnvironmentView> env;
+    std::unique_ptr<planner::Planner> planner;
+    std::vector<planner::ExistingInstance> existing;
+  };
+
+  ServiceState* state_of(const std::string& service);
+  const ServiceState* state_of(const std::string& service) const;
+
+  // Adds a deployed placement to the reusable-instance pool (entry
+  // components are client-private and excluded).
+  void absorb_deployment(ServiceState& state,
+                         const planner::DeploymentPlan& plan,
+                         const DeployedPlan& deployed);
+
+  SmockRuntime& runtime_;
+  net::NodeId host_;
+  LookupService& lookup_;
+  DeploymentEngine engine_;
+  std::map<std::string, std::unique_ptr<ServiceState>> services_;
+};
+
+class GenericProxy {
+ public:
+  // `defaults` carries the client's interface + property requirements +
+  // request rate; client_node is filled from `client_node`.
+  GenericProxy(SmockRuntime& runtime, LookupService& lookup,
+               net::NodeId client_node, std::string service,
+               planner::PlanRequest defaults)
+      : runtime_(runtime),
+        lookup_(lookup),
+        client_node_(client_node),
+        service_(std::move(service)),
+        defaults_(std::move(defaults)) {}
+
+  bool bound() const { return bound_; }
+  const AccessOutcome& outcome() const {
+    PSF_CHECK_MSG(bound_, "proxy not bound yet");
+    return outcome_;
+  }
+
+  // Performs lookup + proxy download + access request + deployment; idempotent
+  // once bound.
+  void bind(std::function<void(util::Status)> done);
+
+  // Invokes the service. Auto-binds on first use (the paper's transparent
+  // generic→specific proxy replacement).
+  void invoke(Request request, ResponseCallback done);
+
+ private:
+  void finish_bind(util::Status status);
+
+  SmockRuntime& runtime_;
+  LookupService& lookup_;
+  net::NodeId client_node_;
+  std::string service_;
+  planner::PlanRequest defaults_;
+  bool bound_ = false;
+  bool binding_ = false;
+  AccessOutcome outcome_;
+  std::vector<std::function<void(util::Status)>> waiters_;
+};
+
+}  // namespace psf::runtime

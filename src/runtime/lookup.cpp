@@ -1,0 +1,48 @@
+#include "runtime/lookup.hpp"
+
+namespace psf::runtime {
+
+util::Status LookupService::register_service(ServiceAdvertisement ad) {
+  if (ad.service_name.empty()) {
+    return util::invalid_argument("service name is empty");
+  }
+  if (services_.count(ad.service_name) != 0) {
+    return util::already_exists("service '" + ad.service_name +
+                                "' already registered");
+  }
+  services_.emplace(ad.service_name, std::move(ad));
+  return util::Status::ok();
+}
+
+util::Status LookupService::unregister_service(
+    const std::string& service_name) {
+  if (services_.erase(service_name) == 0) {
+    return util::not_found("service '" + service_name + "' not registered");
+  }
+  return util::Status::ok();
+}
+
+const ServiceAdvertisement* LookupService::find(
+    const std::string& service_name) const {
+  auto it = services_.find(service_name);
+  return it == services_.end() ? nullptr : &it->second;
+}
+
+std::vector<const ServiceAdvertisement*> LookupService::query(
+    const std::map<std::string, std::string>& filter) const {
+  std::vector<const ServiceAdvertisement*> out;
+  for (const auto& [name, ad] : services_) {
+    bool match = true;
+    for (const auto& [key, value] : filter) {
+      auto it = ad.attributes.find(key);
+      if (it == ad.attributes.end() || it->second != value) {
+        match = false;
+        break;
+      }
+    }
+    if (match) out.push_back(&ad);
+  }
+  return out;
+}
+
+}  // namespace psf::runtime

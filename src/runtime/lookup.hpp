@@ -1,0 +1,52 @@
+// Jini-like attribute-based lookup service (§3.2: "Clients locate and
+// download the proxy by using an attribute-based lookup service").
+//
+// The registry itself is passive data anchored at a node; the network costs
+// of querying it and downloading the generic proxy are charged by
+// GenericProxy::bind().
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "util/status.hpp"
+
+namespace psf::runtime {
+
+class GenericServer;
+
+struct ServiceAdvertisement {
+  std::string service_name;
+  std::map<std::string, std::string> attributes;
+  net::NodeId server_host;            // node hosting the generic server
+  std::uint64_t proxy_code_bytes = 32 * 1024;
+  GenericServer* server = nullptr;
+};
+
+class LookupService {
+ public:
+  explicit LookupService(net::NodeId host) : host_(host) {}
+
+  net::NodeId host() const { return host_; }
+
+  util::Status register_service(ServiceAdvertisement ad);
+  util::Status unregister_service(const std::string& service_name);
+
+  const ServiceAdvertisement* find(const std::string& service_name) const;
+
+  // All services whose attributes contain every (key, value) in `filter`.
+  std::vector<const ServiceAdvertisement*> query(
+      const std::map<std::string, std::string>& filter) const;
+
+  std::size_t size() const { return services_.size(); }
+
+ private:
+  net::NodeId host_;
+  std::map<std::string, ServiceAdvertisement> services_;
+};
+
+}  // namespace psf::runtime

@@ -1,0 +1,53 @@
+// Request/response messages exchanged between component instances.
+//
+// Payloads are polymorphic (MessageBody) so application components exchange
+// typed data while the runtime only sees opaque bodies plus a wire size for
+// the network cost model — the C++ stand-in for Java serialization.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace psf::runtime {
+
+struct MessageBody {
+  virtual ~MessageBody() = default;
+};
+
+struct Request {
+  std::string op;  // operation name, e.g. "mail.send"
+  std::shared_ptr<const MessageBody> body;
+  std::uint64_t wire_bytes = 1024;
+  std::string principal;  // requesting user, carried as a credential (§2)
+};
+
+struct Response {
+  bool ok = true;
+  std::string error;
+  std::shared_ptr<const MessageBody> body;
+  std::uint64_t wire_bytes = 1024;
+
+  static Response failure(std::string message) {
+    Response r;
+    r.ok = false;
+    r.error = std::move(message);
+    r.wire_bytes = 128;
+    return r;
+  }
+};
+
+using ResponseCallback = std::function<void(Response)>;
+
+template <typename T>
+const T* body_as(const Request& request) {
+  return dynamic_cast<const T*>(request.body.get());
+}
+
+template <typename T>
+const T* body_as(const Response& response) {
+  return dynamic_cast<const T*>(response.body.get());
+}
+
+}  // namespace psf::runtime

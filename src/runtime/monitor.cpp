@@ -1,0 +1,49 @@
+#include "runtime/monitor.hpp"
+
+namespace psf::runtime {
+
+void NetworkMonitor::set_link_bandwidth(net::LinkId link, double bps) {
+  PSF_CHECK(bps > 0.0);
+  network_.link(link).bandwidth_bps = bps;
+  notify({ChangeKind::kLinkBandwidth, link, {}});
+}
+
+void NetworkMonitor::set_link_latency(net::LinkId link,
+                                      sim::Duration latency) {
+  PSF_CHECK(latency.nanos() >= 0);
+  network_.link(link).latency = latency;
+  notify({ChangeKind::kLinkLatency, link, {}});
+}
+
+void NetworkMonitor::set_link_credential(net::LinkId link,
+                                         const std::string& name,
+                                         net::CredentialValue value) {
+  network_.link(link).credentials.set(name, std::move(value));
+  notify({ChangeKind::kLinkCredential, link, {}});
+}
+
+void NetworkMonitor::set_node_credential(net::NodeId node,
+                                         const std::string& name,
+                                         net::CredentialValue value) {
+  network_.node(node).credentials.set(name, std::move(value));
+  notify({ChangeKind::kNodeCredential, {}, node});
+}
+
+void NetworkMonitor::set_node_capacity(net::NodeId node, double cpu_capacity) {
+  PSF_CHECK(cpu_capacity > 0.0);
+  network_.node(node).cpu_capacity = cpu_capacity;
+  notify({ChangeKind::kNodeCapacity, {}, node});
+}
+
+void NetworkMonitor::report_node_failure(net::NodeId node) {
+  notify({ChangeKind::kNodeFailure, {}, node});
+}
+
+void NetworkMonitor::schedule_change(
+    sim::Duration delay, std::function<void(NetworkMonitor&)> change) {
+  sim_.schedule(delay, [this, change = std::move(change)]() {
+    change(*this);
+  });
+}
+
+}  // namespace psf::runtime

@@ -1,0 +1,69 @@
+// Network monitor (the paper's §6 Remos-style extension): the single place
+// through which node/link properties change at run time. Every mutation
+// fires observers so the framework can re-translate environments and decide
+// whether an incremental or complete redeployment is called for.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace psf::runtime {
+
+class NetworkMonitor {
+ public:
+  enum class ChangeKind {
+    kLinkBandwidth,
+    kLinkLatency,
+    kLinkCredential,
+    kNodeCredential,
+    kNodeCapacity,
+    kNodeFailure,
+  };
+
+  struct ChangeEvent {
+    ChangeKind kind;
+    net::LinkId link;  // valid for link changes
+    net::NodeId node;  // valid for node changes
+  };
+
+  using Observer = std::function<void(const ChangeEvent&)>;
+
+  NetworkMonitor(sim::Simulator& simulator, net::Network& network)
+      : sim_(simulator), network_(network) {}
+
+  void subscribe(Observer observer) {
+    observers_.push_back(std::move(observer));
+  }
+
+  void set_link_bandwidth(net::LinkId link, double bps);
+  void set_link_latency(net::LinkId link, sim::Duration latency);
+  void set_link_credential(net::LinkId link, const std::string& name,
+                           net::CredentialValue value);
+  void set_node_credential(net::NodeId node, const std::string& name,
+                           net::CredentialValue value);
+  void set_node_capacity(net::NodeId node, double cpu_capacity);
+
+  // Fault injection: reports a node failure. The monitor itself only
+  // mutates/observes the network model — callers that own a SmockRuntime
+  // crash the instances (see Framework::fail_node, which does both).
+  void report_node_failure(net::NodeId node);
+
+  // Applies `change` after `delay` of simulated time (for scripted
+  // experiments: "the slow link degrades at t=30s").
+  void schedule_change(sim::Duration delay,
+                       std::function<void(NetworkMonitor&)> change);
+
+ private:
+  void notify(const ChangeEvent& event) {
+    for (const auto& observer : observers_) observer(event);
+  }
+
+  sim::Simulator& sim_;
+  net::Network& network_;
+  std::vector<Observer> observers_;
+};
+
+}  // namespace psf::runtime

@@ -1,0 +1,350 @@
+#include "runtime/smock.hpp"
+
+#include <utility>
+
+#include "util/logging.hpp"
+
+namespace psf::runtime {
+
+// ---- Component convenience methods (need the full SmockRuntime type) ------
+
+void Component::call(const std::string& iface, Request request,
+                     ResponseCallback done) {
+  PSF_CHECK_MSG(runtime_ != nullptr, "component used before installation");
+  runtime_->call(self_, iface, std::move(request), std::move(done));
+}
+
+void Component::charge_cpu(double units, std::function<void()> then) {
+  PSF_CHECK(runtime_ != nullptr);
+  runtime_->charge_cpu(runtime_->instance(self_).node, units,
+                       std::move(then));
+}
+
+sim::Simulator& Component::simulator() {
+  PSF_CHECK(runtime_ != nullptr);
+  return runtime_->simulator();
+}
+
+const spec::ComponentDef& Component::definition() const {
+  PSF_CHECK(runtime_ != nullptr);
+  return *runtime_->instance(self_).def;
+}
+
+const planner::FactorBindings& Component::factors() const {
+  PSF_CHECK(runtime_ != nullptr);
+  return runtime_->instance(self_).factors;
+}
+
+net::NodeId Component::node() const {
+  PSF_CHECK(runtime_ != nullptr);
+  return runtime_->instance(self_).node;
+}
+
+SmockRuntime& Component::runtime() {
+  PSF_CHECK(runtime_ != nullptr);
+  return *runtime_;
+}
+
+// ---- installation -----------------------------------------------------
+
+void SmockRuntime::install(
+    const spec::ComponentDef& def, net::NodeId node,
+    planner::FactorBindings factors, net::NodeId code_origin,
+    std::function<void(util::Expected<RuntimeInstanceId>)> done) {
+  if (!factories_.has(def.name)) {
+    done(util::not_found("no factory for component '" + def.name + "'"));
+    return;
+  }
+  const net::NodeId origin =
+      code_origin.valid() ? code_origin : node;  // local install
+  const std::uint64_t code_bytes =
+      origin == node ? 0 : def.behaviors.code_size_bytes;
+
+  // Download the component's code to the target node, then let the node
+  // wrapper instantiate and initialize it.
+  send_bytes(origin, node, code_bytes, [this, &def, node,
+                                        factors = std::move(factors),
+                                        done = std::move(done)]() mutable {
+    auto component = factories_.create(def.name);
+    if (!component) {
+      done(component.status());
+      return;
+    }
+    const RuntimeInstanceId id = next_id_++;
+    Instance inst;
+    inst.id = id;
+    inst.def = &def;
+    inst.node = node;
+    inst.factors = std::move(factors);
+    inst.component = std::move(component).value();
+    inst.component->runtime_ = this;
+    inst.component->self_ = id;
+    instances_.emplace(id, std::move(inst));
+    ++stats_.installs;
+    done(id);
+  });
+}
+
+util::Status SmockRuntime::wire(RuntimeInstanceId client,
+                                const std::string& iface,
+                                RuntimeInstanceId server) {
+  if (!exists(client)) return util::not_found("unknown client instance");
+  if (!exists(server)) return util::not_found("unknown server instance");
+  instances_.at(client).wires[iface] = server;
+  return util::Status::ok();
+}
+
+util::Status SmockRuntime::start(RuntimeInstanceId id) {
+  if (!exists(id)) return util::not_found("unknown instance");
+  Instance& inst = instances_.at(id);
+  if (inst.started) {
+    return util::failed_precondition("instance already started");
+  }
+  inst.started = true;
+  inst.component->on_start();
+  return util::Status::ok();
+}
+
+util::Status SmockRuntime::stop(RuntimeInstanceId id) {
+  if (!exists(id)) return util::not_found("unknown instance");
+  Instance& inst = instances_.at(id);
+  if (!inst.started) return util::failed_precondition("instance not started");
+  inst.component->on_stop();
+  inst.started = false;
+  return util::Status::ok();
+}
+
+util::Status SmockRuntime::uninstall(RuntimeInstanceId id) {
+  if (!exists(id)) return util::not_found("unknown instance");
+  Instance& inst = instances_.at(id);
+  if (inst.started) {
+    inst.component->on_stop();
+    inst.started = false;
+  }
+  instances_.erase(id);
+  return util::Status::ok();
+}
+
+std::vector<RuntimeInstanceId> SmockRuntime::crash_node(net::NodeId node) {
+  std::vector<RuntimeInstanceId> victims = instances_on(node);
+  for (RuntimeInstanceId id : victims) {
+    // A crash skips on_stop (no chance to flush state) and tombstones the
+    // instance — see Instance::crashed for why the object is kept.
+    Instance& inst = instances_.at(id);
+    inst.crashed = true;
+    inst.started = false;
+  }
+  if (!victims.empty()) {
+    PSF_WARN() << "node " << network_.node(node).name << " crashed; "
+               << victims.size() << " instance(s) lost";
+  }
+  return victims;
+}
+
+Instance& SmockRuntime::instance(RuntimeInstanceId id) {
+  auto it = instances_.find(id);
+  PSF_CHECK_MSG(it != instances_.end(), "unknown instance id");
+  return it->second;
+}
+
+const Instance& SmockRuntime::instance(RuntimeInstanceId id) const {
+  auto it = instances_.find(id);
+  PSF_CHECK_MSG(it != instances_.end(), "unknown instance id");
+  return it->second;
+}
+
+std::vector<RuntimeInstanceId> SmockRuntime::instances_on(
+    net::NodeId node) const {
+  std::vector<RuntimeInstanceId> out;
+  for (const auto& [id, inst] : instances_) {
+    if (inst.node == node && !inst.crashed) out.push_back(id);
+  }
+  return out;
+}
+
+// ---- request routing ---------------------------------------------------
+
+void SmockRuntime::call(RuntimeInstanceId from, const std::string& iface,
+                        Request request, ResponseCallback done) {
+  Instance& src = instance(from);
+  auto wire_it = src.wires.find(iface);
+  if (wire_it == src.wires.end()) {
+    done(Response::failure("instance '" + src.def->name +
+                           "' has no wire for interface '" + iface + "'"));
+    return;
+  }
+  if (!exists(wire_it->second)) {
+    done(Response::failure("wire for '" + iface +
+                           "' points at a removed instance"));
+    return;
+  }
+  ++src.stats.requests_forwarded;
+  src.stats.bytes_sent += request.wire_bytes;
+  const RuntimeInstanceId target = wire_it->second;
+  const net::NodeId from_node = src.node;
+  const std::uint64_t bytes = request.wire_bytes;
+  send_bytes(from_node, instance(target).node, bytes,
+             [this, target, request = std::move(request), from_node,
+              done = std::move(done)]() mutable {
+               deliver(target, std::move(request), from_node,
+                       std::move(done));
+             });
+}
+
+void SmockRuntime::invoke_from_node(net::NodeId from, RuntimeInstanceId target,
+                                    Request request, ResponseCallback done) {
+  if (!exists(target)) {
+    done(Response::failure("target instance does not exist"));
+    return;
+  }
+  const std::uint64_t bytes = request.wire_bytes;
+  send_bytes(from, instance(target).node, bytes,
+             [this, target, request = std::move(request), from,
+              done = std::move(done)]() mutable {
+               deliver(target, std::move(request), from, std::move(done));
+             });
+}
+
+void SmockRuntime::deliver(RuntimeInstanceId target, Request request,
+                           net::NodeId reply_to, ResponseCallback done) {
+  if (!exists(target)) {
+    done(Response::failure("target instance vanished in flight"));
+    return;
+  }
+  Instance& dst = instance(target);
+  if (!dst.started) {
+    done(Response::failure("instance '" + dst.def->name + "' not started"));
+    return;
+  }
+  ++stats_.requests_delivered;
+  ++dst.stats.requests_handled;
+  dst.stats.bytes_received += request.wire_bytes;
+
+  const net::NodeId target_node = dst.node;
+  charge_cpu(
+      target_node, dst.def->behaviors.cpu_per_request,
+      [this, target, request = std::move(request), reply_to, target_node,
+       done = std::move(done)]() mutable {
+        if (!exists(target)) {
+          done(Response::failure("target instance vanished in flight"));
+          return;
+        }
+        Instance& inst = instance(target);
+        inst.component->handle_request(
+            request,
+            [this, reply_to, target_node,
+             done = std::move(done)](Response response) mutable {
+              // Ship the response back to the caller's node.
+              const std::uint64_t bytes = response.wire_bytes;
+              send_bytes(target_node, reply_to, bytes,
+                         [response = std::move(response),
+                          done = std::move(done)]() mutable {
+                           done(std::move(response));
+                         });
+            });
+      });
+}
+
+// ---- low-level primitives ---------------------------------------------
+
+namespace {
+
+// Hop-by-hop transfer state. Each scheduled event holds the shared_ptr, so
+// the state lives exactly until the final hop completes (no reference
+// cycles — the state does not hold its own continuation).
+struct Transfer {
+  SmockRuntime* runtime;
+  std::vector<net::LinkId> links;
+  std::uint64_t bytes;
+  std::function<void()> delivered;
+};
+
+}  // namespace
+
+void SmockRuntime::send_bytes(net::NodeId from, net::NodeId to,
+                              std::uint64_t bytes,
+                              std::function<void()> delivered) {
+  if (from == to) {
+    // Local delivery: same-node IPC is negligible next to network costs.
+    delivered();
+    return;
+  }
+  auto route = network_.route(from, to);
+  if (!route) {
+    PSF_WARN() << "send_bytes: no route from " << network_.node(from).name
+               << " to " << network_.node(to).name << "; dropping";
+    return;
+  }
+  ++stats_.messages_sent;
+  stats_.bytes_transferred += bytes;
+
+  auto transfer = std::make_shared<Transfer>(
+      Transfer{this, route->links, bytes, std::move(delivered)});
+
+  // Walk the route hop by hop; each hop waits for the link to be free,
+  // serializes the message, then incurs the propagation latency.
+  struct Step {
+    static void run(const std::shared_ptr<Transfer>& t, std::size_t hop) {
+      if (hop == t->links.size()) {
+        t->delivered();
+        return;
+      }
+      SmockRuntime& rt = *t->runtime;
+      const sim::Time arrival = rt.reserve_link(t->links[hop], t->bytes);
+      rt.simulator().schedule_at(arrival,
+                                 [t, hop]() { Step::run(t, hop + 1); });
+    }
+  };
+  Step::run(transfer, 0);
+}
+
+sim::Time SmockRuntime::reserve_link(net::LinkId lid, std::uint64_t bytes) {
+  PSF_CHECK(lid.valid() && lid.value < network_.link_count());
+  if (link_free_.size() <= lid.value) {
+    link_free_.resize(network_.link_count(), sim::Time::zero());
+  }
+  const net::Link& link = network_.link(lid);
+  const double serialize_s =
+      static_cast<double>(bytes) * 8.0 / link.bandwidth_bps;
+  const sim::Time now = sim_.now();
+  sim::Time start = link_free_[lid.value];
+  if (start < now) start = now;
+  const sim::Time tx_done = start + sim::Duration::from_seconds(serialize_s);
+  link_free_[lid.value] = tx_done;
+  if (link_busy_s_.size() <= lid.value) {
+    link_busy_s_.resize(network_.link_count(), 0.0);
+  }
+  link_busy_s_[lid.value] += serialize_s;
+  return tx_done + link.latency;
+}
+
+double SmockRuntime::node_busy_seconds(net::NodeId node) const {
+  if (!node.valid() || node.value >= node_busy_s_.size()) return 0.0;
+  return node_busy_s_[node.value];
+}
+
+double SmockRuntime::link_busy_seconds(net::LinkId link) const {
+  if (!link.valid() || link.value >= link_busy_s_.size()) return 0.0;
+  return link_busy_s_[link.value];
+}
+
+void SmockRuntime::charge_cpu(net::NodeId node, double units,
+                              std::function<void()> done) {
+  PSF_CHECK(node.valid() && node.value < network_.node_count());
+  if (node_cpu_free_.size() <= node.value) {
+    node_cpu_free_.resize(network_.node_count(), sim::Time::zero());
+  }
+  const double seconds = units / network_.node(node).cpu_capacity;
+  const sim::Time now = sim_.now();
+  sim::Time start = node_cpu_free_[node.value];
+  if (start < now) start = now;
+  const sim::Time finish = start + sim::Duration::from_seconds(seconds);
+  node_cpu_free_[node.value] = finish;
+  if (node_busy_s_.size() <= node.value) {
+    node_busy_s_.resize(network_.node_count(), 0.0);
+  }
+  node_busy_s_[node.value] += seconds;
+  sim_.schedule_at(finish, std::move(done));
+}
+
+}  // namespace psf::runtime

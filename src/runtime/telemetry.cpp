@@ -1,0 +1,90 @@
+#include "runtime/telemetry.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace psf::runtime {
+
+void Telemetry::baseline() {
+  const net::Network& network = runtime_.network();
+  node_last_busy_.assign(network.node_count(), 0.0);
+  link_last_busy_.assign(network.link_count(), 0.0);
+  node_util_.assign(network.node_count(), {});
+  link_util_.assign(network.link_count(), {});
+  for (std::uint32_t n = 0; n < network.node_count(); ++n) {
+    node_last_busy_[n] = runtime_.node_busy_seconds(net::NodeId{n});
+  }
+  for (std::uint32_t l = 0; l < network.link_count(); ++l) {
+    link_last_busy_[l] = runtime_.link_busy_seconds(net::LinkId{l});
+  }
+  windows_ = 0;
+}
+
+void Telemetry::sample() {
+  const double window_s = period_.seconds();
+  for (std::uint32_t n = 0; n < node_last_busy_.size(); ++n) {
+    const double busy = runtime_.node_busy_seconds(net::NodeId{n});
+    node_util_[n].add((busy - node_last_busy_[n]) / window_s);
+    node_last_busy_[n] = busy;
+  }
+  for (std::uint32_t l = 0; l < link_last_busy_.size(); ++l) {
+    const double busy = runtime_.link_busy_seconds(net::LinkId{l});
+    link_util_[l].add((busy - link_last_busy_[l]) / window_s);
+    link_last_busy_[l] = busy;
+  }
+  ++windows_;
+}
+
+std::vector<ResourceUsage> Telemetry::node_usage() const {
+  std::vector<ResourceUsage> out;
+  const net::Network& network = runtime_.network();
+  for (std::uint32_t n = 0; n < node_util_.size(); ++n) {
+    ResourceUsage usage;
+    usage.name = network.node(net::NodeId{n}).name;
+    usage.mean_utilization = node_util_[n].mean();
+    usage.peak_utilization = node_util_[n].max();
+    usage.busy_seconds = runtime_.node_busy_seconds(net::NodeId{n});
+    out.push_back(std::move(usage));
+  }
+  return out;
+}
+
+std::vector<ResourceUsage> Telemetry::link_usage() const {
+  std::vector<ResourceUsage> out;
+  const net::Network& network = runtime_.network();
+  for (std::uint32_t l = 0; l < link_util_.size(); ++l) {
+    const net::Link& link = network.link(net::LinkId{l});
+    ResourceUsage usage;
+    usage.name = network.node(link.a).name + "<->" +
+                 network.node(link.b).name;
+    usage.mean_utilization = link_util_[l].mean();
+    usage.peak_utilization = link_util_[l].max();
+    usage.busy_seconds = runtime_.link_busy_seconds(net::LinkId{l});
+    out.push_back(std::move(usage));
+  }
+  return out;
+}
+
+std::string Telemetry::report(std::size_t top_n) const {
+  auto format = [top_n](const char* label,
+                        std::vector<ResourceUsage> usage) {
+    std::sort(usage.begin(), usage.end(),
+              [](const ResourceUsage& a, const ResourceUsage& b) {
+                return a.busy_seconds > b.busy_seconds;
+              });
+    std::ostringstream oss;
+    oss << label << " (top " << std::min(top_n, usage.size()) << ")\n";
+    for (std::size_t i = 0; i < usage.size() && i < top_n; ++i) {
+      const ResourceUsage& u = usage[i];
+      if (u.busy_seconds <= 0.0) break;
+      oss << "  " << u.name << ": mean " << u.mean_utilization * 100.0
+          << "% peak " << u.peak_utilization * 100.0 << "% busy "
+          << u.busy_seconds << "s\n";
+    }
+    return oss.str();
+  };
+  return format("node cpu utilization", node_usage()) +
+         format("link utilization", link_usage());
+}
+
+}  // namespace psf::runtime

@@ -1,0 +1,166 @@
+// Deterministic discrete-event simulator.
+//
+// This is the substrate that replaces the paper's emulated testbed (Pentium
+// III nodes behind a Click software router with traffic shaping). All
+// latency / bandwidth / CPU costs in the runtime are charged by scheduling
+// events on this engine.
+//
+// Determinism: events at the same timestamp fire in schedule order (a
+// monotonically increasing sequence number breaks ties), so a given seed
+// always produces the same trace.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/assert.hpp"
+
+namespace psf::sim {
+
+using EventFn = std::function<void()>;
+using EventId = std::uint64_t;
+
+class Simulator {
+ public:
+  Simulator() = default;
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Time now() const { return now_; }
+
+  // Schedule fn to run at now() + delay. Negative delays are a bug.
+  EventId schedule(Duration delay, EventFn fn) {
+    PSF_CHECK_MSG(delay.nanos() >= 0, "negative delay");
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  // Schedule fn at an absolute time >= now().
+  EventId schedule_at(Time when, EventFn fn) {
+    PSF_CHECK_MSG(when >= now_, "scheduling into the past");
+    const EventId id = next_id_++;
+    queue_.push(Event{when, id, std::move(fn), false});
+    ++pending_;
+    return id;
+  }
+
+  // Cancel a pending event. Returns false if it already ran / was cancelled.
+  // Cancellation is lazy (tombstone) — O(1), the queue skips dead events.
+  bool cancel(EventId id) {
+    if (cancelled_.size() <= id) cancelled_.resize(id + 1, false);
+    if (id >= next_id_ || cancelled_[id]) return false;
+    cancelled_[id] = true;
+    return true;
+  }
+
+  // Run until the queue is empty. Returns number of events executed.
+  std::size_t run() { return run_until(Time::max()); }
+
+  // Run events with timestamp <= deadline; clock ends at the later of the
+  // last event time and (if any events remained) the deadline.
+  std::size_t run_until(Time deadline) {
+    std::size_t executed = 0;
+    while (!queue_.empty()) {
+      const Event& top = queue_.top();
+      if (top.when > deadline) break;
+      Event ev = std::move(const_cast<Event&>(top));
+      queue_.pop();
+      --pending_;
+      if (ev.id < cancelled_.size() && cancelled_[ev.id]) continue;
+      now_ = ev.when;
+      ev.fn();
+      ++executed;
+    }
+    if (!queue_.empty() && deadline != Time::max() && now_ < deadline) {
+      now_ = deadline;
+    }
+    return executed;
+  }
+
+  // Execute exactly one event (if any). Returns true if one ran.
+  bool step() {
+    while (!queue_.empty()) {
+      Event ev = std::move(const_cast<Event&>(queue_.top()));
+      queue_.pop();
+      --pending_;
+      if (ev.id < cancelled_.size() && cancelled_[ev.id]) continue;
+      now_ = ev.when;
+      ev.fn();
+      return true;
+    }
+    return false;
+  }
+
+  bool empty() const { return pending_ == 0; }
+  std::size_t pending_events() const { return pending_; }
+
+ private:
+  struct Event {
+    Time when;
+    EventId id;
+    EventFn fn;
+    bool tombstone;
+  };
+
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.id > b.id;  // FIFO among simultaneous events
+    }
+  };
+
+  Time now_ = Time::zero();
+  EventId next_id_ = 0;
+  std::size_t pending_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<bool> cancelled_;
+};
+
+// Repeating timer helper built on Simulator; used by time-driven coherence
+// and the network monitor. RAII: destruction cancels the pending tick.
+class PeriodicTimer {
+ public:
+  PeriodicTimer(Simulator& sim, Duration period, EventFn on_tick)
+      : sim_(sim), period_(period), on_tick_(std::move(on_tick)) {
+    PSF_CHECK(period_.nanos() > 0);
+  }
+
+  ~PeriodicTimer() { stop(); }
+
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  void start() {
+    if (running_) return;
+    running_ = true;
+    arm();
+  }
+
+  void stop() {
+    if (!running_) return;
+    running_ = false;
+    sim_.cancel(pending_);
+  }
+
+  bool running() const { return running_; }
+
+ private:
+  void arm() {
+    pending_ = sim_.schedule(period_, [this] {
+      if (!running_) return;
+      on_tick_();
+      if (running_) arm();
+    });
+  }
+
+  Simulator& sim_;
+  Duration period_;
+  EventFn on_tick_;
+  EventId pending_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace psf::sim

@@ -1,0 +1,15 @@
+#include "sim/time.hpp"
+
+#include "util/strings.hpp"
+
+namespace psf::sim {
+
+std::string Time::to_string() const {
+  return util::format_duration_us(micros());
+}
+
+std::string Duration::to_string() const {
+  return util::format_duration_us(micros());
+}
+
+}  // namespace psf::sim

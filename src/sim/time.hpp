@@ -1,0 +1,92 @@
+// Simulated time.
+//
+// Time is an integer count of nanoseconds since simulation start. Integer
+// time keeps event ordering exact (no floating-point ties) and a 64-bit
+// nanosecond clock covers ~292 years of simulated time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace psf::sim {
+
+class Duration;
+
+class Time {
+ public:
+  constexpr Time() = default;
+
+  static constexpr Time from_nanos(std::int64_t ns) { return Time(ns); }
+  static constexpr Time zero() { return Time(0); }
+  static constexpr Time max() { return Time(INT64_MAX); }
+
+  constexpr std::int64_t nanos() const { return nanos_; }
+  constexpr double micros() const { return static_cast<double>(nanos_) / 1e3; }
+  constexpr double millis() const { return static_cast<double>(nanos_) / 1e6; }
+  constexpr double seconds() const {
+    return static_cast<double>(nanos_) / 1e9;
+  }
+
+  constexpr bool operator==(const Time&) const = default;
+  constexpr auto operator<=>(const Time&) const = default;
+
+  std::string to_string() const;
+
+ private:
+  constexpr explicit Time(std::int64_t ns) : nanos_(ns) {}
+  std::int64_t nanos_ = 0;
+};
+
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  static constexpr Duration from_nanos(std::int64_t ns) {
+    return Duration(ns);
+  }
+  static constexpr Duration from_micros(double us) {
+    return Duration(static_cast<std::int64_t>(us * 1e3));
+  }
+  static constexpr Duration from_millis(double ms) {
+    return Duration(static_cast<std::int64_t>(ms * 1e6));
+  }
+  static constexpr Duration from_seconds(double s) {
+    return Duration(static_cast<std::int64_t>(s * 1e9));
+  }
+  static constexpr Duration zero() { return Duration(0); }
+
+  constexpr std::int64_t nanos() const { return nanos_; }
+  constexpr double micros() const { return static_cast<double>(nanos_) / 1e3; }
+  constexpr double millis() const { return static_cast<double>(nanos_) / 1e6; }
+  constexpr double seconds() const {
+    return static_cast<double>(nanos_) / 1e9;
+  }
+
+  constexpr bool operator==(const Duration&) const = default;
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration other) const {
+    return Duration(nanos_ + other.nanos_);
+  }
+  constexpr Duration operator-(Duration other) const {
+    return Duration(nanos_ - other.nanos_);
+  }
+  constexpr Duration operator*(double k) const {
+    return Duration(static_cast<std::int64_t>(static_cast<double>(nanos_) * k));
+  }
+
+  std::string to_string() const;
+
+ private:
+  constexpr explicit Duration(std::int64_t ns) : nanos_(ns) {}
+  std::int64_t nanos_ = 0;
+};
+
+constexpr Time operator+(Time t, Duration d) {
+  return Time::from_nanos(t.nanos() + d.nanos());
+}
+constexpr Duration operator-(Time a, Time b) {
+  return Duration::from_nanos(a.nanos() - b.nanos());
+}
+
+}  // namespace psf::sim

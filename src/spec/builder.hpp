@@ -1,0 +1,251 @@
+// Fluent programmatic builder for service specifications — the alternative
+// to parsing PSDL text, used by examples that assemble specs in code.
+//
+//   ServiceSpec spec =
+//       SpecBuilder("CacheDemo")
+//           .boolean_property("Fresh")
+//           .interval_property("Quality", 1, 10)
+//           .interface("Api", {"Fresh", "Quality"})
+//           .component("Origin")
+//               .implements("Api", {{"Fresh", lit_bool(true)},
+//                                   {"Quality", lit_int(10)}})
+//               .capacity(500)
+//               .done()
+//           .build();  // validates
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "spec/model.hpp"
+#include "util/assert.hpp"
+
+namespace psf::spec {
+
+inline ValueExpr lit_bool(bool b) {
+  return ValueExpr::lit(PropertyValue::boolean(b));
+}
+inline ValueExpr lit_int(std::int64_t i) {
+  return ValueExpr::lit(PropertyValue::integer(i));
+}
+inline ValueExpr lit_string(std::string s) {
+  return ValueExpr::lit(PropertyValue::string(std::move(s)));
+}
+inline ValueExpr node_ref(std::string name) {
+  return ValueExpr::env(EnvScope::kNode, std::move(name));
+}
+inline ValueExpr factor_ref(std::string name) {
+  return ValueExpr::factor(std::move(name));
+}
+
+class SpecBuilder;
+
+class ComponentBuilder {
+ public:
+  ComponentBuilder(SpecBuilder& parent, ComponentDef def)
+      : parent_(parent), def_(std::move(def)) {}
+
+  using Assignments =
+      std::initializer_list<std::pair<std::string, ValueExpr>>;
+
+  ComponentBuilder& implements(std::string iface, Assignments props = {}) {
+    def_.implements.push_back(make_linkage(std::move(iface), props));
+    return *this;
+  }
+  ComponentBuilder& requires_iface(std::string iface, Assignments props = {}) {
+    def_.requires_.push_back(make_linkage(std::move(iface), props));
+    return *this;
+  }
+  ComponentBuilder& factor(std::string property, ValueExpr value) {
+    def_.factors.push_back({std::move(property), std::move(value)});
+    return *this;
+  }
+  ComponentBuilder& condition_eq(std::string property, PropertyValue value) {
+    Condition c;
+    c.property = std::move(property);
+    c.op = Condition::Op::kEq;
+    c.value = std::move(value);
+    def_.conditions.push_back(std::move(c));
+    return *this;
+  }
+  ComponentBuilder& condition_ge(std::string property, PropertyValue value) {
+    Condition c;
+    c.property = std::move(property);
+    c.op = Condition::Op::kGe;
+    c.value = std::move(value);
+    def_.conditions.push_back(std::move(c));
+    return *this;
+  }
+  ComponentBuilder& condition_in_range(std::string property, std::int64_t lo,
+                                       std::int64_t hi) {
+    Condition c;
+    c.property = std::move(property);
+    c.op = Condition::Op::kInRange;
+    c.range_lo = lo;
+    c.range_hi = hi;
+    def_.conditions.push_back(std::move(c));
+    return *this;
+  }
+  ComponentBuilder& transparent() {
+    def_.transparent = true;
+    return *this;
+  }
+  ComponentBuilder& static_placement() {
+    def_.static_placement = true;
+    return *this;
+  }
+  ComponentBuilder& capacity(double rps) {
+    def_.behaviors.capacity_rps = rps;
+    return *this;
+  }
+  ComponentBuilder& rrf(double value) {
+    def_.behaviors.rrf = value;
+    return *this;
+  }
+  ComponentBuilder& cpu_per_request(double units) {
+    def_.behaviors.cpu_per_request = units;
+    return *this;
+  }
+  ComponentBuilder& message_bytes(std::uint64_t request,
+                                  std::uint64_t response) {
+    def_.behaviors.bytes_per_request = request;
+    def_.behaviors.bytes_per_response = response;
+    return *this;
+  }
+  ComponentBuilder& code_size(std::uint64_t bytes) {
+    def_.behaviors.code_size_bytes = bytes;
+    return *this;
+  }
+
+  // Finishes this component and returns the spec builder.
+  SpecBuilder& done();
+
+ private:
+  static LinkageDecl make_linkage(std::string iface, Assignments props) {
+    LinkageDecl decl;
+    decl.interface_name = std::move(iface);
+    for (const auto& [name, value] : props) {
+      decl.properties.push_back({name, value});
+    }
+    return decl;
+  }
+
+  SpecBuilder& parent_;
+  ComponentDef def_;
+
+  friend class SpecBuilder;
+};
+
+class SpecBuilder {
+ public:
+  explicit SpecBuilder(std::string name) { spec_.name = std::move(name); }
+
+  SpecBuilder& boolean_property(std::string name) {
+    PropertyDef def;
+    def.name = std::move(name);
+    def.type = PropertyType::kBoolean;
+    spec_.properties.push_back(std::move(def));
+    return *this;
+  }
+  SpecBuilder& interval_property(std::string name, std::int64_t lo,
+                                 std::int64_t hi) {
+    PropertyDef def;
+    def.name = std::move(name);
+    def.type = PropertyType::kInterval;
+    def.interval_lo = lo;
+    def.interval_hi = hi;
+    spec_.properties.push_back(std::move(def));
+    return *this;
+  }
+  SpecBuilder& string_property(std::string name) {
+    PropertyDef def;
+    def.name = std::move(name);
+    def.type = PropertyType::kString;
+    spec_.properties.push_back(std::move(def));
+    return *this;
+  }
+
+  SpecBuilder& interface(std::string name,
+                         std::vector<std::string> properties) {
+    InterfaceDef def;
+    def.name = std::move(name);
+    def.properties = std::move(properties);
+    spec_.interfaces.push_back(std::move(def));
+    return *this;
+  }
+
+  SpecBuilder& rule(PropertyModificationRule r) {
+    spec_.rules.add(std::move(r));
+    return *this;
+  }
+
+  // The standard confidentiality degradation table from the paper's Fig. 4:
+  // (T, T) -> T; (F, any) -> F; (any, F) -> F.
+  SpecBuilder& confidentiality_rule(std::string property) {
+    PropertyModificationRule r;
+    r.property = std::move(property);
+    r.rows.push_back({RulePattern::lit(PropertyValue::boolean(true)),
+                      RulePattern::lit(PropertyValue::boolean(true)),
+                      RuleRow::OutKind::kLiteral,
+                      PropertyValue::boolean(true)});
+    r.rows.push_back({RulePattern::lit(PropertyValue::boolean(false)),
+                      RulePattern::wildcard(), RuleRow::OutKind::kLiteral,
+                      PropertyValue::boolean(false)});
+    r.rows.push_back({RulePattern::wildcard(),
+                      RulePattern::lit(PropertyValue::boolean(false)),
+                      RuleRow::OutKind::kLiteral,
+                      PropertyValue::boolean(false)});
+    spec_.rules.add(std::move(r));
+    return *this;
+  }
+
+  ComponentBuilder component(std::string name) {
+    ComponentDef def;
+    def.name = std::move(name);
+    def.kind = ComponentKind::kComponent;
+    return ComponentBuilder(*this, std::move(def));
+  }
+  ComponentBuilder data_view(std::string name, std::string represents) {
+    ComponentDef def;
+    def.name = std::move(name);
+    def.kind = ComponentKind::kDataView;
+    def.represents = std::move(represents);
+    return ComponentBuilder(*this, std::move(def));
+  }
+  ComponentBuilder object_view(std::string name, std::string represents) {
+    ComponentDef def;
+    def.name = std::move(name);
+    def.kind = ComponentKind::kObjectView;
+    def.represents = std::move(represents);
+    return ComponentBuilder(*this, std::move(def));
+  }
+
+  // Validates and returns the spec; aborts on an invalid spec (builder use
+  // is programmer-driven, so an invalid spec is a bug, not input error).
+  ServiceSpec build() {
+    auto st = spec_.validate();
+    PSF_CHECK_MSG(st.is_ok(), st.to_string());
+    return std::move(spec_);
+  }
+
+  // Non-aborting variant for tests that exercise validation failures.
+  util::Expected<ServiceSpec> try_build() {
+    auto st = spec_.validate();
+    if (!st) return st;
+    return std::move(spec_);
+  }
+
+ private:
+  ServiceSpec spec_;
+
+  friend class ComponentBuilder;
+};
+
+inline SpecBuilder& ComponentBuilder::done() {
+  parent_.spec_.components.push_back(std::move(def_));
+  return parent_;
+}
+
+}  // namespace psf::spec

@@ -1,0 +1,219 @@
+#include "spec/lexer.hpp"
+
+#include <cctype>
+
+namespace psf::spec {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view src) : src_(src) {}
+
+  bool done() const { return pos_ >= src_.size(); }
+  char peek() const { return done() ? '\0' : src_[pos_]; }
+  char peek2() const {
+    return pos_ + 1 >= src_.size() ? '\0' : src_[pos_ + 1];
+  }
+  char advance() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  int line() const { return line_; }
+  int column() const { return column_; }
+
+ private:
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+std::string location(int line, int column) {
+  return "line " + std::to_string(line) + ", column " + std::to_string(column);
+}
+
+}  // namespace
+
+std::string Token::describe() const {
+  switch (kind) {
+    case TokenKind::kIdent: return "identifier '" + text + "'";
+    case TokenKind::kInt: return "integer " + std::to_string(int_value);
+    case TokenKind::kFloat: return "number";
+    case TokenKind::kString: return "string \"" + text + "\"";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kSemi: return "';'";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kAssign: return "'='";
+    case TokenKind::kEq: return "'=='";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kArrow: return "'->'";
+    case TokenKind::kEnd: return "end of input";
+  }
+  return "?";
+}
+
+util::Expected<std::vector<Token>> tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  Cursor cur(source);
+
+  auto push = [&](TokenKind kind, int line, int column) -> Token& {
+    Token t;
+    t.kind = kind;
+    t.line = line;
+    t.column = column;
+    tokens.push_back(std::move(t));
+    return tokens.back();
+  };
+
+  while (!cur.done()) {
+    const char c = cur.peek();
+    const int line = cur.line();
+    const int column = cur.column();
+
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      cur.advance();
+      continue;
+    }
+    // Comments.
+    if (c == '#' || (c == '/' && cur.peek2() == '/')) {
+      while (!cur.done() && cur.peek() != '\n') cur.advance();
+      continue;
+    }
+    if (is_ident_start(c)) {
+      std::string text;
+      while (!cur.done() && is_ident_char(cur.peek())) text += cur.advance();
+      push(TokenKind::kIdent, line, column).text = std::move(text);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && std::isdigit(static_cast<unsigned char>(cur.peek2())))) {
+      std::string text;
+      if (cur.peek() == '-') text += cur.advance();
+      bool is_float = false;
+      while (!cur.done() &&
+             (std::isdigit(static_cast<unsigned char>(cur.peek())) ||
+              cur.peek() == '.')) {
+        // '.' followed by a non-digit is a member access, not a decimal
+        // point (no such case in practice: numbers aren't followed by '.').
+        if (cur.peek() == '.') {
+          if (!std::isdigit(static_cast<unsigned char>(cur.peek2()))) break;
+          is_float = true;
+        }
+        text += cur.advance();
+      }
+      Token& t = push(is_float ? TokenKind::kFloat : TokenKind::kInt, line,
+                      column);
+      if (is_float) {
+        t.float_value = std::stod(text);
+      } else {
+        t.int_value = std::stoll(text);
+        t.float_value = static_cast<double>(t.int_value);
+      }
+      continue;
+    }
+    if (c == '"') {
+      cur.advance();
+      std::string text;
+      bool closed = false;
+      while (!cur.done()) {
+        const char ch = cur.advance();
+        if (ch == '"') {
+          closed = true;
+          break;
+        }
+        if (ch == '\\' && !cur.done()) {
+          const char esc = cur.advance();
+          switch (esc) {
+            case 'n': text += '\n'; break;
+            case 't': text += '\t'; break;
+            default: text += esc; break;
+          }
+          continue;
+        }
+        text += ch;
+      }
+      if (!closed) {
+        return util::parse_error("unterminated string at " +
+                                 location(line, column));
+      }
+      push(TokenKind::kString, line, column).text = std::move(text);
+      continue;
+    }
+
+    cur.advance();
+    switch (c) {
+      case '{': push(TokenKind::kLBrace, line, column); break;
+      case '}': push(TokenKind::kRBrace, line, column); break;
+      case '(': push(TokenKind::kLParen, line, column); break;
+      case ')': push(TokenKind::kRParen, line, column); break;
+      case ',': push(TokenKind::kComma, line, column); break;
+      case ';': push(TokenKind::kSemi, line, column); break;
+      case ':': push(TokenKind::kColon, line, column); break;
+      case '.': push(TokenKind::kDot, line, column); break;
+      case '=':
+        if (cur.peek() == '=') {
+          cur.advance();
+          push(TokenKind::kEq, line, column);
+        } else {
+          push(TokenKind::kAssign, line, column);
+        }
+        break;
+      case '>':
+        if (cur.peek() == '=') {
+          cur.advance();
+          push(TokenKind::kGe, line, column);
+        } else {
+          return util::parse_error("unexpected '>' at " +
+                                   location(line, column));
+        }
+        break;
+      case '<':
+        if (cur.peek() == '=') {
+          cur.advance();
+          push(TokenKind::kLe, line, column);
+        } else {
+          return util::parse_error("unexpected '<' at " +
+                                   location(line, column));
+        }
+        break;
+      case '-':
+        if (cur.peek() == '>') {
+          cur.advance();
+          push(TokenKind::kArrow, line, column);
+        } else {
+          return util::parse_error("unexpected '-' at " +
+                                   location(line, column));
+        }
+        break;
+      default:
+        return util::parse_error(std::string("unexpected character '") + c +
+                                 "' at " + location(line, column));
+    }
+  }
+
+  push(TokenKind::kEnd, cur.line(), cur.column());
+  return tokens;
+}
+
+}  // namespace psf::spec

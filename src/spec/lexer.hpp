@@ -1,0 +1,53 @@
+// Tokenizer for PSDL, the textual service-description language.
+//
+// PSDL is this repo's machine-readable rendition of the paper's Figure 2
+// (the paper used XML but printed "a different form to improve readability";
+// PSDL is that readable form). Comments: `//` and `#` to end of line.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace psf::spec {
+
+enum class TokenKind {
+  kIdent,
+  kInt,
+  kFloat,
+  kString,
+  kLBrace,    // {
+  kRBrace,    // }
+  kLParen,    // (
+  kRParen,    // )
+  kComma,     // ,
+  kSemi,      // ;
+  kColon,     // :
+  kDot,       // .
+  kAssign,    // =
+  kEq,        // ==
+  kGe,        // >=
+  kLe,        // <=
+  kArrow,     // ->
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;        // identifier / string contents
+  std::int64_t int_value = 0;
+  double float_value = 0.0;
+  int line = 0;
+  int column = 0;
+
+  std::string describe() const;
+};
+
+// Tokenizes the whole input; returns a parse error with line/column on any
+// malformed token.
+util::Expected<std::vector<Token>> tokenize(std::string_view source);
+
+}  // namespace psf::spec

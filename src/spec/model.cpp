@@ -1,0 +1,346 @@
+#include "spec/model.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace psf::spec {
+
+bool PropertyDef::admits(const PropertyValue& v) const {
+  if (!v.is_set()) return true;
+  switch (type) {
+    case PropertyType::kBoolean:
+      return v.is_bool();
+    case PropertyType::kInterval:
+      return v.is_int() && v.as_int() >= interval_lo &&
+             v.as_int() <= interval_hi;
+    case PropertyType::kString:
+      return v.is_string();
+  }
+  return false;
+}
+
+std::string PropertyDef::to_string() const {
+  std::ostringstream oss;
+  oss << "property " << name << " { type: ";
+  switch (type) {
+    case PropertyType::kBoolean: oss << "boolean"; break;
+    case PropertyType::kInterval:
+      oss << "interval(" << interval_lo << ", " << interval_hi << ")";
+      break;
+    case PropertyType::kString: oss << "string"; break;
+  }
+  oss << "; }";
+  return oss.str();
+}
+
+bool InterfaceDef::has_property(const std::string& p) const {
+  return std::find(properties.begin(), properties.end(), p) !=
+         properties.end();
+}
+
+std::string InterfaceDef::to_string() const {
+  std::ostringstream oss;
+  oss << "interface " << name << " { properties: ";
+  for (std::size_t i = 0; i < properties.size(); ++i) {
+    if (i) oss << ", ";
+    oss << properties[i];
+  }
+  oss << "; }";
+  return oss.str();
+}
+
+std::string PropertyAssignment::to_string() const {
+  return property + " = " + value.to_string();
+}
+
+std::optional<ValueExpr> LinkageDecl::value_of(
+    const std::string& property) const {
+  for (const auto& pa : properties) {
+    if (pa.property == property) return pa.value;
+  }
+  return std::nullopt;
+}
+
+std::string LinkageDecl::to_string(const char* keyword) const {
+  std::ostringstream oss;
+  oss << keyword << " " << interface_name << " { ";
+  for (const auto& pa : properties) oss << pa.to_string() << "; ";
+  oss << "}";
+  return oss.str();
+}
+
+bool Condition::holds(const Environment& env) const {
+  const auto actual = env.get(property);
+  if (!actual) return false;  // fail closed
+  switch (op) {
+    case Op::kEq:
+      return *actual == value;
+    case Op::kGe:
+      return actual->satisfies(value);
+    case Op::kLe:
+      return value.satisfies(*actual);
+    case Op::kInRange:
+      return actual->is_int() && actual->as_int() >= range_lo &&
+             actual->as_int() <= range_hi;
+  }
+  return false;
+}
+
+std::string Condition::to_string() const {
+  std::ostringstream oss;
+  oss << "node." << property << " ";
+  switch (op) {
+    case Op::kEq: oss << "== " << value.to_string(); break;
+    case Op::kGe: oss << ">= " << value.to_string(); break;
+    case Op::kLe: oss << "<= " << value.to_string(); break;
+    case Op::kInRange:
+      oss << "in (" << range_lo << ", " << range_hi << ")";
+      break;
+  }
+  return oss.str();
+}
+
+std::string Behaviors::to_string() const {
+  std::ostringstream oss;
+  oss << "behaviors { capacity: " << capacity_rps << "; rrf: " << rrf
+      << "; cpu_per_request: " << cpu_per_request
+      << "; bytes_per_request: " << bytes_per_request
+      << "; bytes_per_response: " << bytes_per_response
+      << "; code_size: " << code_size_bytes << "; }";
+  return oss.str();
+}
+
+const LinkageDecl* ComponentDef::find_implements(
+    const std::string& iface) const {
+  for (const auto& decl : implements) {
+    if (decl.interface_name == iface) return &decl;
+  }
+  return nullptr;
+}
+
+std::string ComponentDef::to_string() const {
+  std::ostringstream oss;
+  switch (kind) {
+    case ComponentKind::kComponent: oss << "component "; break;
+    case ComponentKind::kObjectView: oss << "object view "; break;
+    case ComponentKind::kDataView: oss << "data view "; break;
+  }
+  oss << name;
+  if (is_view()) oss << " represents " << represents;
+  oss << " {\n";
+  if (transparent) oss << "  transparent;\n";
+  if (static_placement) oss << "  static;\n";
+  if (!factors.empty()) {
+    oss << "  factors { ";
+    for (const auto& f : factors) oss << f.to_string() << "; ";
+    oss << "}\n";
+  }
+  for (const auto& decl : implements) {
+    oss << "  " << decl.to_string("implements") << "\n";
+  }
+  for (const auto& decl : requires_) {
+    oss << "  " << decl.to_string("requires") << "\n";
+  }
+  if (!conditions.empty()) {
+    oss << "  conditions { ";
+    for (const auto& c : conditions) oss << c.to_string() << "; ";
+    oss << "}\n";
+  }
+  oss << "  " << behaviors.to_string() << "\n}";
+  return oss.str();
+}
+
+const PropertyDef* ServiceSpec::find_property(const std::string& n) const {
+  for (const auto& p : properties) {
+    if (p.name == n) return &p;
+  }
+  return nullptr;
+}
+
+const InterfaceDef* ServiceSpec::find_interface(const std::string& n) const {
+  for (const auto& i : interfaces) {
+    if (i.name == n) return &i;
+  }
+  return nullptr;
+}
+
+const ComponentDef* ServiceSpec::find_component(const std::string& n) const {
+  for (const auto& c : components) {
+    if (c.name == n) return &c;
+  }
+  return nullptr;
+}
+
+std::vector<const ComponentDef*> ServiceSpec::implementers_of(
+    const std::string& iface) const {
+  std::vector<const ComponentDef*> out;
+  for (const auto& c : components) {
+    if (c.find_implements(iface) != nullptr) out.push_back(&c);
+  }
+  return out;
+}
+
+namespace {
+
+util::Status check_assignment(const ServiceSpec& spec,
+                              const ComponentDef& comp,
+                              const InterfaceDef* iface,
+                              const PropertyAssignment& pa,
+                              const char* where) {
+  const PropertyDef* prop = spec.find_property(pa.property);
+  if (prop == nullptr) {
+    return util::invalid_argument("component '" + comp.name + "' " + where +
+                                  " references undeclared property '" +
+                                  pa.property + "'");
+  }
+  if (iface != nullptr && !iface->has_property(pa.property)) {
+    return util::invalid_argument(
+        "component '" + comp.name + "' " + where + " sets property '" +
+        pa.property + "' not declared on interface '" + iface->name + "'");
+  }
+  if (pa.value.kind == ValueExpr::Kind::kLiteral &&
+      !prop->admits(pa.value.literal)) {
+    return util::invalid_argument(
+        "component '" + comp.name + "' " + where + ": value " +
+        pa.value.literal.to_string() + " out of range for property '" +
+        pa.property + "'");
+  }
+  if (pa.value.kind == ValueExpr::Kind::kFactorRef) {
+    const bool declared =
+        std::any_of(comp.factors.begin(), comp.factors.end(),
+                    [&](const PropertyAssignment& f) {
+                      return f.property == pa.value.ref_name;
+                    });
+    if (!declared) {
+      return util::invalid_argument("component '" + comp.name + "' " + where +
+                                    " references undeclared factor '" +
+                                    pa.value.ref_name + "'");
+    }
+  }
+  return util::Status::ok();
+}
+
+}  // namespace
+
+util::Status ServiceSpec::validate() const {
+  if (name.empty()) return util::invalid_argument("service name is empty");
+
+  std::set<std::string> seen;
+  for (const auto& p : properties) {
+    if (!seen.insert("p:" + p.name).second) {
+      return util::already_exists("duplicate property '" + p.name + "'");
+    }
+    if (p.type == PropertyType::kInterval && p.interval_lo > p.interval_hi) {
+      return util::invalid_argument("property '" + p.name +
+                                    "' has an empty interval");
+    }
+  }
+  for (const auto& i : interfaces) {
+    if (!seen.insert("i:" + i.name).second) {
+      return util::already_exists("duplicate interface '" + i.name + "'");
+    }
+    for (const auto& p : i.properties) {
+      if (find_property(p) == nullptr) {
+        return util::invalid_argument("interface '" + i.name +
+                                      "' references undeclared property '" +
+                                      p + "'");
+      }
+    }
+  }
+
+  for (const auto& c : components) {
+    if (!seen.insert("c:" + c.name).second) {
+      return util::already_exists("duplicate component '" + c.name + "'");
+    }
+    if (c.is_view()) {
+      const ComponentDef* rep = find_component(c.represents);
+      if (rep == nullptr) {
+        return util::invalid_argument("view '" + c.name +
+                                      "' represents unknown component '" +
+                                      c.represents + "'");
+      }
+      if (rep->is_view()) {
+        return util::invalid_argument("view '" + c.name +
+                                      "' represents another view '" +
+                                      c.represents + "' (must be a component)");
+      }
+    } else if (!c.represents.empty()) {
+      return util::invalid_argument("component '" + c.name +
+                                    "' has Represents but is not a view");
+    }
+    if (c.implements.empty()) {
+      return util::invalid_argument("component '" + c.name +
+                                    "' implements no interface");
+    }
+    for (const auto& decl : c.implements) {
+      const InterfaceDef* iface = find_interface(decl.interface_name);
+      if (iface == nullptr) {
+        return util::invalid_argument("component '" + c.name +
+                                      "' implements unknown interface '" +
+                                      decl.interface_name + "'");
+      }
+      for (const auto& pa : decl.properties) {
+        if (auto st = check_assignment(*this, c, iface, pa, "implements");
+            !st) {
+          return st;
+        }
+      }
+    }
+    for (const auto& decl : c.requires_) {
+      const InterfaceDef* iface = find_interface(decl.interface_name);
+      if (iface == nullptr) {
+        return util::invalid_argument("component '" + c.name +
+                                      "' requires unknown interface '" +
+                                      decl.interface_name + "'");
+      }
+      for (const auto& pa : decl.properties) {
+        if (auto st = check_assignment(*this, c, iface, pa, "requires");
+            !st) {
+          return st;
+        }
+      }
+    }
+    for (const auto& f : c.factors) {
+      if (auto st = check_assignment(*this, c, nullptr, f, "factors"); !st) {
+        return st;
+      }
+      if (f.value.kind == ValueExpr::Kind::kFactorRef) {
+        return util::invalid_argument("component '" + c.name +
+                                      "': factor may not reference a factor");
+      }
+    }
+    for (const auto& cond : c.conditions) {
+      if (find_property(cond.property) == nullptr) {
+        return util::invalid_argument("component '" + c.name +
+                                      "' condition on undeclared property '" +
+                                      cond.property + "'");
+      }
+    }
+    if (c.behaviors.rrf < 0.0 || c.behaviors.rrf > 1.0) {
+      return util::invalid_argument("component '" + c.name +
+                                    "': rrf must be in [0, 1]");
+    }
+  }
+
+  for (const auto& rule : rules.all()) {
+    if (find_property(rule.property) == nullptr) {
+      return util::invalid_argument(
+          "modification rule on undeclared property '" + rule.property + "'");
+    }
+  }
+  return util::Status::ok();
+}
+
+std::string ServiceSpec::to_string() const {
+  std::ostringstream oss;
+  oss << "service " << name << " {\n";
+  for (const auto& p : properties) oss << "  " << p.to_string() << "\n";
+  for (const auto& i : interfaces) oss << "  " << i.to_string() << "\n";
+  for (const auto& r : rules.all()) oss << "  " << r.to_string() << "\n";
+  for (const auto& c : components) oss << c.to_string() << "\n";
+  oss << "}";
+  return oss.str();
+}
+
+}  // namespace psf::spec

@@ -1,0 +1,156 @@
+// Object model of a declarative service specification (§3.1).
+//
+// A ServiceSpec mirrors the paper's Figure 2: properties, interfaces,
+// components and views (with Represents / Factors), linkage declarations
+// (Implements / Requires with property value expressions), installation
+// Conditions, resource Behaviors, and property modification rules (Fig. 4).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "spec/rules.hpp"
+#include "spec/value.hpp"
+#include "util/status.hpp"
+
+namespace psf::spec {
+
+enum class PropertyType { kBoolean, kInterval, kString };
+
+struct PropertyDef {
+  std::string name;
+  PropertyType type = PropertyType::kBoolean;
+  // For kInterval: inclusive bounds.
+  std::int64_t interval_lo = 0;
+  std::int64_t interval_hi = 0;
+
+  // Checks a literal against the declared type/range.
+  bool admits(const PropertyValue& v) const;
+  std::string to_string() const;
+};
+
+struct InterfaceDef {
+  std::string name;
+  std::vector<std::string> properties;  // names of PropertyDefs
+
+  bool has_property(const std::string& p) const;
+  std::string to_string() const;
+};
+
+// One property assignment inside an Implements / Requires / Factors block.
+struct PropertyAssignment {
+  std::string property;
+  ValueExpr value;
+
+  std::string to_string() const;
+};
+
+// An Implements or Requires declaration: interface + property expressions.
+struct LinkageDecl {
+  std::string interface_name;
+  std::vector<PropertyAssignment> properties;
+
+  std::optional<ValueExpr> value_of(const std::string& property) const;
+  std::string to_string(const char* keyword) const;
+};
+
+// Installation condition (§3.1 "Conditions"): a constraint on the translated
+// environment of the candidate node.
+struct Condition {
+  enum class Op { kEq, kGe, kLe, kInRange };
+
+  std::string property;           // environment property name
+  Op op = Op::kEq;
+  PropertyValue value;            // kEq / kGe / kLe
+  std::int64_t range_lo = 0;      // kInRange (inclusive)
+  std::int64_t range_hi = 0;
+
+  // Evaluates against a node environment. A missing environment property
+  // fails the condition (fail closed — this is a security check).
+  bool holds(const Environment& env) const;
+  std::string to_string() const;
+};
+
+// Resource behaviours (§3.1 "Behaviors"). Units:
+//  - capacity_rps: requests/second this component can absorb (0 = unbounded);
+//  - rrf: Request Reduction Factor — fraction of incoming requests forwarded
+//    along each required linkage (paper: ViewMailServer RRF = 0.2);
+//  - cpu_per_request: abstract cpu units consumed per request;
+//  - bytes_per_request / bytes_per_response: average wire sizes;
+//  - code_size_bytes: size of the mobile code charged when the runtime
+//    "downloads" the component to a node.
+struct Behaviors {
+  double capacity_rps = 0.0;
+  double rrf = 1.0;
+  double cpu_per_request = 100.0;
+  std::uint64_t bytes_per_request = 1024;
+  std::uint64_t bytes_per_response = 1024;
+  std::uint64_t code_size_bytes = 64 * 1024;
+
+  std::string to_string() const;
+};
+
+enum class ComponentKind { kComponent, kObjectView, kDataView };
+
+struct ComponentDef {
+  std::string name;
+  ComponentKind kind = ComponentKind::kComponent;
+  std::string represents;  // views: name of the represented component
+
+  // Factors (views only): named bindings evaluated against the candidate
+  // node environment when the view is instantiated, referenced from
+  // implements/requires expressions as `factor.Name`.
+  std::vector<PropertyAssignment> factors;
+
+  std::vector<LinkageDecl> implements;
+  std::vector<LinkageDecl> requires_;
+  std::vector<Condition> conditions;
+  Behaviors behaviors;
+
+  // Transparent components (e.g. Encryptor/Decryptor) pass through interface
+  // properties they do not explicitly set: the effective implemented value is
+  // taken from the component's downstream chain. This is what lets an
+  // Encryptor->Decryptor pair preserve the MailServer's TrustLevel=5 while
+  // restoring Confidentiality=T over an insecure link.
+  bool transparent = false;
+
+  // Static components are never instantiated on demand by the planner; only
+  // pre-placed instances (service registration's initial placements) can
+  // satisfy linkages to them. This expresses case-study constraints like
+  // "the primary mail server is located in New York" — a fresh stateful
+  // authority cannot be conjured at an arbitrary node.
+  bool static_placement = false;
+
+  bool is_view() const { return kind != ComponentKind::kComponent; }
+  const LinkageDecl* find_implements(const std::string& iface) const;
+  std::string to_string() const;
+};
+
+class ServiceSpec {
+ public:
+  std::string name;
+  std::vector<PropertyDef> properties;
+  std::vector<InterfaceDef> interfaces;
+  std::vector<ComponentDef> components;
+  RuleSet rules;
+
+  const PropertyDef* find_property(const std::string& n) const;
+  const InterfaceDef* find_interface(const std::string& n) const;
+  const ComponentDef* find_component(const std::string& n) const;
+
+  // Components whose Implements list contains `iface`.
+  std::vector<const ComponentDef*> implementers_of(
+      const std::string& iface) const;
+
+  // Structural validation: every reference resolves, literal values admit
+  // their property types, views represent real components, factor references
+  // are declared, rule properties exist. Returns the first problem found.
+  util::Status validate() const;
+
+  std::string to_string() const;
+};
+
+}  // namespace psf::spec

@@ -1,0 +1,480 @@
+#include "spec/parser.hpp"
+
+#include <utility>
+
+#include "spec/lexer.hpp"
+
+namespace psf::spec {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  util::Expected<ServiceSpec> parse() {
+    ServiceSpec spec;
+    if (auto st = expect_keyword("service"); !st) return st;
+    if (auto name = expect_ident(); !name) {
+      return name.status();
+    } else {
+      spec.name = *name;
+    }
+    if (auto st = expect(TokenKind::kLBrace); !st) return st;
+    while (!at(TokenKind::kRBrace)) {
+      if (at(TokenKind::kEnd)) return error("unexpected end of input");
+      const Token& t = peek();
+      if (t.kind != TokenKind::kIdent) {
+        return error("expected a declaration, got " + t.describe());
+      }
+      util::Status st = util::Status::ok();
+      if (t.text == "property") {
+        st = parse_property(spec);
+      } else if (t.text == "interface") {
+        st = parse_interface(spec);
+      } else if (t.text == "rule") {
+        st = parse_rule(spec);
+      } else if (t.text == "component") {
+        st = parse_component(spec, ComponentKind::kComponent);
+      } else if (t.text == "view") {
+        st = parse_component(spec, ComponentKind::kDataView);
+      } else if (t.text == "object" || t.text == "data") {
+        const ComponentKind kind = t.text == "object"
+                                       ? ComponentKind::kObjectView
+                                       : ComponentKind::kDataView;
+        advance();
+        if (auto kw = expect_keyword("view"); !kw) return kw;
+        st = parse_component(spec, kind, /*consumed_view_keyword=*/true);
+      } else {
+        return error("unknown declaration '" + t.text + "'");
+      }
+      if (!st) return st;
+    }
+    advance();  // consume '}'
+    if (!at(TokenKind::kEnd)) {
+      return error("trailing input after service body");
+    }
+    if (auto st = spec.validate(); !st) return st;
+    return spec;
+  }
+
+ private:
+  const Token& peek() const { return tokens_[pos_]; }
+  const Token& advance() { return tokens_[pos_++]; }
+  bool at(TokenKind kind) const { return peek().kind == kind; }
+  bool at_ident(std::string_view text) const {
+    return peek().kind == TokenKind::kIdent && peek().text == text;
+  }
+
+  util::Status error(const std::string& message) const {
+    const Token& t = peek();
+    return util::parse_error(message + " (line " + std::to_string(t.line) +
+                             ", column " + std::to_string(t.column) + ")");
+  }
+
+  util::Status expect(TokenKind kind) {
+    if (!at(kind)) {
+      Token want;
+      want.kind = kind;
+      return error("expected " + want.describe() + ", got " +
+                   peek().describe());
+    }
+    advance();
+    return util::Status::ok();
+  }
+
+  util::Status expect_keyword(std::string_view kw) {
+    if (!at_ident(kw)) {
+      return error("expected '" + std::string(kw) + "', got " +
+                   peek().describe());
+    }
+    advance();
+    return util::Status::ok();
+  }
+
+  util::Expected<std::string> expect_ident() {
+    if (!at(TokenKind::kIdent)) {
+      return error("expected identifier, got " + peek().describe());
+    }
+    return advance().text;
+  }
+
+  util::Expected<std::int64_t> expect_int() {
+    if (!at(TokenKind::kInt)) {
+      return error("expected integer, got " + peek().describe());
+    }
+    return advance().int_value;
+  }
+
+  // value := T | F | true | false | INT | STRING
+  util::Expected<PropertyValue> parse_value() {
+    const Token& t = peek();
+    if (t.kind == TokenKind::kInt) {
+      advance();
+      return PropertyValue::integer(t.int_value);
+    }
+    if (t.kind == TokenKind::kString) {
+      advance();
+      return PropertyValue::string(t.text);
+    }
+    if (t.kind == TokenKind::kIdent) {
+      if (t.text == "T" || t.text == "true") {
+        advance();
+        return PropertyValue::boolean(true);
+      }
+      if (t.text == "F" || t.text == "false") {
+        advance();
+        return PropertyValue::boolean(false);
+      }
+    }
+    return error("expected a value (T/F, integer, or string), got " +
+                 t.describe());
+  }
+
+  // vexpr := value | node.X | link.X | factor.X | any
+  util::Expected<ValueExpr> parse_value_expr() {
+    if (at(TokenKind::kIdent)) {
+      const std::string& word = peek().text;
+      if (word == "any") {
+        advance();
+        return ValueExpr::any();
+      }
+      if (word == "node" || word == "link" || word == "factor") {
+        const std::string scope = advance().text;
+        if (auto st = expect(TokenKind::kDot); !st) return st;
+        auto name = expect_ident();
+        if (!name) return name.status();
+        if (scope == "factor") return ValueExpr::factor(*name);
+        return ValueExpr::env(
+            scope == "node" ? EnvScope::kNode : EnvScope::kLink, *name);
+      }
+    }
+    auto v = parse_value();
+    if (!v) return v.status();
+    return ValueExpr::lit(*v);
+  }
+
+  util::Status parse_property(ServiceSpec& spec) {
+    advance();  // 'property'
+    PropertyDef def;
+    if (auto name = expect_ident(); !name) {
+      return name.status();
+    } else {
+      def.name = *name;
+    }
+    if (auto st = expect(TokenKind::kLBrace); !st) return st;
+    if (auto st = expect_keyword("type"); !st) return st;
+    if (auto st = expect(TokenKind::kColon); !st) return st;
+    auto type_name = expect_ident();
+    if (!type_name) return type_name.status();
+    if (*type_name == "boolean") {
+      def.type = PropertyType::kBoolean;
+    } else if (*type_name == "string") {
+      def.type = PropertyType::kString;
+    } else if (*type_name == "interval") {
+      def.type = PropertyType::kInterval;
+      if (auto st = expect(TokenKind::kLParen); !st) return st;
+      auto lo = expect_int();
+      if (!lo) return lo.status();
+      if (auto st = expect(TokenKind::kComma); !st) return st;
+      auto hi = expect_int();
+      if (!hi) return hi.status();
+      if (auto st = expect(TokenKind::kRParen); !st) return st;
+      def.interval_lo = *lo;
+      def.interval_hi = *hi;
+    } else {
+      return error("unknown property type '" + *type_name + "'");
+    }
+    if (auto st = expect(TokenKind::kSemi); !st) return st;
+    if (auto st = expect(TokenKind::kRBrace); !st) return st;
+    spec.properties.push_back(std::move(def));
+    return util::Status::ok();
+  }
+
+  util::Status parse_interface(ServiceSpec& spec) {
+    advance();  // 'interface'
+    InterfaceDef def;
+    if (auto name = expect_ident(); !name) {
+      return name.status();
+    } else {
+      def.name = *name;
+    }
+    if (auto st = expect(TokenKind::kLBrace); !st) return st;
+    // Properties list is optional (an interface may be property-free).
+    if (at_ident("properties")) {
+      advance();
+      if (auto st = expect(TokenKind::kColon); !st) return st;
+      for (;;) {
+        auto prop = expect_ident();
+        if (!prop) return prop.status();
+        def.properties.push_back(*prop);
+        if (at(TokenKind::kComma)) {
+          advance();
+          continue;
+        }
+        break;
+      }
+      if (auto st = expect(TokenKind::kSemi); !st) return st;
+    }
+    if (auto st = expect(TokenKind::kRBrace); !st) return st;
+    spec.interfaces.push_back(std::move(def));
+    return util::Status::ok();
+  }
+
+  util::Expected<RulePattern> parse_pattern() {
+    if (at_ident("any")) {
+      advance();
+      return RulePattern::wildcard();
+    }
+    auto v = parse_value();
+    if (!v) return v.status();
+    return RulePattern::lit(*v);
+  }
+
+  util::Status parse_rule(ServiceSpec& spec) {
+    advance();  // 'rule'
+    PropertyModificationRule rule;
+    if (auto name = expect_ident(); !name) {
+      return name.status();
+    } else {
+      rule.property = *name;
+    }
+    if (auto st = expect(TokenKind::kLBrace); !st) return st;
+    while (!at(TokenKind::kRBrace)) {
+      if (at(TokenKind::kEnd)) return error("unexpected end of input in rule");
+      RuleRow row;
+      if (auto st = expect(TokenKind::kLParen); !st) return st;
+      auto in = parse_pattern();
+      if (!in) return in.status();
+      row.in = *in;
+      if (auto st = expect(TokenKind::kComma); !st) return st;
+      auto env = parse_pattern();
+      if (!env) return env.status();
+      row.env = *env;
+      if (auto st = expect(TokenKind::kRParen); !st) return st;
+      if (auto st = expect(TokenKind::kArrow); !st) return st;
+      if (at_ident("in")) {
+        advance();
+        row.out_kind = RuleRow::OutKind::kInput;
+      } else if (at_ident("env")) {
+        advance();
+        row.out_kind = RuleRow::OutKind::kEnvValue;
+      } else if (at_ident("min")) {
+        advance();
+        row.out_kind = RuleRow::OutKind::kMin;
+      } else {
+        auto v = parse_value();
+        if (!v) return v.status();
+        row.out_kind = RuleRow::OutKind::kLiteral;
+        row.out = *v;
+      }
+      if (auto st = expect(TokenKind::kSemi); !st) return st;
+      rule.rows.push_back(std::move(row));
+    }
+    advance();  // '}'
+    spec.rules.add(std::move(rule));
+    return util::Status::ok();
+  }
+
+  util::Expected<std::vector<PropertyAssignment>> parse_assign_block() {
+    std::vector<PropertyAssignment> out;
+    if (auto st = expect(TokenKind::kLBrace); !st) return st;
+    while (!at(TokenKind::kRBrace)) {
+      if (at(TokenKind::kEnd)) {
+        return error("unexpected end of input in assignment block");
+      }
+      PropertyAssignment pa;
+      auto name = expect_ident();
+      if (!name) return name.status();
+      pa.property = *name;
+      if (auto st = expect(TokenKind::kAssign); !st) return st;
+      auto value = parse_value_expr();
+      if (!value) return value.status();
+      pa.value = *value;
+      if (auto st = expect(TokenKind::kSemi); !st) return st;
+      out.push_back(std::move(pa));
+    }
+    advance();  // '}'
+    return out;
+  }
+
+  util::Status parse_conditions(ComponentDef& comp) {
+    if (auto st = expect(TokenKind::kLBrace); !st) return st;
+    while (!at(TokenKind::kRBrace)) {
+      if (at(TokenKind::kEnd)) {
+        return error("unexpected end of input in conditions");
+      }
+      Condition cond;
+      // Optional `node.` prefix; conditions always evaluate on the node env.
+      if (at_ident("node")) {
+        advance();
+        if (auto st = expect(TokenKind::kDot); !st) return st;
+      }
+      auto prop = expect_ident();
+      if (!prop) return prop.status();
+      cond.property = *prop;
+      if (at(TokenKind::kEq) || at(TokenKind::kAssign)) {
+        advance();
+        cond.op = Condition::Op::kEq;
+        auto v = parse_value();
+        if (!v) return v.status();
+        cond.value = *v;
+      } else if (at(TokenKind::kGe)) {
+        advance();
+        cond.op = Condition::Op::kGe;
+        auto v = parse_value();
+        if (!v) return v.status();
+        cond.value = *v;
+      } else if (at(TokenKind::kLe)) {
+        advance();
+        cond.op = Condition::Op::kLe;
+        auto v = parse_value();
+        if (!v) return v.status();
+        cond.value = *v;
+      } else if (at_ident("in")) {
+        advance();
+        cond.op = Condition::Op::kInRange;
+        if (auto st = expect(TokenKind::kLParen); !st) return st;
+        auto lo = expect_int();
+        if (!lo) return lo.status();
+        if (auto st = expect(TokenKind::kComma); !st) return st;
+        auto hi = expect_int();
+        if (!hi) return hi.status();
+        if (auto st = expect(TokenKind::kRParen); !st) return st;
+        cond.range_lo = *lo;
+        cond.range_hi = *hi;
+      } else {
+        return error("expected a condition operator (==, >=, <=, in), got " +
+                     peek().describe());
+      }
+      if (auto st = expect(TokenKind::kSemi); !st) return st;
+      comp.conditions.push_back(std::move(cond));
+    }
+    advance();  // '}'
+    return util::Status::ok();
+  }
+
+  util::Status parse_behaviors(ComponentDef& comp) {
+    if (auto st = expect(TokenKind::kLBrace); !st) return st;
+    while (!at(TokenKind::kRBrace)) {
+      if (at(TokenKind::kEnd)) {
+        return error("unexpected end of input in behaviors");
+      }
+      auto key = expect_ident();
+      if (!key) return key.status();
+      if (auto st = expect(TokenKind::kColon); !st) return st;
+      if (!at(TokenKind::kInt) && !at(TokenKind::kFloat)) {
+        return error("expected a number for behavior '" + *key + "', got " +
+                     peek().describe());
+      }
+      double value = advance().float_value;
+      // Optional size unit for byte quantities.
+      if (at_ident("KB")) {
+        advance();
+        value *= 1024.0;
+      } else if (at_ident("MB")) {
+        advance();
+        value *= 1024.0 * 1024.0;
+      }
+      if (*key == "capacity") {
+        comp.behaviors.capacity_rps = value;
+      } else if (*key == "rrf") {
+        comp.behaviors.rrf = value;
+      } else if (*key == "cpu_per_request") {
+        comp.behaviors.cpu_per_request = value;
+      } else if (*key == "bytes_per_request") {
+        comp.behaviors.bytes_per_request = static_cast<std::uint64_t>(value);
+      } else if (*key == "bytes_per_response") {
+        comp.behaviors.bytes_per_response = static_cast<std::uint64_t>(value);
+      } else if (*key == "code_size") {
+        comp.behaviors.code_size_bytes = static_cast<std::uint64_t>(value);
+      } else {
+        return error("unknown behavior '" + *key + "'");
+      }
+      if (auto st = expect(TokenKind::kSemi); !st) return st;
+    }
+    advance();  // '}'
+    return util::Status::ok();
+  }
+
+  util::Status parse_component(ServiceSpec& spec, ComponentKind kind,
+                               bool consumed_view_keyword = false) {
+    if (!consumed_view_keyword) advance();  // 'component' or 'view'
+    ComponentDef comp;
+    comp.kind = kind;
+    if (auto name = expect_ident(); !name) {
+      return name.status();
+    } else {
+      comp.name = *name;
+    }
+    if (kind != ComponentKind::kComponent) {
+      if (auto st = expect_keyword("represents"); !st) return st;
+      auto rep = expect_ident();
+      if (!rep) return rep.status();
+      comp.represents = *rep;
+    }
+    if (auto st = expect(TokenKind::kLBrace); !st) return st;
+    while (!at(TokenKind::kRBrace)) {
+      if (at(TokenKind::kEnd)) {
+        return error("unexpected end of input in component body");
+      }
+      if (!at(TokenKind::kIdent)) {
+        return error("expected a component member, got " + peek().describe());
+      }
+      const std::string member = peek().text;
+      if (member == "transparent") {
+        advance();
+        if (auto st = expect(TokenKind::kSemi); !st) return st;
+        comp.transparent = true;
+      } else if (member == "static") {
+        advance();
+        if (auto st = expect(TokenKind::kSemi); !st) return st;
+        comp.static_placement = true;
+      } else if (member == "factors") {
+        advance();
+        auto assigns = parse_assign_block();
+        if (!assigns) return assigns.status();
+        comp.factors = std::move(*assigns);
+      } else if (member == "implements" || member == "requires") {
+        advance();
+        LinkageDecl decl;
+        auto iface = expect_ident();
+        if (!iface) return iface.status();
+        decl.interface_name = *iface;
+        auto assigns = parse_assign_block();
+        if (!assigns) return assigns.status();
+        decl.properties = std::move(*assigns);
+        if (member == "implements") {
+          comp.implements.push_back(std::move(decl));
+        } else {
+          comp.requires_.push_back(std::move(decl));
+        }
+      } else if (member == "conditions") {
+        advance();
+        if (auto st = parse_conditions(comp); !st) return st;
+      } else if (member == "behaviors") {
+        advance();
+        if (auto st = parse_behaviors(comp); !st) return st;
+      } else {
+        return error("unknown component member '" + member + "'");
+      }
+    }
+    advance();  // '}'
+    spec.components.push_back(std::move(comp));
+    return util::Status::ok();
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+util::Expected<ServiceSpec> parse_spec(std::string_view source) {
+  auto tokens = tokenize(source);
+  if (!tokens) return tokens.status();
+  Parser parser(std::move(*tokens));
+  return parser.parse();
+}
+
+}  // namespace psf::spec

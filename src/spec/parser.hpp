@@ -1,0 +1,44 @@
+// Recursive-descent parser for PSDL service specifications.
+//
+// Grammar sketch (see tests/spec_parser_test.cpp and src/mail/mail_spec.cpp
+// for complete worked examples):
+//
+//   spec       := "service" IDENT "{" item* "}"
+//   item       := property | interface | rule | component | view
+//   property   := "property" IDENT "{" "type" ":" ptype ";" "}"
+//   ptype      := "boolean" | "string" | "interval" "(" INT "," INT ")"
+//   interface  := "interface" IDENT "{" "properties" ":" ident-list ";" "}"
+//   rule       := "rule" IDENT "{" row* "}"
+//   row        := "(" pattern "," pattern ")" "->" out ";"
+//   pattern    := "any" | value
+//   out        := "in" | "env" | "min" | value
+//   component  := "component" IDENT body
+//   view       := ("object" | "data")? "view" IDENT "represents" IDENT body
+//   body       := "{" member* "}"
+//   member     := "transparent" ";"
+//              | "factors" assigns
+//              | "implements" IDENT assigns
+//              | "requires" IDENT assigns
+//              | "conditions" "{" (condition ";")* "}"
+//              | "behaviors" "{" (IDENT ":" number unit? ";")* "}"
+//   assigns    := "{" (IDENT "=" vexpr ";")* "}"
+//   vexpr      := value | ("node"|"link"|"factor") "." IDENT | "any"
+//   condition  := ("node" ".")? IDENT ( "==" value | ">=" value
+//              | "<=" value | "in" "(" INT "," INT ")" )
+//   value      := "T" | "F" | "true" | "false" | INT | STRING
+//   unit       := "KB" | "MB"   (behaviors byte quantities)
+//
+// The parser returns the first error with source location; a successfully
+// parsed spec is additionally run through ServiceSpec::validate().
+#pragma once
+
+#include <string_view>
+
+#include "spec/model.hpp"
+#include "util/status.hpp"
+
+namespace psf::spec {
+
+util::Expected<ServiceSpec> parse_spec(std::string_view source);
+
+}  // namespace psf::spec

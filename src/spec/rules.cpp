@@ -1,0 +1,57 @@
+#include "spec/rules.hpp"
+
+#include <sstream>
+
+namespace psf::spec {
+
+std::string RuleRow::to_string() const {
+  std::ostringstream oss;
+  oss << "(" << in.to_string() << ", " << env.to_string() << ") -> ";
+  switch (out_kind) {
+    case OutKind::kLiteral: oss << out.to_string(); break;
+    case OutKind::kInput: oss << "in"; break;
+    case OutKind::kEnvValue: oss << "env"; break;
+    case OutKind::kMin: oss << "min(in, env)"; break;
+  }
+  return oss.str();
+}
+
+PropertyValue PropertyModificationRule::apply(const PropertyValue& in,
+                                              const PropertyValue& env) const {
+  for (const RuleRow& row : rows) {
+    if (!row.in.matches(in) || !row.env.matches(env)) continue;
+    switch (row.out_kind) {
+      case RuleRow::OutKind::kLiteral: return row.out;
+      case RuleRow::OutKind::kInput: return in;
+      case RuleRow::OutKind::kEnvValue: return env;
+      case RuleRow::OutKind::kMin: return PropertyValue::min_of(in, env);
+    }
+  }
+  return in;
+}
+
+std::string PropertyModificationRule::to_string() const {
+  std::ostringstream oss;
+  oss << "rule " << property << " {";
+  for (const RuleRow& row : rows) oss << " " << row.to_string() << ";";
+  oss << " }";
+  return oss.str();
+}
+
+const PropertyModificationRule* RuleSet::find(
+    const std::string& property) const {
+  for (const auto& r : rules_) {
+    if (r.property == property) return &r;
+  }
+  return nullptr;
+}
+
+PropertyValue RuleSet::apply(const std::string& property,
+                             const PropertyValue& in,
+                             const PropertyValue& env) const {
+  const PropertyModificationRule* rule = find(property);
+  if (rule == nullptr) return in;
+  return rule->apply(in, env);
+}
+
+}  // namespace psf::spec

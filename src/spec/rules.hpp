@@ -1,0 +1,81 @@
+// Property modification rules (paper Fig. 4).
+//
+// A rule table describes how the environment transforms an interface
+// property as it crosses a node/link: e.g. Confidentiality stays T only
+// across environments that are themselves T. Patterns may be literal values
+// or ANY; the first matching row wins (the paper's table is order-free
+// because its rows are disjoint, but first-match keeps semantics defined for
+// overlapping user tables).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "spec/value.hpp"
+
+namespace psf::spec {
+
+struct RulePattern {
+  bool any = false;
+  PropertyValue value;
+
+  static RulePattern wildcard() { return RulePattern{true, {}}; }
+  static RulePattern lit(PropertyValue v) {
+    return RulePattern{false, std::move(v)};
+  }
+
+  bool matches(const PropertyValue& v) const {
+    return any || value == v;
+  }
+  std::string to_string() const { return any ? "any" : value.to_string(); }
+};
+
+struct RuleRow {
+  RulePattern in;
+  RulePattern env;
+  // Output: either a literal, or "pass through the input" / "pass through
+  // the env value" — the latter two let one row express e.g.
+  // (any, any) -> min(in, env) style degradation for interval properties.
+  enum class OutKind { kLiteral, kInput, kEnvValue, kMin };
+  OutKind out_kind = OutKind::kLiteral;
+  PropertyValue out;
+
+  std::string to_string() const;
+};
+
+class PropertyModificationRule {
+ public:
+  std::string property;
+  std::vector<RuleRow> rows;
+
+  // Applies the table: returns the transformed value, or the input unchanged
+  // when no row matches (identity default — a property with no rule is
+  // unaffected by the environment).
+  PropertyValue apply(const PropertyValue& in,
+                      const PropertyValue& env) const;
+
+  std::string to_string() const;
+};
+
+class RuleSet {
+ public:
+  void add(PropertyModificationRule rule) {
+    rules_.push_back(std::move(rule));
+  }
+
+  const PropertyModificationRule* find(const std::string& property) const;
+
+  // Transform `in` for property `property` across an environment whose
+  // translated value for that property is `env`. Identity if no rule.
+  PropertyValue apply(const std::string& property, const PropertyValue& in,
+                      const PropertyValue& env) const;
+
+  const std::vector<PropertyModificationRule>& all() const { return rules_; }
+  bool empty() const { return rules_.empty(); }
+
+ private:
+  std::vector<PropertyModificationRule> rules_;
+};
+
+}  // namespace psf::spec

@@ -1,0 +1,196 @@
+#include "spec/serialize.hpp"
+
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace psf::spec {
+
+namespace {
+
+// Shortest representation that parses back to the same double.
+std::string number(double v) {
+  std::ostringstream oss;
+  oss << std::setprecision(std::numeric_limits<double>::max_digits10) << v;
+  return oss.str();
+}
+
+std::string value_literal(const PropertyValue& v) {
+  PSF_CHECK_MSG(v.is_set(), "cannot serialize an unset literal");
+  return v.to_string();  // T/F, integer, or a quoted string — all PSDL
+}
+
+std::string value_expr(const ValueExpr& e) {
+  switch (e.kind) {
+    case ValueExpr::Kind::kLiteral:
+      return value_literal(e.literal);
+    case ValueExpr::Kind::kEnvRef:
+      return (e.env_scope == EnvScope::kNode ? "node." : "link.") +
+             e.ref_name;
+    case ValueExpr::Kind::kFactorRef:
+      return "factor." + e.ref_name;
+    case ValueExpr::Kind::kAny:
+      return "any";
+  }
+  return "any";
+}
+
+void emit_assignments(std::ostringstream& oss, const char* indent,
+                      const std::vector<PropertyAssignment>& assignments) {
+  oss << "{";
+  if (assignments.empty()) {
+    oss << " }";
+    return;
+  }
+  oss << "\n";
+  for (const auto& pa : assignments) {
+    oss << indent << "  " << pa.property << " = " << value_expr(pa.value)
+        << ";\n";
+  }
+  oss << indent << "}";
+}
+
+void emit_component(std::ostringstream& oss, const ComponentDef& comp) {
+  switch (comp.kind) {
+    case ComponentKind::kComponent:
+      oss << "  component " << comp.name;
+      break;
+    case ComponentKind::kObjectView:
+      oss << "  object view " << comp.name << " represents "
+          << comp.represents;
+      break;
+    case ComponentKind::kDataView:
+      oss << "  data view " << comp.name << " represents " << comp.represents;
+      break;
+  }
+  oss << " {\n";
+  if (comp.transparent) oss << "    transparent;\n";
+  if (comp.static_placement) oss << "    static;\n";
+  if (!comp.factors.empty()) {
+    oss << "    factors ";
+    emit_assignments(oss, "    ", comp.factors);
+    oss << "\n";
+  }
+  for (const auto& decl : comp.implements) {
+    oss << "    implements " << decl.interface_name << " ";
+    emit_assignments(oss, "    ", decl.properties);
+    oss << "\n";
+  }
+  for (const auto& decl : comp.requires_) {
+    oss << "    requires " << decl.interface_name << " ";
+    emit_assignments(oss, "    ", decl.properties);
+    oss << "\n";
+  }
+  if (!comp.conditions.empty()) {
+    oss << "    conditions {\n";
+    for (const auto& cond : comp.conditions) {
+      oss << "      node." << cond.property;
+      switch (cond.op) {
+        case Condition::Op::kEq:
+          oss << " == " << value_literal(cond.value);
+          break;
+        case Condition::Op::kGe:
+          oss << " >= " << value_literal(cond.value);
+          break;
+        case Condition::Op::kLe:
+          oss << " <= " << value_literal(cond.value);
+          break;
+        case Condition::Op::kInRange:
+          oss << " in (" << cond.range_lo << ", " << cond.range_hi << ")";
+          break;
+      }
+      oss << ";\n";
+    }
+    oss << "    }\n";
+  }
+  const Behaviors& b = comp.behaviors;
+  oss << "    behaviors {\n";
+  oss << "      capacity: " << number(b.capacity_rps) << ";\n";
+  oss << "      rrf: " << number(b.rrf) << ";\n";
+  oss << "      cpu_per_request: " << number(b.cpu_per_request) << ";\n";
+  oss << "      bytes_per_request: " << b.bytes_per_request << ";\n";
+  oss << "      bytes_per_response: " << b.bytes_per_response << ";\n";
+  oss << "      code_size: " << b.code_size_bytes << ";\n";
+  oss << "    }\n";
+  oss << "  }\n";
+}
+
+std::string pattern(const RulePattern& p) {
+  return p.any ? "any" : value_literal(p.value);
+}
+
+}  // namespace
+
+std::string serialize_spec(const ServiceSpec& spec) {
+  std::ostringstream oss;
+  oss << "service " << spec.name << " {\n";
+
+  for (const auto& p : spec.properties) {
+    oss << "  property " << p.name << " { type: ";
+    switch (p.type) {
+      case PropertyType::kBoolean:
+        oss << "boolean";
+        break;
+      case PropertyType::kInterval:
+        oss << "interval(" << p.interval_lo << ", " << p.interval_hi << ")";
+        break;
+      case PropertyType::kString:
+        oss << "string";
+        break;
+    }
+    oss << "; }\n";
+  }
+
+  for (const auto& i : spec.interfaces) {
+    oss << "  interface " << i.name << " { ";
+    if (!i.properties.empty()) {
+      oss << "properties: ";
+      for (std::size_t k = 0; k < i.properties.size(); ++k) {
+        if (k) oss << ", ";
+        oss << i.properties[k];
+      }
+      oss << "; ";
+    }
+    oss << "}\n";
+  }
+
+  for (const auto& rule : spec.rules.all()) {
+    oss << "  rule " << rule.property << " {\n";
+    for (const auto& row : rule.rows) {
+      oss << "    (" << pattern(row.in) << ", " << pattern(row.env)
+          << ") -> ";
+      switch (row.out_kind) {
+        case RuleRow::OutKind::kLiteral:
+          oss << value_literal(row.out);
+          break;
+        case RuleRow::OutKind::kInput:
+          oss << "in";
+          break;
+        case RuleRow::OutKind::kEnvValue:
+          oss << "env";
+          break;
+        case RuleRow::OutKind::kMin:
+          oss << "min";
+          break;
+      }
+      oss << ";\n";
+    }
+    oss << "  }\n";
+  }
+
+  for (const auto& comp : spec.components) {
+    emit_component(oss, comp);
+  }
+  oss << "}\n";
+  return oss.str();
+}
+
+bool specs_equal(const ServiceSpec& a, const ServiceSpec& b) {
+  // The serializer is canonical: structural equality is string equality of
+  // the canonical form.
+  return serialize_spec(a) == serialize_spec(b);
+}
+
+}  // namespace psf::spec

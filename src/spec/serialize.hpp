@@ -1,0 +1,20 @@
+// PSDL serializer: renders a ServiceSpec back into parseable PSDL text.
+//
+// Guarantee (tested property): parse_spec(serialize_spec(s)) produces a spec
+// structurally identical to `s`. Useful for persisting programmatically
+// built specs, for diffing two specs, and as the canonical pretty-printer.
+#pragma once
+
+#include <string>
+
+#include "spec/model.hpp"
+
+namespace psf::spec {
+
+std::string serialize_spec(const ServiceSpec& spec);
+
+// Structural equality (field-by-field; used by round-trip tests and spec
+// diffing).
+bool specs_equal(const ServiceSpec& a, const ServiceSpec& b);
+
+}  // namespace psf::spec

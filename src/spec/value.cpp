@@ -1,0 +1,80 @@
+#include "spec/value.hpp"
+
+#include <sstream>
+
+namespace psf::spec {
+
+bool PropertyValue::satisfies(const PropertyValue& required) const {
+  if (!required.is_set()) return true;   // no requirement
+  if (!is_set()) return false;           // requirement but nothing offered
+  if (is_bool() && required.is_bool()) {
+    // F < T: offering T satisfies any boolean requirement; offering F only
+    // satisfies a requirement of F.
+    return as_bool() || !required.as_bool();
+  }
+  if (is_int() && required.is_int()) {
+    return as_int() >= required.as_int();
+  }
+  if (is_string() && required.is_string()) {
+    return as_string() == required.as_string();
+  }
+  return false;  // kind mismatch
+}
+
+PropertyValue PropertyValue::min_of(const PropertyValue& a,
+                                    const PropertyValue& b) {
+  if (!a.is_set()) return b;
+  if (!b.is_set()) return a;
+  if (a.is_bool() && b.is_bool()) {
+    return PropertyValue::boolean(a.as_bool() && b.as_bool());
+  }
+  if (a.is_int() && b.is_int()) {
+    return PropertyValue::integer(std::min(a.as_int(), b.as_int()));
+  }
+  if (a.is_string() && b.is_string() && a.as_string() == b.as_string()) {
+    return a;
+  }
+  return PropertyValue();
+}
+
+std::string PropertyValue::to_string() const {
+  struct Visitor {
+    std::string operator()(std::monostate) const { return "<unset>"; }
+    std::string operator()(bool b) const { return b ? "T" : "F"; }
+    std::string operator()(std::int64_t i) const { return std::to_string(i); }
+    std::string operator()(const std::string& s) const {
+      return "\"" + s + "\"";
+    }
+  };
+  return std::visit(Visitor{}, data_);
+}
+
+std::string ValueExpr::to_string() const {
+  switch (kind) {
+    case Kind::kLiteral:
+      return literal.to_string();
+    case Kind::kEnvRef:
+      return std::string(env_scope == EnvScope::kNode ? "node." : "link.") +
+             ref_name;
+    case Kind::kFactorRef:
+      return "factor." + ref_name;
+    case Kind::kAny:
+      return "any";
+  }
+  return "?";
+}
+
+std::string Environment::to_string() const {
+  std::ostringstream oss;
+  oss << "{";
+  bool first = true;
+  for (const auto& [name, value] : values_) {
+    if (!first) oss << ", ";
+    first = false;
+    oss << name << "=" << value.to_string();
+  }
+  oss << "}";
+  return oss.str();
+}
+
+}  // namespace psf::spec

@@ -1,0 +1,137 @@
+// Property value model for service specifications (§3.1 of the paper).
+//
+// A property value is a boolean, an integer (for Interval-typed properties)
+// or a string. The framework never interprets the *semantics* of a property
+// (the paper is explicit about this); it only needs:
+//   - a partial order for the compatibility check of §3.3 condition 2
+//     ("implemented must be a superset of required"): booleans F < T,
+//     integers numerically, strings comparable only when equal;
+//   - equality, for conditions and modification-rule patterns.
+//
+// ValueExpr extends literals with environment references (`node.TrustLevel`,
+// `link.Confidentiality`) and factor references (`factor.TrustLevel`), which
+// bind at planning time when a view is instantiated on a concrete node —
+// this is how the paper's `Factors` keyword produces multiple component
+// configurations from one view definition.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "util/assert.hpp"
+
+namespace psf::spec {
+
+class PropertyValue {
+ public:
+  PropertyValue() = default;  // "unset"
+  static PropertyValue boolean(bool b) { return PropertyValue(Data(b)); }
+  static PropertyValue integer(std::int64_t i) { return PropertyValue(Data(i)); }
+  static PropertyValue string(std::string s) {
+    return PropertyValue(Data(std::move(s)));
+  }
+
+  bool is_set() const { return !std::holds_alternative<std::monostate>(data_); }
+  bool is_bool() const { return std::holds_alternative<bool>(data_); }
+  bool is_int() const { return std::holds_alternative<std::int64_t>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+
+  bool as_bool() const {
+    PSF_CHECK(is_bool());
+    return std::get<bool>(data_);
+  }
+  std::int64_t as_int() const {
+    PSF_CHECK(is_int());
+    return std::get<std::int64_t>(data_);
+  }
+  const std::string& as_string() const {
+    PSF_CHECK(is_string());
+    return std::get<std::string>(data_);
+  }
+
+  bool operator==(const PropertyValue&) const = default;
+
+  // True when this value, offered by a server-side interface, satisfies
+  // `required`: booleans T satisfies {T,F}, F satisfies only F; integers
+  // offered >= required; strings must match exactly. Mixed kinds never
+  // satisfy. An unset offered value satisfies nothing; anything satisfies an
+  // unset requirement.
+  bool satisfies(const PropertyValue& required) const;
+
+  // Minimum of two comparable values (used by aggregation rules); returns
+  // unset when kinds differ.
+  static PropertyValue min_of(const PropertyValue& a, const PropertyValue& b);
+
+  std::string to_string() const;
+
+ private:
+  using Data = std::variant<std::monostate, bool, std::int64_t, std::string>;
+  explicit PropertyValue(Data d) : data_(std::move(d)) {}
+  Data data_;
+};
+
+enum class EnvScope { kNode, kLink };
+
+// A value expression appearing in Implements / Requires / Factors blocks.
+struct ValueExpr {
+  enum class Kind { kLiteral, kEnvRef, kFactorRef, kAny };
+
+  Kind kind = Kind::kLiteral;
+  PropertyValue literal;   // kLiteral
+  EnvScope env_scope = EnvScope::kNode;  // kEnvRef
+  std::string ref_name;    // kEnvRef: env property; kFactorRef: factor name
+
+  static ValueExpr lit(PropertyValue v) {
+    ValueExpr e;
+    e.kind = Kind::kLiteral;
+    e.literal = std::move(v);
+    return e;
+  }
+  static ValueExpr env(EnvScope scope, std::string name) {
+    ValueExpr e;
+    e.kind = Kind::kEnvRef;
+    e.env_scope = scope;
+    e.ref_name = std::move(name);
+    return e;
+  }
+  static ValueExpr factor(std::string name) {
+    ValueExpr e;
+    e.kind = Kind::kFactorRef;
+    e.ref_name = std::move(name);
+    return e;
+  }
+  static ValueExpr any() {
+    ValueExpr e;
+    e.kind = Kind::kAny;
+    return e;
+  }
+
+  bool operator==(const ValueExpr&) const = default;
+  std::string to_string() const;
+};
+
+// The translated service-property view of one node (or of one link) — the
+// output of credential translation (§3.3). Keys are service property names.
+class Environment {
+ public:
+  void set(std::string name, PropertyValue value) {
+    values_[std::move(name)] = std::move(value);
+  }
+
+  std::optional<PropertyValue> get(const std::string& name) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  const std::map<std::string, PropertyValue>& all() const { return values_; }
+  std::string to_string() const;
+
+ private:
+  std::map<std::string, PropertyValue> values_;
+};
+
+}  // namespace psf::spec

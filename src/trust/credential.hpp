@@ -1,0 +1,62 @@
+// Credential model for the miniature decentralized trust-management engine
+// (the paper's §6 points at dRBAC [10]; this is a small C++ rendition of the
+// subset the framework needs).
+//
+// Two credential kinds:
+//  - Assertion: issuer states that a subject principal holds role
+//    `namespace.role` (optionally with an integer value, e.g.
+//    mail.TrustLevel = 4);
+//  - Delegation: issuer states that holders of role B are granted role A in
+//    the issuer's namespace ("transforming properties in one namespace into
+//    properties in another ... issuing a different kind of credential",
+//    paper §6).
+//
+// A credential is only effective when its issuer is authorized for the
+// granted role's namespace: either the issuer *owns* the namespace, or the
+// issuer itself holds the role with the delegatable bit set.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace psf::trust {
+
+using Principal = std::string;
+
+// A role is "namespace.name"; the namespace identifies the owning authority.
+struct Role {
+  std::string ns;
+  std::string name;
+
+  std::string full_name() const { return ns + "." + name; }
+  bool operator==(const Role&) const = default;
+  auto operator<=>(const Role&) const = default;
+};
+
+enum class CredentialKind { kAssertion, kDelegation };
+
+struct TrustCredential {
+  std::uint64_t id = 0;  // assigned by the graph
+  CredentialKind kind = CredentialKind::kAssertion;
+  Principal issuer;
+
+  // kAssertion: `subject` holds `granted` (with optional value).
+  // kDelegation: holders of `via` are granted `granted`.
+  Principal subject;
+  Role granted;
+  Role via;
+
+  std::optional<std::int64_t> value;
+  bool delegatable = false;
+
+  // Validity window and revocation (monitored; see TrustGraph observers).
+  sim::Time not_after = sim::Time::max();
+  bool revoked = false;
+
+  std::string to_string() const;
+};
+
+}  // namespace psf::trust

@@ -1,0 +1,156 @@
+#include "trust/trust_graph.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace psf::trust {
+
+std::string TrustCredential::to_string() const {
+  std::ostringstream oss;
+  oss << "[" << id << "] " << issuer;
+  if (kind == CredentialKind::kAssertion) {
+    oss << " asserts " << subject << " has " << granted.full_name();
+  } else {
+    oss << " delegates " << granted.full_name() << " to holders of "
+        << via.full_name();
+  }
+  if (value) oss << " = " << *value;
+  if (delegatable) oss << " (delegatable)";
+  if (revoked) oss << " (revoked)";
+  return oss.str();
+}
+
+void TrustGraph::declare_namespace(const std::string& ns, Principal owner) {
+  namespace_owners_[ns] = std::move(owner);
+}
+
+std::optional<Principal> TrustGraph::namespace_owner(
+    const std::string& ns) const {
+  auto it = namespace_owners_.find(ns);
+  if (it == namespace_owners_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::uint64_t TrustGraph::add(TrustCredential credential) {
+  credential.id = credentials_.size();
+  credentials_.push_back(std::move(credential));
+  return credentials_.back().id;
+}
+
+util::Status TrustGraph::revoke(std::uint64_t credential_id) {
+  if (credential_id >= credentials_.size()) {
+    return util::not_found("no credential with id " +
+                           std::to_string(credential_id));
+  }
+  TrustCredential& c = credentials_[credential_id];
+  if (c.revoked) {
+    return util::failed_precondition("credential already revoked");
+  }
+  c.revoked = true;
+  for (const auto& observer : observers_) observer(c);
+  return util::Status::ok();
+}
+
+namespace {
+
+// Internal holding: value + whether it may be further delegated.
+struct Holding {
+  std::int64_t value = 0;
+  bool delegatable = false;
+};
+
+using WorkingSet = std::map<Principal, std::map<Role, Holding>>;
+
+// Merge a derived holding; returns true if anything changed (value grew or
+// delegatability was gained).
+bool merge(WorkingSet& ws, const Principal& p, const Role& r,
+           std::int64_t value, bool delegatable) {
+  Holding& h = ws[p][r];
+  bool changed = false;
+  if (value > h.value) {
+    h.value = value;
+    changed = true;
+  }
+  if (delegatable && !h.delegatable) {
+    h.delegatable = true;
+    changed = true;
+  }
+  return changed;
+}
+
+}  // namespace
+
+Holdings TrustGraph::holdings_of(const Principal& principal,
+                                 sim::Time now) const {
+  // Fixed point across all principals: delegations can chain through
+  // intermediate principals, so we derive globally and project at the end.
+  WorkingSet ws;
+
+  auto issuer_may_grant = [&](const Principal& issuer, const Role& role,
+                              std::int64_t* cap) -> bool {
+    auto owner = namespace_owner(role.ns);
+    if (owner && *owner == issuer) {
+      *cap = INT64_MAX;  // owners grant at full strength
+      return true;
+    }
+    auto pit = ws.find(issuer);
+    if (pit == ws.end()) return false;
+    auto rit = pit->second.find(role);
+    if (rit == pit->second.end() || !rit->second.delegatable) return false;
+    *cap = rit->second.value;  // cannot grant more than held
+    return true;
+  };
+
+  bool changed = true;
+  // Bound iterations defensively; each useful iteration adds at least one
+  // holding, and holdings are bounded by credentials × principals.
+  std::size_t guard = credentials_.size() * credentials_.size() + 2;
+  while (changed && guard-- > 0) {
+    changed = false;
+    for (const TrustCredential& c : credentials_) {
+      if (!credential_live(c, now)) continue;
+      std::int64_t cap = 0;
+      if (!issuer_may_grant(c.issuer, c.granted, &cap)) continue;
+      const std::int64_t asserted = c.value.value_or(1);
+      if (c.kind == CredentialKind::kAssertion) {
+        changed |= merge(ws, c.subject, c.granted, std::min(asserted, cap),
+                         c.delegatable);
+      } else {
+        // Delegation: every holder of `via` gains `granted`. An explicit
+        // value on the delegation sets the granted strength (the via role
+        // may live on a different namespace's scale — e.g. valueless
+        // partner membership granting TrustLevel=2); a valueless
+        // delegation inherits the via role's value. Either way the issuer
+        // cannot grant beyond its own authority (`cap`).
+        for (auto& [holder, roles] : ws) {
+          auto vit = roles.find(c.via);
+          if (vit == roles.end()) continue;
+          const std::int64_t via_value = vit->second.value;
+          const std::int64_t derived =
+              std::min(c.value.value_or(via_value), cap);
+          changed |= merge(ws, holder, c.granted, derived, c.delegatable);
+        }
+      }
+    }
+  }
+
+  Holdings out;
+  auto it = ws.find(principal);
+  if (it != ws.end()) {
+    for (const auto& [role, holding] : it->second) {
+      out[role] = holding.value;
+    }
+  }
+  return out;
+}
+
+std::optional<std::int64_t> TrustGraph::role_value(const Principal& principal,
+                                                   const Role& role,
+                                                   sim::Time now) const {
+  Holdings h = holdings_of(principal, now);
+  auto it = h.find(role);
+  if (it == h.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace psf::trust

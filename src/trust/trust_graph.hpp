@@ -1,0 +1,77 @@
+// Credential store + role-derivation engine.
+//
+// holdings_of(principal) computes the fixed point of role derivation: start
+// from authorized assertions about the principal, then repeatedly apply
+// authorized delegations until no new (role, value) pairs appear. Values
+// combine by maximum (holding TrustLevel=4 and TrustLevel=2 means 4), and a
+// delegation caps the derived value at the delegation's own value if it has
+// one (a delegation may grant a *weaker* version of a role, never a
+// stronger one).
+//
+// Observers fire on revocation so the framework can replan deployments whose
+// conditions relied on a now-invalid credential (paper §6: "continuous
+// monitoring of credential validity").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trust/credential.hpp"
+#include "util/status.hpp"
+
+namespace psf::trust {
+
+// (role -> effective integer value). Roles without values use value 1
+// (boolean-style possession).
+using Holdings = std::map<Role, std::int64_t>;
+
+class TrustGraph {
+ public:
+  // Declares `owner` as the authority for `ns`; assertions/delegations that
+  // grant roles in `ns` are only effective when issued by the owner or by a
+  // principal holding the role delegatably.
+  void declare_namespace(const std::string& ns, Principal owner);
+
+  std::optional<Principal> namespace_owner(const std::string& ns) const;
+
+  // Adds a credential; returns its id (usable with revoke()).
+  std::uint64_t add(TrustCredential credential);
+
+  util::Status revoke(std::uint64_t credential_id);
+
+  // All roles derivable for `principal` at time `now`, considering
+  // revocation and expiry.
+  Holdings holdings_of(const Principal& principal,
+                       sim::Time now = sim::Time::zero()) const;
+
+  // Convenience: the effective value of one role, if held.
+  std::optional<std::int64_t> role_value(const Principal& principal,
+                                         const Role& role,
+                                         sim::Time now = sim::Time::zero()) const;
+
+  // Observer invoked with the revoked credential.
+  using RevocationObserver = std::function<void(const TrustCredential&)>;
+  void add_revocation_observer(RevocationObserver observer) {
+    observers_.push_back(std::move(observer));
+  }
+
+  std::size_t credential_count() const { return credentials_.size(); }
+  const std::vector<TrustCredential>& credentials() const {
+    return credentials_;
+  }
+
+ private:
+  bool credential_live(const TrustCredential& c, sim::Time now) const {
+    return !c.revoked && now <= c.not_after;
+  }
+
+  std::map<std::string, Principal> namespace_owners_;
+  std::vector<TrustCredential> credentials_;
+  std::vector<RevocationObserver> observers_;
+};
+
+}  // namespace psf::trust

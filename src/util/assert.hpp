@@ -1,0 +1,43 @@
+// Runtime check macros used across the framework.
+//
+// PSF_CHECK is active in all build types: internal invariants of the
+// simulator and planner are cheap relative to the work they guard, and a
+// violated invariant would silently corrupt an experiment.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace psf::util {
+
+[[noreturn]] inline void check_failed(const char* file, int line,
+                                      const char* expr,
+                                      const std::string& message) {
+  std::fprintf(stderr, "PSF_CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               message.empty() ? "" : " — ", message.c_str());
+  std::abort();
+}
+
+}  // namespace psf::util
+
+#define PSF_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      ::psf::util::check_failed(__FILE__, __LINE__, #expr, "");      \
+    }                                                                \
+  } while (false)
+
+#define PSF_CHECK_MSG(expr, msg)                                     \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      std::ostringstream psf_check_oss_;                             \
+      psf_check_oss_ << msg;                                         \
+      ::psf::util::check_failed(__FILE__, __LINE__, #expr,           \
+                                psf_check_oss_.str());               \
+    }                                                                \
+  } while (false)
+
+#define PSF_UNREACHABLE(msg) \
+  ::psf::util::check_failed(__FILE__, __LINE__, "unreachable", msg)

@@ -1,0 +1,58 @@
+// Minimal leveled, thread-safe logger.
+//
+// Log lines go to stderr so bench stdout stays machine-parseable. The level
+// is process-global; benches default it to kWarn to keep output clean.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace psf::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+const char* log_level_name(LogLevel level);
+
+namespace detail {
+void log_write(LogLevel level, const std::string& line);
+}  // namespace detail
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+    const char* base = file;
+    for (const char* p = file; *p != '\0'; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    stream_ << "[" << log_level_name(level) << " " << base << ":" << line
+            << "] ";
+  }
+  ~LogMessage() { detail::log_write(level_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace psf::util
+
+#define PSF_LOG(level)                                                 \
+  if (::psf::util::LogLevel::level < ::psf::util::log_level()) {       \
+  } else                                                               \
+    ::psf::util::LogMessage(::psf::util::LogLevel::level, __FILE__,    \
+                            __LINE__)                                  \
+        .stream()
+
+#define PSF_TRACE() PSF_LOG(kTrace)
+#define PSF_DEBUG() PSF_LOG(kDebug)
+#define PSF_INFO() PSF_LOG(kInfo)
+#define PSF_WARN() PSF_LOG(kWarn)
+#define PSF_ERROR() PSF_LOG(kError)

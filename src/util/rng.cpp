@@ -1,0 +1,14 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace psf::util {
+
+double Rng::exponential(double rate) {
+  PSF_CHECK(rate > 0.0);
+  // Avoid log(0): next_double() is in [0, 1), so 1 - u is in (0, 1].
+  const double u = next_double();
+  return -std::log(1.0 - u) / rate;
+}
+
+}  // namespace psf::util

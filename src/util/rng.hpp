@@ -1,0 +1,103 @@
+// Deterministic random number generation.
+//
+// Every stochastic element of the framework (topology generation, workload
+// arrival jitter, planner tie-breaking) draws from an explicitly seeded
+// xoshiro256** instance so experiments are bit-reproducible across runs and
+// machines. std::mt19937 is avoided because distribution implementations
+// differ across standard libraries.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace psf::util {
+
+// SplitMix64: used to expand a single seed into xoshiro state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// xoshiro256** by Blackman & Vigna.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5EEDDEADBEEF1234ULL) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform integer in [lo, hi] inclusive. Uses rejection sampling to avoid
+  // modulo bias (matters for small ranges drawn many times).
+  std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi) {
+    PSF_CHECK(lo <= hi);
+    const std::uint64_t range = hi - lo;
+    if (range == std::numeric_limits<std::uint64_t>::max()) {
+      return next_u64();
+    }
+    const std::uint64_t bound = range + 1;
+    const std::uint64_t limit =
+        std::numeric_limits<std::uint64_t>::max() -
+        std::numeric_limits<std::uint64_t>::max() % bound;
+    std::uint64_t v = next_u64();
+    while (v >= limit) v = next_u64();
+    return lo + v % bound;
+  }
+
+  std::int64_t uniform_i64(std::int64_t lo, std::int64_t hi) {
+    PSF_CHECK(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    uniform_u64(0, static_cast<std::uint64_t>(hi - lo)));
+  }
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    PSF_CHECK(lo <= hi);
+    return lo + (hi - lo) * next_double();
+  }
+
+  bool bernoulli(double p) { return next_double() < p; }
+
+  // Exponential with given rate (mean 1/rate); used for Poisson arrivals.
+  double exponential(double rate);
+
+  // Derive an independent stream (e.g. one per simulated client).
+  Rng fork() { return Rng(next_u64()); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace psf::util

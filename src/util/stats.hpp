@@ -1,0 +1,80 @@
+// Online statistics accumulator (Welford) and simple histogram, used by the
+// benches to report mean/percentile latencies.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace psf::util {
+
+// Numerically stable running mean/variance.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = count_ == 1 ? x : std::min(min_, x);
+    max_ = count_ == 1 ? x : std::max(max_, x);
+  }
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double variance() const {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Retains samples for exact percentiles; fine at experiment scale
+// (hundreds of thousands of samples).
+class SampleSet {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+    stats_.add(x);
+  }
+
+  std::size_t count() const { return stats_.count(); }
+  double mean() const { return stats_.mean(); }
+  double stddev() const { return stats_.stddev(); }
+  double min() const { return stats_.min(); }
+  double max() const { return stats_.max(); }
+
+  // p in [0, 100]; nearest-rank percentile.
+  double percentile(double p) {
+    PSF_CHECK(p >= 0.0 && p <= 100.0);
+    PSF_CHECK(!samples_.empty());
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+    const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+  }
+
+ private:
+  std::vector<double> samples_;
+  RunningStats stats_;
+  bool sorted_ = true;
+};
+
+}  // namespace psf::util

@@ -1,0 +1,22 @@
+// Small string utilities shared by the PSDL parser and report printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace psf::util {
+
+std::string trim(std::string_view s);
+std::vector<std::string> split(std::string_view s, char delim);
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+std::string to_lower(std::string_view s);
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+// Formats a byte count / duration for humans ("1.5 MB", "230 us").
+std::string format_bytes(double bytes);
+std::string format_duration_us(double micros);
+
+}  // namespace psf::util

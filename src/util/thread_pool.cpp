@@ -1,0 +1,64 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace psf::util {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  PSF_CHECK(num_threads >= 1);
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  const std::size_t num_blocks = std::min(count, workers_.size() * 4);
+  const std::size_t block = (count + num_blocks - 1) / num_blocks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(num_blocks);
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    const std::size_t begin = b * block;
+    const std::size_t end = std::min(count, begin + block);
+    if (begin >= end) break;
+    futures.push_back(submit([begin, end, &fn] {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    }));
+  }
+  for (auto& f : futures) f.get();
+}
+
+std::size_t ThreadPool::default_thread_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace psf::util

@@ -1,0 +1,70 @@
+// Fixed-size thread pool used to parallelize the planner's exhaustive
+// mapping search across top-level placement choices.
+//
+// Design notes (CP.* of the C++ Core Guidelines):
+//  - tasks are plain std::function<void()>; results travel through futures
+//    created by the caller, so the pool itself holds no shared mutable state
+//    beyond the queue;
+//  - shutdown joins all threads in the destructor (RAII), so a pool can be
+//    created on the stack around a parallel phase.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace psf::util {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  // Enqueue a task; returns a future for its result.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      PSF_CHECK_MSG(!stopping_, "submit() after shutdown");
+      queue_.emplace_back([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  // Runs fn(i) for i in [0, count) across the pool and blocks until all
+  // iterations complete. Iterations are distributed in contiguous blocks to
+  // keep per-task overhead low.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+  // A sensible default: hardware concurrency, at least 1.
+  static std::size_t default_thread_count();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace psf::util

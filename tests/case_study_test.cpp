@@ -1,0 +1,179 @@
+// Reproduction of the paper's Fig. 6: the deployments the framework
+// generates for clients in New York, San Diego, and Seattle on the Fig. 5
+// topology must match the published ones exactly.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/case_study.hpp"
+#include "core/framework.hpp"
+#include "mail/mail_spec.hpp"
+#include "mail/registration.hpp"
+
+namespace psf {
+namespace {
+
+struct CaseStudyFixture : public ::testing::Test {
+  void SetUp() override {
+    net::Network network = core::case_study_network(&sites);
+    core::FrameworkOptions options;
+    options.lookup_node = sites.new_york[0];
+    options.server_node = sites.new_york[0];
+    fw = std::make_unique<core::Framework>(std::move(network), options);
+
+    config = std::make_shared<mail::MailServiceConfig>();
+    ASSERT_TRUE(
+        mail::register_mail_factories(fw->runtime().factories(), config)
+            .is_ok());
+    auto st = fw->register_service(mail::mail_registration(sites.mail_home),
+                                   mail::mail_translator());
+    ASSERT_TRUE(st.is_ok()) << st.to_string();
+  }
+
+  // Binds a proxy for a client at `node` requesting trust level `trust`.
+  runtime::AccessOutcome bind(net::NodeId node, std::int64_t trust) {
+    planner::PlanRequest defaults;
+    defaults.interface_name = "ClientInterface";
+    defaults.required_properties.emplace_back(
+        "TrustLevel", spec::PropertyValue::integer(trust));
+    defaults.request_rate_rps = 50.0;
+
+    auto proxy = fw->make_proxy(node, "SecureMail", defaults);
+    util::Status status = util::internal_error("incomplete");
+    proxy->bind([&status](util::Status st) { status = st; });
+    fw->simulator().run();
+    EXPECT_TRUE(status.is_ok()) << status.to_string();
+    return proxy->outcome();
+  }
+
+  // component name -> site prefix of its hosting node ("ny"/"sd"/"sea").
+  std::multimap<std::string, std::string> layout(
+      const planner::DeploymentPlan& plan) {
+    std::multimap<std::string, std::string> out;
+    for (const auto& p : plan.placements) {
+      const std::string& node = fw->network().node(p.node).name;
+      out.emplace(p.component->name, node.substr(0, node.find('-')));
+    }
+    return out;
+  }
+
+  core::CaseStudySites sites;
+  std::unique_ptr<core::Framework> fw;
+  mail::MailConfigPtr config;
+};
+
+TEST_F(CaseStudyFixture, NewYorkClientConnectsDirectly) {
+  auto outcome = bind(sites.ny_client, 4);
+  auto where = layout(outcome.plan);
+
+  // Fig. 6: "Client requests in New York result in the deployment of a
+  // MailClient component, which connects directly to the MailServer."
+  EXPECT_EQ(outcome.plan.placements.size(), 2u)
+      << outcome.plan.to_string(fw->network());
+  EXPECT_EQ(where.count("MailClient"), 1u);
+  EXPECT_EQ(where.find("MailClient")->second, "ny");
+  EXPECT_EQ(where.count("MailServer"), 1u);
+  EXPECT_EQ(where.count("ViewMailServer"), 0u);
+  EXPECT_EQ(where.count("Encryptor"), 0u);
+}
+
+TEST_F(CaseStudyFixture, SanDiegoClientGetsCachedEncryptedChain) {
+  auto outcome = bind(sites.sd_client, 4);
+  auto where = layout(outcome.plan);
+
+  // Fig. 6: MailClient + ViewMailServer + Encryptor in San Diego, a
+  // Decryptor in New York, terminating at the MailServer.
+  EXPECT_EQ(where.count("MailClient"), 1u);
+  EXPECT_EQ(where.find("MailClient")->second, "sd");
+  ASSERT_EQ(where.count("ViewMailServer"), 1u)
+      << outcome.plan.to_string(fw->network());
+  EXPECT_EQ(where.find("ViewMailServer")->second, "sd");
+  ASSERT_EQ(where.count("Encryptor"), 1u);
+  EXPECT_EQ(where.find("Encryptor")->second, "sd");
+  ASSERT_EQ(where.count("Decryptor"), 1u);
+  EXPECT_EQ(where.find("Decryptor")->second, "ny");
+  EXPECT_EQ(where.count("MailServer"), 1u);
+
+  // The ViewMailServer's trust factor bound to San Diego's level (4).
+  for (const auto& p : outcome.plan.placements) {
+    if (p.component->name != "ViewMailServer") continue;
+    auto it = p.factors.values.find("TrustLevel");
+    ASSERT_NE(it, p.factors.values.end());
+    EXPECT_EQ(it->second, spec::PropertyValue::integer(4));
+  }
+}
+
+TEST_F(CaseStudyFixture, SeattleClientChainsThroughSanDiego) {
+  // Deployments happen in the paper's order: San Diego first (its view then
+  // exists), then Seattle.
+  bind(sites.sd_client, 4);
+  auto outcome = bind(sites.sea_client, 2);
+  auto where = layout(outcome.plan);
+
+  // Fig. 6: ViewMailClient + ViewMailServer (lower trust) in Seattle,
+  // linked through an Encryptor/Decryptor pair to the *San Diego*
+  // ViewMailServer rather than to New York.
+  EXPECT_EQ(where.count("MailClient"), 0u)
+      << outcome.plan.to_string(fw->network());
+  ASSERT_EQ(where.count("ViewMailClient"), 1u);
+  EXPECT_EQ(where.find("ViewMailClient")->second, "sea");
+
+  std::set<std::string> view_sites;
+  for (auto [it, end] = where.equal_range("ViewMailServer"); it != end; ++it) {
+    view_sites.insert(it->second);
+  }
+  EXPECT_TRUE(view_sites.count("sea"))
+      << outcome.plan.to_string(fw->network());
+  EXPECT_TRUE(view_sites.count("sd"));
+
+  // The San Diego view is reused, not redeployed.
+  bool reused_sd_view = false;
+  for (const auto& p : outcome.plan.placements) {
+    if (p.component->name == "ViewMailServer" && p.reuse_existing) {
+      reused_sd_view = true;
+    }
+  }
+  EXPECT_TRUE(reused_sd_view) << outcome.plan.to_string(fw->network());
+
+  // No direct path to New York: the MailServer is not part of this plan.
+  EXPECT_EQ(where.count("MailServer"), 0u)
+      << outcome.plan.to_string(fw->network());
+
+  // Seattle view factored to trust level 2.
+  for (const auto& p : outcome.plan.placements) {
+    if (p.component->name != "ViewMailServer" || p.reuse_existing) continue;
+    auto it = p.factors.values.find("TrustLevel");
+    ASSERT_NE(it, p.factors.values.end());
+    EXPECT_EQ(it->second, spec::PropertyValue::integer(2));
+  }
+}
+
+TEST_F(CaseStudyFixture, SeattleCannotGetFullClient) {
+  // A Seattle user demanding the full-trust client interface cannot be
+  // served: no Seattle node may host MailClient.
+  planner::PlanRequest defaults;
+  defaults.interface_name = "ClientInterface";
+  defaults.required_properties.emplace_back("TrustLevel",
+                                            spec::PropertyValue::integer(4));
+  auto proxy = fw->make_proxy(sites.sea_client, "SecureMail", defaults);
+  util::Status status = util::Status::ok();
+  proxy->bind([&status](util::Status st) { status = st; });
+  fw->simulator().run();
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), util::ErrorCode::kUnsatisfiable);
+}
+
+TEST_F(CaseStudyFixture, OneTimeCostsAreReported) {
+  auto outcome = bind(sites.sd_client, 4);
+  // Lookup, planning and deployment all take nonzero simulated time; code
+  // for four components crosses the WAN so deployment dominates.
+  EXPECT_GT(outcome.costs.lookup.nanos(), 0);
+  EXPECT_GT(outcome.costs.planning.nanos(), 0);
+  EXPECT_GT(outcome.costs.deployment.nanos(), 0);
+  EXPECT_GT(outcome.costs.total().seconds(), 0.1);
+  EXPECT_LT(outcome.costs.total().seconds(), 60.0);
+}
+
+}  // namespace
+}  // namespace psf

@@ -1,0 +1,146 @@
+// Toy crypto substrate: round trips, tamper detection, key separation,
+// keystore release-ledger semantics.
+#include <gtest/gtest.h>
+
+#include "crypto/cipher.hpp"
+#include "crypto/keystore.hpp"
+
+namespace psf::crypto {
+namespace {
+
+std::vector<std::uint8_t> bytes(std::string_view s) {
+  return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+TEST(CipherTest, SealUnsealRoundTrip) {
+  const SymmetricKey key = derive_key(123, "alice#3");
+  const auto plaintext = bytes("the quick brown fox");
+  const SealedBlob blob = seal(key, /*nonce=*/7, plaintext);
+  EXPECT_NE(blob.ciphertext, plaintext);  // actually transformed
+
+  std::vector<std::uint8_t> out;
+  ASSERT_TRUE(unseal(key, blob, out));
+  EXPECT_EQ(out, plaintext);
+}
+
+TEST(CipherTest, EmptyPayload) {
+  const SymmetricKey key = derive_key(1, "k");
+  const SealedBlob blob = seal(key, 1, {});
+  std::vector<std::uint8_t> out{1, 2, 3};
+  ASSERT_TRUE(unseal(key, blob, out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(CipherTest, WrongKeyFailsMac) {
+  const SymmetricKey k1 = derive_key(123, "alice#3");
+  const SymmetricKey k2 = derive_key(123, "alice#4");
+  const SealedBlob blob = seal(k1, 7, bytes("secret"));
+  std::vector<std::uint8_t> out;
+  EXPECT_FALSE(unseal(k2, blob, out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(CipherTest, TamperedCiphertextFailsMac) {
+  const SymmetricKey key = derive_key(9, "bob#1");
+  SealedBlob blob = seal(key, 3, bytes("integrity matters"));
+  blob.ciphertext[4] ^= 0x01;
+  std::vector<std::uint8_t> out;
+  EXPECT_FALSE(unseal(key, blob, out));
+}
+
+TEST(CipherTest, TamperedMacFails) {
+  const SymmetricKey key = derive_key(9, "bob#1");
+  SealedBlob blob = seal(key, 3, bytes("integrity"));
+  blob.mac ^= 1;
+  std::vector<std::uint8_t> out;
+  EXPECT_FALSE(unseal(key, blob, out));
+}
+
+TEST(CipherTest, NonceChangesCiphertext) {
+  const SymmetricKey key = derive_key(5, "x");
+  const auto p = bytes("same plaintext");
+  EXPECT_NE(seal(key, 1, p).ciphertext, seal(key, 2, p).ciphertext);
+}
+
+TEST(CipherTest, KeyDerivationIsDeterministicAndSeparated) {
+  EXPECT_EQ(derive_key(42, "a"), derive_key(42, "a"));
+  EXPECT_NE(derive_key(42, "a"), derive_key(42, "b"));
+  EXPECT_NE(derive_key(42, "a"), derive_key(43, "a"));
+}
+
+TEST(CipherTest, KeystreamIsItsOwnInverse) {
+  const SymmetricKey key = derive_key(8, "inv");
+  const auto p = bytes("involution");
+  const auto c = apply_keystream(key, 11, p);
+  EXPECT_EQ(apply_keystream(key, 11, c), p);
+}
+
+TEST(CipherTest, WireSizeIncludesOverhead) {
+  const SymmetricKey key = derive_key(1, "k");
+  const SealedBlob blob = seal(key, 1, bytes("12345"));
+  EXPECT_EQ(blob.wire_size(), 5u + 16u);
+}
+
+TEST(CipherTest, CostScalesWithSize) {
+  EXPECT_LT(crypto_cpu_cost(100), crypto_cpu_cost(100000));
+  EXPECT_GT(crypto_cpu_cost(0), 0.0);  // fixed setup cost
+}
+
+// ---- keystore -----------------------------------------------------------
+
+TEST(KeyStoreTest, ProvisionCreatesPerLevelKeys) {
+  KeyStore ks(777);
+  ks.provision_user("alice", 5);
+  for (std::int64_t level = 1; level <= 5; ++level) {
+    EXPECT_TRUE(ks.has_key({"alice", level}));
+  }
+  EXPECT_FALSE(ks.has_key({"alice", 6}));
+  EXPECT_FALSE(ks.has_key({"bob", 1}));
+  EXPECT_EQ(ks.key_count(), 5u);
+}
+
+TEST(KeyStoreTest, ProvisionIsIdempotent) {
+  KeyStore ks(777);
+  ks.provision_user("alice", 3);
+  const SymmetricKey before = ks.key({"alice", 2}).value();
+  ks.provision_user("alice", 5);
+  EXPECT_EQ(ks.key({"alice", 2}).value(), before);  // keys stable
+  EXPECT_EQ(ks.key_count(), 5u);
+}
+
+TEST(KeyStoreTest, DistinctUsersGetDistinctKeys) {
+  KeyStore ks(777);
+  ks.provision_user("alice", 2);
+  ks.provision_user("bob", 2);
+  EXPECT_NE(ks.key({"alice", 1}).value(), ks.key({"bob", 1}).value());
+  EXPECT_NE(ks.key({"alice", 1}).value(), ks.key({"alice", 2}).value());
+}
+
+TEST(KeyStoreTest, MissingKeyIsNotFound) {
+  KeyStore ks(1);
+  auto key = ks.key({"ghost", 1});
+  EXPECT_FALSE(key.has_value());
+  EXPECT_EQ(key.status().code(), util::ErrorCode::kNotFound);
+}
+
+TEST(KeyStoreTest, ReleaseLedgerTracksMaximum) {
+  KeyStore ks(1);
+  ks.provision_user("alice", 5);
+  EXPECT_EQ(ks.released_level("node-sd", "alice"), 0);
+  ASSERT_TRUE(ks.release_to_node("node-sd", "alice", 4).is_ok());
+  EXPECT_EQ(ks.released_level("node-sd", "alice"), 4);
+  // Lower release does not shrink the ledger.
+  ASSERT_TRUE(ks.release_to_node("node-sd", "alice", 2).is_ok());
+  EXPECT_EQ(ks.released_level("node-sd", "alice"), 4);
+  // Other nodes unaffected.
+  EXPECT_EQ(ks.released_level("node-sea", "alice"), 0);
+}
+
+TEST(KeyStoreTest, ReleaseFailsForUnprovisionedLevels) {
+  KeyStore ks(1);
+  ks.provision_user("alice", 2);
+  EXPECT_FALSE(ks.release_to_node("n", "alice", 3).is_ok());
+}
+
+}  // namespace
+}  // namespace psf::crypto

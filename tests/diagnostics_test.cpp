@@ -1,0 +1,203 @@
+// Planner diagnostics: the per-cause rejection breakdown must attribute
+// unsatisfiable requests to the right constraint class.
+#include <gtest/gtest.h>
+
+#include "planner/planner.hpp"
+#include "spec/builder.hpp"
+
+namespace psf::planner {
+namespace {
+
+using spec::PropertyValue;
+
+struct DiagnosticsFixture : public ::testing::Test {
+  DiagnosticsFixture() {
+    net::Credentials edge_creds;
+    edge_creds.set("trust", std::int64_t{3});
+    edge_creds.set("secure", true);
+    edge = network.add_node("edge", 1e6, edge_creds);
+    net::Credentials origin_creds;
+    origin_creds.set("trust", std::int64_t{5});
+    origin_creds.set("secure", true);
+    origin = network.add_node("origin", 1e6, origin_creds);
+    net::Credentials secure;
+    secure.set("secure", true);
+    link = network.add_link(edge, origin, 10e6,
+                            sim::Duration::from_millis(40), secure);
+
+    translator.map_node({"TrustLevel", "trust", spec::PropertyType::kInterval,
+                         PropertyValue::integer(1)});
+    translator.map_node({"Confidentiality", "secure",
+                         spec::PropertyType::kBoolean,
+                         PropertyValue::boolean(false)});
+    translator.map_link({"Confidentiality", "secure",
+                         spec::PropertyType::kBoolean,
+                         PropertyValue::boolean(false)});
+  }
+
+  SearchStats plan_and_expect_unsat(const spec::ServiceSpec& service,
+                                    double rate = 1.0) {
+    EnvironmentView env(network, translator);
+    Planner planner(service, env);
+    PlanRequest request;
+    request.interface_name = "Entry";
+    request.client_node = edge;
+    request.request_rate_rps = rate;
+    SearchStats stats;
+    auto plan = planner.plan(request, {}, &stats);
+    EXPECT_FALSE(plan.has_value());
+    if (plan.has_value()) {
+      ADD_FAILURE() << plan->to_string(network);
+    }
+    return stats;
+  }
+
+  net::Network network;
+  net::NodeId edge, origin;
+  net::LinkId link;
+  CredentialMapTranslator translator;
+};
+
+TEST_F(DiagnosticsFixture, ConditionDominatedFailure) {
+  spec::ServiceSpec service =
+      spec::SpecBuilder("S")
+          .interval_property("TrustLevel", 1, 9)
+          .interface("Entry", {})
+          .interface("Api", {})
+          .component("Client")
+          .implements("Entry", {})
+          .requires_iface("Api", {})
+          .done()
+          .component("Origin")
+          .implements("Api", {})
+          .condition_ge("TrustLevel", PropertyValue::integer(9))  // nobody
+          .done()
+          .build();
+  const SearchStats stats = plan_and_expect_unsat(service);
+  EXPECT_GT(stats.rejected_condition, 0u);
+  EXPECT_EQ(stats.rejected_link_capacity, 0u);
+  EXPECT_NE(stats.to_string().find("condition="), std::string::npos);
+}
+
+TEST_F(DiagnosticsFixture, LinkCapacityDominatedFailure) {
+  spec::ServiceSpec service =
+      spec::SpecBuilder("S")
+          .interval_property("TrustLevel", 1, 9)
+          .interface("Entry", {})
+          .interface("Api", {})
+          .component("Client")
+          .implements("Entry", {})
+          .requires_iface("Api", {})
+          .done()
+          .component("Origin")
+          .implements("Api", {})
+          .condition_ge("TrustLevel", PropertyValue::integer(5))
+          .message_bytes(100000, 100000)  // 1.6 Mb per exchange
+          .done()
+          .build();
+  // 100 rps x 1.6 Mb = 160 Mbps >> 10 Mbps link.
+  const SearchStats stats = plan_and_expect_unsat(service, 100.0);
+  EXPECT_GT(stats.rejected_link_capacity, 0u);
+  EXPECT_NE(stats.to_string().find("link-capacity="), std::string::npos);
+}
+
+TEST_F(DiagnosticsFixture, StaticDominatedFailure) {
+  spec::ServiceSpec service =
+      spec::SpecBuilder("S")
+          .interval_property("TrustLevel", 1, 9)
+          .interface("Entry", {})
+          .interface("Api", {})
+          .component("Client")
+          .implements("Entry", {})
+          .requires_iface("Api", {})
+          .done()
+          .component("Origin")
+          .static_placement()
+          .implements("Api", {})
+          .done()
+          .build();
+  const SearchStats stats = plan_and_expect_unsat(service);
+  EXPECT_GT(stats.rejected_static, 0u);
+}
+
+TEST_F(DiagnosticsFixture, CompatibilityDominatedFailure) {
+  // Api demands Confidentiality=T but the spec has the degradation rule and
+  // the (only) placement forces an insecure crossing.
+  net::Network insecure_net;
+  net::Credentials edge_creds;
+  edge_creds.set("trust", std::int64_t{3});
+  edge_creds.set("secure", true);
+  const net::NodeId e = insecure_net.add_node("edge", 1e6, edge_creds);
+  net::Credentials origin_creds;
+  origin_creds.set("trust", std::int64_t{5});
+  origin_creds.set("secure", true);
+  const net::NodeId o = insecure_net.add_node("origin", 1e6, origin_creds);
+  net::Credentials insecure;
+  insecure.set("secure", false);
+  insecure_net.add_link(e, o, 10e6, sim::Duration::from_millis(40), insecure);
+
+  spec::ServiceSpec service =
+      spec::SpecBuilder("S")
+          .boolean_property("Confidentiality")
+          .interval_property("TrustLevel", 1, 9)
+          .interface("Entry", {})
+          .interface("Api", {"Confidentiality"})
+          .confidentiality_rule("Confidentiality")
+          .component("Client")
+          .implements("Entry", {})
+          .requires_iface("Api", {{"Confidentiality", spec::lit_bool(true)}})
+          .done()
+          .component("Origin")
+          .implements("Api", {{"Confidentiality", spec::lit_bool(true)}})
+          .condition_ge("TrustLevel", PropertyValue::integer(5))
+          .done()
+          .build();
+
+  EnvironmentView env(insecure_net, translator);
+  Planner planner(service, env);
+  PlanRequest request;
+  request.interface_name = "Entry";
+  request.client_node = e;
+  SearchStats stats;
+  auto plan = planner.plan(request, {}, &stats);
+  ASSERT_FALSE(plan.has_value());
+  EXPECT_GT(stats.rejected_compatibility, 0u);
+}
+
+TEST_F(DiagnosticsFixture, SuccessfulPlanStillCountsExploration) {
+  spec::ServiceSpec service =
+      spec::SpecBuilder("S")
+          .interval_property("TrustLevel", 1, 9)
+          .interface("Entry", {})
+          .interface("Api", {})
+          .component("Client")
+          .implements("Entry", {})
+          .requires_iface("Api", {})
+          .done()
+          .component("Origin")
+          .implements("Api", {})
+          .condition_ge("TrustLevel", PropertyValue::integer(5))
+          .done()
+          .build();
+  EnvironmentView env(network, translator);
+  Planner planner(service, env);
+  PlanRequest request;
+  request.interface_name = "Entry";
+  request.client_node = edge;
+  SearchStats stats;
+  auto plan = planner.plan(request, {}, &stats);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_GT(stats.candidates_examined, 0u);
+  EXPECT_GT(stats.plans_scored, 0u);
+  // The Origin's condition rejected the edge node.
+  EXPECT_GT(stats.rejected_condition, 0u);
+  EXPECT_NE(stats.to_string().find("examined"), std::string::npos);
+}
+
+TEST_F(DiagnosticsFixture, EmptyBreakdownSaysNone) {
+  SearchStats stats;
+  EXPECT_NE(stats.to_string().find("none"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace psf::planner

@@ -1,0 +1,159 @@
+// Fault handling (the §3.2 integration the paper defers to future work):
+// node crashes tear down hosted instances, the reusable pool quarantines
+// the dead, later clients plan around the loss, and tracked deployments
+// report unrecoverable bindings.
+#include <gtest/gtest.h>
+
+#include "core/case_study.hpp"
+#include "core/redeploy.hpp"
+#include "mail/mail_spec.hpp"
+#include "mail/registration.hpp"
+#include "mail/types.hpp"
+
+namespace psf {
+namespace {
+
+struct FailoverFixture : public ::testing::Test {
+  void SetUp() override {
+    net::Network network = core::case_study_network(&sites);
+    core::FrameworkOptions options;
+    options.lookup_node = sites.new_york[0];
+    options.server_node = sites.new_york[0];
+    fw = std::make_unique<core::Framework>(std::move(network), options);
+    config = std::make_shared<mail::MailServiceConfig>();
+    ASSERT_TRUE(
+        mail::register_mail_factories(fw->runtime().factories(), config)
+            .is_ok());
+    auto st = fw->register_service(mail::mail_registration(sites.mail_home),
+                                   mail::mail_translator());
+    ASSERT_TRUE(st.is_ok()) << st.to_string();
+    fw->enable_adaptation("SecureMail");
+  }
+
+  util::Expected<runtime::AccessOutcome> try_bind(net::NodeId node) {
+    planner::PlanRequest request;
+    request.interface_name = "ClientInterface";
+    request.required_properties.emplace_back(
+        "TrustLevel", spec::PropertyValue::integer(4));
+    request.client_node = node;
+    request.request_rate_rps = 50.0;
+    auto proxy = fw->make_proxy(node, "SecureMail", request);
+    util::Status status = util::internal_error("incomplete");
+    bool done = false;
+    proxy->bind([&](util::Status st) {
+      status = st;
+      done = true;
+    });
+    fw->run_until_condition([&done]() { return done; },
+                            sim::Duration::from_seconds(300));
+    if (!status.is_ok()) return status;
+    return proxy->outcome();
+  }
+
+  core::CaseStudySites sites;
+  std::unique_ptr<core::Framework> fw;
+  mail::MailConfigPtr config;
+};
+
+TEST_F(FailoverFixture, CrashTearsDownHostedInstances) {
+  auto outcome = try_bind(sites.sd_client);
+  ASSERT_TRUE(outcome.has_value());
+  const std::size_t on_node =
+      fw->runtime().instances_on(sites.sd_client).size();
+  ASSERT_GE(on_node, 3u);  // MailClient + ViewMailServer + Encryptor
+
+  auto lost = fw->fail_node(sites.sd_client);
+  EXPECT_EQ(lost.size(), on_node);
+  EXPECT_TRUE(fw->runtime().instances_on(sites.sd_client).empty());
+  for (auto id : lost) {
+    EXPECT_FALSE(fw->runtime().exists(id));
+  }
+}
+
+TEST_F(FailoverFixture, PoolQuarantinesDeadInstances) {
+  auto outcome = try_bind(sites.sd_client);
+  ASSERT_TRUE(outcome.has_value());
+  const std::size_t pool_before =
+      fw->server().existing_instances("SecureMail").size();
+  ASSERT_GE(pool_before, 2u);  // MailServer + shared SD components
+
+  fw->fail_node(sites.sd_client);  // adaptation refresh quarantines
+
+  const auto& pool = fw->server().existing_instances("SecureMail");
+  EXPECT_LT(pool.size(), pool_before);
+  for (const auto& inst : pool) {
+    EXPECT_TRUE(fw->runtime().exists(inst.runtime_id));
+    EXPECT_NE(inst.node, sites.sd_client);
+  }
+}
+
+TEST_F(FailoverFixture, NextClientPlansAroundTheCrash) {
+  ASSERT_TRUE(try_bind(sites.sd_client).has_value());
+  fw->fail_node(sites.sd_client);
+
+  // A client on a surviving San Diego node gets a complete fresh chain (the
+  // dead components are not referenced).
+  auto outcome = try_bind(sites.san_diego[1]);
+  ASSERT_TRUE(outcome.has_value()) << outcome.status().to_string();
+  for (const auto& p : outcome->plan.placements) {
+    EXPECT_NE(p.node, sites.sd_client);
+  }
+  for (auto id : outcome->instances) {
+    EXPECT_TRUE(fw->runtime().exists(id));
+  }
+
+  // And the new deployment serves mail.
+  config->keys->provision_user("survivor", mail::kMaxSensitivity);
+  auto body = std::make_shared<mail::SendBody>();
+  body->message.id = 1;
+  body->message.from = "survivor";
+  body->message.to = "survivor";
+  body->message.sensitivity = 2;
+  body->message.plaintext = {'o', 'k'};
+  runtime::Request request;
+  request.op = mail::ops::kSend;
+  request.body = body;
+  request.wire_bytes = mail::send_wire_bytes(body->message);
+  bool ok = false;
+  fw->runtime().invoke_from_node(sites.san_diego[1], outcome->entry,
+                                 std::move(request),
+                                 [&ok](runtime::Response r) { ok = r.ok; });
+  fw->run_until_condition([&ok]() { return ok; },
+                          sim::Duration::from_seconds(30));
+  EXPECT_TRUE(ok);
+}
+
+TEST_F(FailoverFixture, ManagerReportsLostEntryAsFailed) {
+  auto outcome = try_bind(sites.sd_client);
+  ASSERT_TRUE(outcome.has_value());
+  core::RedeploymentManager manager(*fw, "SecureMail");
+  planner::PlanRequest request;
+  request.interface_name = "ClientInterface";
+  request.required_properties.emplace_back("TrustLevel",
+                                           spec::PropertyValue::integer(4));
+  request.client_node = sites.sd_client;
+  request.request_rate_rps = 50.0;
+  manager.track(*outcome, request);
+
+  // The crash takes the client's own entry with it: the binding cannot be
+  // preserved, which the manager must surface rather than silently "fix".
+  fw->fail_node(sites.sd_client);
+  fw->run_for(sim::Duration::from_seconds(60));
+
+  ASSERT_FALSE(manager.events().empty());
+  bool failed_seen = false;
+  for (const auto& event : manager.events()) {
+    failed_seen |= event.outcome == core::RedeployEvent::Outcome::kFailed;
+  }
+  EXPECT_TRUE(failed_seen);
+  EXPECT_EQ(manager.redeploy_count(), 0u);
+}
+
+TEST_F(FailoverFixture, CrashOfEmptyNodeIsHarmless) {
+  EXPECT_TRUE(fw->fail_node(sites.seattle[1]).empty());
+  // Service still fully functional.
+  EXPECT_TRUE(try_bind(sites.sd_client).has_value());
+}
+
+}  // namespace
+}  // namespace psf

@@ -1,0 +1,160 @@
+// Generic server pool-management edges: forget/release error paths, load
+// floors, quarantine interactions, and deployment-engine failure surfaces.
+#include <gtest/gtest.h>
+
+#include "core/case_study.hpp"
+#include "core/framework.hpp"
+#include "mail/mail_spec.hpp"
+#include "mail/registration.hpp"
+#include "runtime/deployment.hpp"
+
+namespace psf {
+namespace {
+
+struct GenericEdgeFixture : public ::testing::Test {
+  void SetUp() override {
+    net::Network network = core::case_study_network(&sites);
+    core::FrameworkOptions options;
+    options.lookup_node = sites.new_york[0];
+    options.server_node = sites.new_york[0];
+    fw = std::make_unique<core::Framework>(std::move(network), options);
+    config = std::make_shared<mail::MailServiceConfig>();
+    ASSERT_TRUE(
+        mail::register_mail_factories(fw->runtime().factories(), config)
+            .is_ok());
+    auto st = fw->register_service(mail::mail_registration(sites.mail_home),
+                                   mail::mail_translator());
+    ASSERT_TRUE(st.is_ok()) << st.to_string();
+  }
+
+  core::CaseStudySites sites;
+  std::unique_ptr<core::Framework> fw;
+  mail::MailConfigPtr config;
+};
+
+TEST_F(GenericEdgeFixture, ForgetInstanceErrors) {
+  EXPECT_EQ(fw->server().forget_instance("NoService", 1).code(),
+            util::ErrorCode::kNotFound);
+  EXPECT_EQ(fw->server().forget_instance("SecureMail", 424242).code(),
+            util::ErrorCode::kNotFound);
+
+  // Forgetting the real MailServer removes it from the pool (the runtime
+  // instance keeps running).
+  const auto& pool = fw->server().existing_instances("SecureMail");
+  ASSERT_EQ(pool.size(), 1u);
+  const auto id = pool[0].runtime_id;
+  ASSERT_TRUE(fw->server().forget_instance("SecureMail", id).is_ok());
+  EXPECT_TRUE(fw->server().existing_instances("SecureMail").empty());
+  EXPECT_TRUE(fw->runtime().exists(id));
+  // Second forget fails.
+  EXPECT_EQ(fw->server().forget_instance("SecureMail", id).code(),
+            util::ErrorCode::kNotFound);
+}
+
+TEST_F(GenericEdgeFixture, ReleaseLoadFloorsAtZero) {
+  const auto& pool = fw->server().existing_instances("SecureMail");
+  ASSERT_EQ(pool.size(), 1u);
+  const auto id = pool[0].runtime_id;
+  EXPECT_EQ(fw->server().release_load("SecureMail", id, 1e9).code(),
+            util::ErrorCode::kOk);
+  EXPECT_EQ(fw->server().existing_instances("SecureMail")[0].current_load_rps,
+            0.0);
+  EXPECT_EQ(fw->server().release_load("NoService", id, 1.0).code(),
+            util::ErrorCode::kNotFound);
+  EXPECT_EQ(fw->server().release_load("SecureMail", 999999, 1.0).code(),
+            util::ErrorCode::kNotFound);
+}
+
+TEST_F(GenericEdgeFixture, RefreshOnUnknownServiceFails) {
+  EXPECT_EQ(fw->server().refresh_environment("NoService").code(),
+            util::ErrorCode::kNotFound);
+}
+
+TEST_F(GenericEdgeFixture, AccessorsOnUnknownServiceAreNull) {
+  EXPECT_EQ(fw->server().service_spec("NoService"), nullptr);
+  EXPECT_EQ(fw->server().environment("NoService"), nullptr);
+  EXPECT_TRUE(fw->server().existing_instances("NoService").empty());
+}
+
+TEST_F(GenericEdgeFixture, DeploymentEngineRejectsVanishedReuse) {
+  // Build a plan that reuses the MailServer, then forget + crash it before
+  // deploying: the engine must fail cleanly.
+  const auto* spec = fw->server().service_spec("SecureMail");
+  const auto* env = fw->server().environment("SecureMail");
+  planner::Planner planner(*spec, *env);
+  planner::PlanRequest request;
+  request.interface_name = "ClientInterface";
+  request.required_properties.emplace_back("TrustLevel",
+                                           spec::PropertyValue::integer(4));
+  request.client_node = sites.ny_client;
+  request.request_rate_rps = 10.0;
+  auto plan =
+      planner.plan(request, fw->server().existing_instances("SecureMail"));
+  ASSERT_TRUE(plan.has_value());
+
+  fw->fail_node(sites.mail_home);
+
+  runtime::DeploymentEngine engine(fw->runtime());
+  util::Status result = util::Status::ok();
+  bool done = false;
+  engine.deploy(*plan, sites.mail_home,
+                [&](util::Expected<runtime::DeployedPlan> deployed) {
+                  result = deployed.status();
+                  done = true;
+                });
+  fw->run_until_condition([&done]() { return done; },
+                          sim::Duration::from_seconds(60));
+  ASSERT_TRUE(done);
+  EXPECT_FALSE(result.is_ok());
+  EXPECT_EQ(result.code(), util::ErrorCode::kNotFound);
+}
+
+TEST_F(GenericEdgeFixture, RequestAccessForwardsPlannerRejections) {
+  planner::PlanRequest request;
+  request.interface_name = "NoSuchInterface";
+  request.client_node = sites.ny_client;
+  util::Status status = util::Status::ok();
+  bool done = false;
+  fw->server().request_access(
+      "SecureMail", request,
+      [&](util::Expected<runtime::AccessOutcome> outcome) {
+        status = outcome.status();
+        done = true;
+      });
+  fw->run_until_condition([&done]() { return done; },
+                          sim::Duration::from_seconds(60));
+  ASSERT_TRUE(done);
+  EXPECT_EQ(status.code(), util::ErrorCode::kNotFound);
+}
+
+TEST_F(GenericEdgeFixture, OutcomeInstancesAlignWithPlacements) {
+  planner::PlanRequest request;
+  request.interface_name = "ClientInterface";
+  request.required_properties.emplace_back("TrustLevel",
+                                           spec::PropertyValue::integer(4));
+  request.client_node = sites.sd_client;
+  request.request_rate_rps = 10.0;
+  util::Expected<runtime::AccessOutcome> result =
+      util::internal_error("pending");
+  bool done = false;
+  fw->server().request_access(
+      "SecureMail", request,
+      [&](util::Expected<runtime::AccessOutcome> outcome) {
+        result = std::move(outcome);
+        done = true;
+      });
+  fw->run_until_condition([&done]() { return done; },
+                          sim::Duration::from_seconds(120));
+  ASSERT_TRUE(result.has_value()) << result.status().to_string();
+  ASSERT_EQ(result->instances.size(), result->plan.placements.size());
+  for (std::size_t i = 0; i < result->instances.size(); ++i) {
+    ASSERT_TRUE(fw->runtime().exists(result->instances[i])) << i;
+    const auto& inst = fw->runtime().instance(result->instances[i]);
+    EXPECT_EQ(inst.def, result->plan.placements[i].component);
+    EXPECT_EQ(inst.node, result->plan.placements[i].node);
+  }
+  EXPECT_EQ(result->instances[result->plan.entry], result->entry);
+}
+
+}  // namespace
+}  // namespace psf

@@ -1,0 +1,199 @@
+// Linkage enumeration (paper §3.3 step 1 / Fig. 3).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "mail/mail_spec.hpp"
+#include "planner/linkage.hpp"
+#include "spec/builder.hpp"
+
+namespace psf::planner {
+namespace {
+
+TEST(LinkageTest, SingleComponentNoRequires) {
+  spec::ServiceSpec s = spec::SpecBuilder("S")
+                            .interface("I", {})
+                            .component("C")
+                            .implements("I", {})
+                            .done()
+                            .build();
+  auto trees = enumerate_linkages(s, "I");
+  ASSERT_EQ(trees.size(), 1u);
+  EXPECT_EQ(trees[0].size(), 1u);
+  EXPECT_TRUE(trees[0].is_chain());
+  EXPECT_EQ(trees[0].to_string(), "C");
+}
+
+TEST(LinkageTest, AlternativeImplementersYieldAlternativeTrees) {
+  spec::ServiceSpec s = spec::SpecBuilder("S")
+                            .interface("I", {})
+                            .component("A")
+                            .implements("I", {})
+                            .done()
+                            .component("B")
+                            .implements("I", {})
+                            .done()
+                            .build();
+  auto trees = enumerate_linkages(s, "I");
+  auto names = describe_linkages(trees);
+  EXPECT_EQ(names, (std::vector<std::string>{"A", "B"}));
+}
+
+TEST(LinkageTest, UnsatisfiableRequirementPrunesComponent) {
+  spec::ServiceSpec s = spec::SpecBuilder("S")
+                            .interface("I", {})
+                            .interface("Missing", {})
+                            .component("A")
+                            .implements("I", {})
+                            .requires_iface("Missing", {})
+                            .done()
+                            .component("B")
+                            .implements("I", {})
+                            .done()
+                            .build();
+  auto trees = enumerate_linkages(s, "I");
+  ASSERT_EQ(trees.size(), 1u);
+  EXPECT_EQ(trees[0].to_string(), "B");
+}
+
+TEST(LinkageTest, CrossProductOverMultipleRequires) {
+  spec::ServiceSpec s = spec::SpecBuilder("S")
+                            .interface("Root", {})
+                            .interface("L", {})
+                            .interface("R", {})
+                            .component("Top")
+                            .implements("Root", {})
+                            .requires_iface("L", {})
+                            .requires_iface("R", {})
+                            .done()
+                            .component("L1")
+                            .implements("L", {})
+                            .done()
+                            .component("L2")
+                            .implements("L", {})
+                            .done()
+                            .component("R1")
+                            .implements("R", {})
+                            .done()
+                            .build();
+  auto trees = enumerate_linkages(s, "Root");
+  EXPECT_EQ(trees.size(), 2u);  // {L1,L2} x {R1}
+  for (const auto& t : trees) {
+    EXPECT_FALSE(t.is_chain());
+    EXPECT_EQ(t.size(), 3u);
+  }
+}
+
+TEST(LinkageTest, RecursiveViewBoundedByDepth) {
+  // V implements and requires the same interface: unbounded chains without
+  // the depth cap.
+  spec::ServiceSpec s = spec::SpecBuilder("S")
+                            .interface("I", {})
+                            .component("Base")
+                            .implements("I", {})
+                            .done()
+                            .data_view("V", "Base")
+                            .implements("I", {})
+                            .requires_iface("I", {})
+                            .done()
+                            .build();
+  LinkageOptions options;
+  options.max_depth = 4;
+  auto trees = enumerate_linkages(s, "I", options);
+  // Chains: Base, V->Base, V->V->Base, V->V->V->Base.
+  auto names = describe_linkages(trees);
+  std::set<std::string> set(names.begin(), names.end());
+  EXPECT_EQ(set.size(), 4u);
+  EXPECT_TRUE(set.count("Base"));
+  EXPECT_TRUE(set.count("V -> V -> V -> Base"));
+  for (const auto& t : trees) {
+    EXPECT_LE(t.size(), 4u);
+  }
+}
+
+TEST(LinkageTest, MaxTreesCapRespected) {
+  spec::ServiceSpec s = spec::SpecBuilder("S")
+                            .interface("I", {})
+                            .component("Base")
+                            .implements("I", {})
+                            .done()
+                            .data_view("V", "Base")
+                            .implements("I", {})
+                            .requires_iface("I", {})
+                            .done()
+                            .build();
+  LinkageOptions options;
+  options.max_depth = 12;
+  options.max_trees = 5;
+  auto trees = enumerate_linkages(s, "I", options);
+  EXPECT_LE(trees.size(), 5u);
+}
+
+TEST(LinkageTest, MailServiceChainsMatchFig3) {
+  // Fig. 3: any path from MailClient or ViewMailClient to MailServer —
+  // possibly through ViewMailServer chains and Encryptor/Decryptor pairs.
+  spec::ServiceSpec s = mail::mail_service_spec();
+  LinkageOptions options;
+  options.max_depth = 6;
+  auto trees = enumerate_linkages(s, "ClientInterface", options);
+  ASSERT_FALSE(trees.empty());
+
+  const std::vector<std::string> descriptions = describe_linkages(trees);
+  std::set<std::string> chains(descriptions.begin(), descriptions.end());
+
+  // The canonical paper chains must all be present.
+  EXPECT_TRUE(chains.count("MailClient -> MailServer"));
+  EXPECT_TRUE(chains.count("ViewMailClient -> MailServer"));
+  EXPECT_TRUE(chains.count("MailClient -> ViewMailServer -> MailServer"));
+  EXPECT_TRUE(chains.count(
+      "MailClient -> Encryptor -> Decryptor -> MailServer"));
+  EXPECT_TRUE(chains.count(
+      "MailClient -> ViewMailServer -> Encryptor -> Decryptor -> "
+      "MailServer"));
+  EXPECT_TRUE(chains.count(
+      "ViewMailClient -> ViewMailServer -> ViewMailServer -> MailServer"));
+
+  // Every tree is a chain here (mail components require at most one
+  // interface), starts at a client, and ends at the MailServer.
+  for (const auto& t : trees) {
+    EXPECT_TRUE(t.is_chain());
+    auto chain = t.as_chain();
+    EXPECT_TRUE(chain.front()->name == "MailClient" ||
+                chain.front()->name == "ViewMailClient");
+    EXPECT_EQ(chain.back()->name, "MailServer");
+    // Encryptor is always immediately followed by Decryptor.
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      if (chain[i]->name == "Encryptor") {
+        ASSERT_LT(i + 1, chain.size());
+        EXPECT_EQ(chain[i + 1]->name, "Decryptor");
+      }
+    }
+  }
+}
+
+TEST(LinkageTest, AsChainRejectsNonChains) {
+  spec::ServiceSpec s = spec::SpecBuilder("S")
+                            .interface("Root", {})
+                            .interface("L", {})
+                            .interface("R", {})
+                            .component("Top")
+                            .implements("Root", {})
+                            .requires_iface("L", {})
+                            .requires_iface("R", {})
+                            .done()
+                            .component("L1")
+                            .implements("L", {})
+                            .done()
+                            .component("R1")
+                            .implements("R", {})
+                            .done()
+                            .build();
+  auto trees = enumerate_linkages(s, "Root");
+  ASSERT_EQ(trees.size(), 1u);
+  EXPECT_FALSE(trees[0].is_chain());
+  EXPECT_DEATH(trees[0].as_chain(), "non-chain");
+}
+
+}  // namespace
+}  // namespace psf::planner

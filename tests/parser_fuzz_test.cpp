@@ -1,0 +1,132 @@
+// Parser robustness ("fuzz-lite"): randomized mutations of valid PSDL must
+// never crash the lexer/parser — every input either parses or yields a
+// clean kParseError/kInvalidArgument status.
+#include <gtest/gtest.h>
+
+#include "mail/mail_spec.hpp"
+#include "spec/parser.hpp"
+#include "util/rng.hpp"
+
+namespace psf::spec {
+namespace {
+
+// Mutation operators over source text.
+std::string mutate(const std::string& source, util::Rng& rng) {
+  std::string out = source;
+  const int op = static_cast<int>(rng.uniform_u64(0, 5));
+  if (out.empty()) return out;
+  const std::size_t at = rng.uniform_u64(0, out.size() - 1);
+  switch (op) {
+    case 0:  // delete a span
+      out.erase(at, rng.uniform_u64(1, 20));
+      break;
+    case 1:  // duplicate a span
+      out.insert(at, out.substr(at, rng.uniform_u64(1, 20)));
+      break;
+    case 2:  // flip a character
+      out[at] = static_cast<char>(rng.uniform_u64(32, 126));
+      break;
+    case 3:  // inject structural noise
+      out.insert(at, std::vector<std::string>{
+                         "{", "}", ";;", "->", "(((", "\"", "property",
+                         "requires", "0xFF", "-", ">=", ".."}[rng.uniform_u64(
+                     0, 11)]);
+      break;
+    case 4:  // truncate
+      out.resize(at);
+      break;
+    case 5:  // swap two spans
+      if (out.size() > 40) {
+        const std::size_t a = rng.uniform_u64(0, out.size() - 21);
+        const std::size_t b = rng.uniform_u64(0, out.size() - 21);
+        std::string sa = out.substr(a, 10), sb = out.substr(b, 10);
+        out.replace(a, 10, sb);
+        out.replace(b, 10, sa);
+      }
+      break;
+  }
+  return out;
+}
+
+class ParserFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParserFuzz, MutatedMailSpecNeverCrashes) {
+  util::Rng rng(GetParam());
+  std::string base = mail::mail_spec_source();
+  int parsed_ok = 0, parse_errors = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    // Occasionally stack mutations for deeper corruption.
+    std::string candidate = base;
+    const int rounds = 1 + static_cast<int>(rng.uniform_u64(0, 3));
+    for (int r = 0; r < rounds; ++r) candidate = mutate(candidate, rng);
+
+    auto spec = parse_spec(candidate);
+    if (spec.has_value()) {
+      ++parsed_ok;
+      // Anything that parses must also validate (parse_spec validates) and
+      // re-serialize without aborting.
+      EXPECT_TRUE(spec->validate().is_ok());
+    } else {
+      ++parse_errors;
+      const auto code = spec.status().code();
+      EXPECT_TRUE(code == util::ErrorCode::kParseError ||
+                  code == util::ErrorCode::kInvalidArgument ||
+                  code == util::ErrorCode::kAlreadyExists)
+          << spec.status().to_string();
+      EXPECT_FALSE(spec.status().message().empty());
+    }
+  }
+  // Sanity on the distribution: mutations should mostly break the spec but
+  // sometimes leave it intact (e.g. mutating inside a comment).
+  EXPECT_GT(parse_errors, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(ParserFuzzEdge, PathologicalInputs) {
+  // Hand-picked nasties: each must return an error, not crash.
+  const char* inputs[] = {
+      "",
+      "service",
+      "service {",
+      "service S {",
+      "service S { } trailing",
+      "service S { property P { type: interval(5, 1); } }",
+      "service S { rule X { (T, T) -> }",
+      "service S { component C { implements } }",
+      "service S { interface I {} component C { implements I {} "
+      "behaviors { rrf: } } }",
+      "\"unterminated",
+      "service S { interface I { properties: ; } }",
+      "service \xff\xfe {}",
+  };
+  for (const char* input : inputs) {
+    auto spec = parse_spec(input);
+    EXPECT_FALSE(spec.has_value()) << "'" << input << "' parsed?!";
+  }
+}
+
+TEST(ParserFuzzEdge, DeeplyNestedNoise) {
+  // A long run of braces must not blow the stack or hang.
+  std::string input = "service S { interface I {} component C { implements I ";
+  for (int i = 0; i < 5000; ++i) input += "{";
+  auto spec = parse_spec(input);
+  EXPECT_FALSE(spec.has_value());
+}
+
+TEST(ParserFuzzEdge, VeryLongIdentifiersAndNumbers) {
+  const std::string long_ident(100000, 'a');
+  auto s1 = parse_spec("service " + long_ident + " { }");
+  ASSERT_TRUE(s1.has_value());
+  EXPECT_EQ(s1->name.size(), 100000u);
+
+  auto s2 = parse_spec(
+      "service S { property P { type: interval(1, 9223372036854775807); } "
+      "interface I { properties: P; } component C { implements I {} } }");
+  ASSERT_TRUE(s2.has_value());
+  EXPECT_EQ(s2->properties[0].interval_hi, INT64_MAX);
+}
+
+}  // namespace
+}  // namespace psf::spec

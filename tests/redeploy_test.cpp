@@ -1,0 +1,224 @@
+// RedeploymentManager: automatic §6 adaptation — validation-triggered
+// replanning, live-entry grafting, state preservation, orphan collection.
+#include <gtest/gtest.h>
+
+#include "core/case_study.hpp"
+#include "core/redeploy.hpp"
+#include "mail/mail_spec.hpp"
+#include "mail/registration.hpp"
+#include "mail/types.hpp"
+#include "mail/view_server.hpp"
+
+namespace psf {
+namespace {
+
+struct RedeployFixture : public ::testing::Test {
+  void SetUp() override {
+    net::Network network = core::case_study_network(&sites);
+    core::FrameworkOptions options;
+    options.lookup_node = sites.new_york[0];
+    options.server_node = sites.new_york[0];
+    fw = std::make_unique<core::Framework>(std::move(network), options);
+    config = std::make_shared<mail::MailServiceConfig>();
+    ASSERT_TRUE(
+        mail::register_mail_factories(fw->runtime().factories(), config)
+            .is_ok());
+    auto st = fw->register_service(mail::mail_registration(sites.mail_home),
+                                   mail::mail_translator());
+    ASSERT_TRUE(st.is_ok()) << st.to_string();
+    manager = std::make_unique<core::RedeploymentManager>(*fw, "SecureMail");
+  }
+
+  planner::PlanRequest sd_request() {
+    planner::PlanRequest request;
+    request.interface_name = "ClientInterface";
+    request.required_properties.emplace_back(
+        "TrustLevel", spec::PropertyValue::integer(4));
+    request.client_node = sites.sd_client;
+    request.request_rate_rps = 50.0;
+    return request;
+  }
+
+  runtime::AccessOutcome bind(const planner::PlanRequest& request) {
+    auto proxy = fw->make_proxy(request.client_node, "SecureMail", request);
+    util::Status status = util::internal_error("");
+    bool done = false;
+    proxy->bind([&](util::Status st) {
+      status = st;
+      done = true;
+    });
+    fw->run_until_condition([&done]() { return done; },
+                            sim::Duration::from_seconds(300));
+    EXPECT_TRUE(status.is_ok()) << status.to_string();
+    return proxy->outcome();
+  }
+
+  std::set<std::string> live_components(net::NodeId node) {
+    std::set<std::string> out;
+    for (auto id : fw->runtime().instances_on(node)) {
+      out.insert(fw->runtime().instance(id).def->name);
+    }
+    return out;
+  }
+
+  core::CaseStudySites sites;
+  std::unique_ptr<core::Framework> fw;
+  mail::MailConfigPtr config;
+  std::unique_ptr<core::RedeploymentManager> manager;
+};
+
+TEST_F(RedeployFixture, ValidDeploymentStaysUntouched) {
+  auto request = sd_request();
+  auto outcome = bind(request);
+  manager->track(outcome, request);
+
+  // An irrelevant change (a Seattle-internal credential) keeps the SD plan
+  // valid: revalidation runs but nothing redeploys.
+  fw->monitor().set_node_credential(sites.seattle[1], "trust",
+                                    std::int64_t{3});
+  fw->run_for(sim::Duration::from_seconds(5));
+
+  ASSERT_FALSE(manager->events().empty());
+  EXPECT_EQ(manager->events().back().outcome,
+            core::RedeployEvent::Outcome::kStillValid);
+  EXPECT_EQ(manager->redeploy_count(), 0u);
+}
+
+TEST_F(RedeployFixture, CapacitySqueezeTriggersRedeployment) {
+  auto request = sd_request();
+  auto outcome = bind(request);
+  const std::size_t index = manager->track(outcome, request);
+  const runtime::RuntimeInstanceId entry = outcome.entry;
+
+  // Seed the view with a cached message so we can observe state surviving.
+  config->keys->provision_user("sam", mail::kMaxSensitivity);
+  runtime::RuntimeInstanceId view_id = 0;
+  for (const auto& inst : fw->server().existing_instances("SecureMail")) {
+    if (inst.component->name == "ViewMailServer") view_id = inst.runtime_id;
+  }
+  ASSERT_NE(view_id, 0u);
+  {
+    auto body = std::make_shared<mail::SendBody>();
+    body->message.id = 1;
+    body->message.from = "sam";
+    body->message.to = "sam";
+    body->message.sensitivity = 2;
+    body->message.plaintext = {'x'};
+    runtime::Request send;
+    send.op = mail::ops::kSend;
+    send.body = body;
+    send.wire_bytes = mail::send_wire_bytes(body->message);
+    bool done = false;
+    fw->runtime().invoke_from_node(sites.sd_client, entry, std::move(send),
+                                   [&done](runtime::Response r) {
+                                     EXPECT_TRUE(r.ok) << r.error;
+                                     done = true;
+                                   });
+    fw->run_until_condition([&done]() { return done; },
+                            sim::Duration::from_seconds(30));
+  }
+
+  // The client machine shrinks: 3500 cpu units/s can still host the
+  // MailClient (50 rps x 20 units = 1000) but not the co-located
+  // ViewMailServer (50 rps x 60 = 3000) on top of it. The old plan is now
+  // in capacity violation; the replacement keeps the entry pinned and
+  // reuses the warm view.
+  fw->monitor().set_node_capacity(sites.sd_client, 3.5e3);
+  fw->run_for(sim::Duration::from_seconds(60));
+
+  ASSERT_GE(manager->events().size(), 1u);
+  const auto& event = manager->events().back();
+  EXPECT_EQ(event.tracked_index, index);
+  EXPECT_EQ(event.outcome, core::RedeployEvent::Outcome::kRedeployed)
+      << event.detail;
+  EXPECT_EQ(manager->redeploy_count(), 1u);
+  EXPECT_NE(event.detail.find("capacity"), std::string::npos);
+
+  // The live entry instance still answers, and the cached state survived
+  // (the warm view was reused rather than rebuilt).
+  {
+    auto body = std::make_shared<mail::ReceiveBody>();
+    body->user = "sam";
+    runtime::Request recv;
+    recv.op = mail::ops::kReceive;
+    recv.body = body;
+    recv.wire_bytes = 256;
+    bool done = false;
+    bool got_mail = false;
+    fw->runtime().invoke_from_node(
+        sites.sd_client, entry, std::move(recv),
+        [&](runtime::Response r) {
+          EXPECT_TRUE(r.ok) << r.error;
+          const auto* result = runtime::body_as<mail::ReceiveResultBody>(r);
+          got_mail = result != nullptr && !result->messages.empty();
+          done = true;
+        });
+    fw->run_until_condition([&done]() { return done; },
+                            sim::Duration::from_seconds(30));
+    EXPECT_TRUE(done);
+    EXPECT_TRUE(got_mail) << "cached state should survive redeployment";
+  }
+  // The reused view (and, transitively, its tunnel) must still be running.
+  EXPECT_TRUE(fw->runtime().exists(view_id));
+}
+
+TEST_F(RedeployFixture, UnsatisfiableChangeIsReported) {
+  auto request = sd_request();
+  auto outcome = bind(request);
+  manager->track(outcome, request);
+
+  // Drop trust across the entire San Diego site: no node can host the
+  // trust-4 client anymore, so the request itself becomes unsatisfiable.
+  for (net::NodeId n : sites.san_diego) {
+    fw->monitor().set_node_credential(n, "trust", std::int64_t{2});
+  }
+  fw->run_for(sim::Duration::from_seconds(30));
+
+  bool unsatisfiable_seen = false;
+  for (const auto& event : manager->events()) {
+    unsatisfiable_seen |=
+        event.outcome == core::RedeployEvent::Outcome::kUnsatisfiable;
+  }
+  EXPECT_TRUE(unsatisfiable_seen);
+  EXPECT_EQ(manager->redeploy_count(), 0u);
+}
+
+TEST_F(RedeployFixture, OrphanedTunnelIsCollected) {
+  // An unpinned client (a batch job that may run anywhere in the branch)
+  // lets the replacement plan move off the degraded node entirely, leaving
+  // the old chain unreachable — the manager must retire it.
+  auto request = sd_request();
+  request.pin_entry_to_client = false;
+  auto outcome = bind(request);
+  manager->track(outcome, request);
+
+  ASSERT_TRUE(live_components(sites.sd_client).count("ViewMailServer"));
+  const std::size_t before = fw->runtime().instance_count();
+
+  // sd-2 loses the company's trust: every old placement there is invalid,
+  // and nothing trust-4 may return to it. The new chain lands on the other
+  // San Diego nodes.
+  fw->monitor().set_node_credential(sites.sd_client, "trust",
+                                    std::int64_t{3});
+  fw->run_for(sim::Duration::from_seconds(60));
+  ASSERT_EQ(manager->redeploy_count(), 1u)
+      << (manager->events().empty() ? "no events"
+                                    : manager->events().back().detail);
+
+  // The old view and tunnel on the degraded node are gone (the preserved
+  // entry MailClient is grafted onto the new chain and stays).
+  EXPECT_FALSE(live_components(sites.sd_client).count("ViewMailServer"));
+  EXPECT_FALSE(live_components(sites.sd_client).count("Encryptor"));
+  // A fresh chain exists elsewhere in San Diego.
+  bool new_view = false;
+  for (net::NodeId n : sites.san_diego) {
+    if (n == sites.sd_client) continue;
+    new_view |= live_components(n).count("ViewMailServer") != 0;
+  }
+  EXPECT_TRUE(new_view);
+  // No instance leak: old chain collected as the new one arrived.
+  EXPECT_LE(fw->runtime().instance_count(), before + 2);
+}
+
+}  // namespace
+}  // namespace psf

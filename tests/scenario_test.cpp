@@ -1,0 +1,85 @@
+// Fig. 7 machinery: each scenario runs end-to-end, mail actually flows
+// (sends succeed, receives return decrypted mail), and the latency ordering
+// the paper reports holds:
+//   {SF, SS0, DF, DS0}  <  {SS1000, DS1000}  <  {SS500, DS500}  <<  {SS}
+// with dynamic ≈ static inside each group.
+#include <gtest/gtest.h>
+
+#include "core/scenarios.hpp"
+
+namespace psf {
+namespace {
+
+using core::Scenario;
+using core::ScenarioResult;
+using core::WorkloadParams;
+
+WorkloadParams quick_params() {
+  WorkloadParams p;
+  p.sends = 40;
+  p.receives = 4;
+  return p;
+}
+
+class ScenarioSmoke : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(ScenarioSmoke, RunsCleanlyWithOneClient) {
+  ScenarioResult r = core::run_scenario(GetParam(), 1, quick_params());
+  EXPECT_EQ(r.workload.sends_failed, 0u) << core::scenario_name(GetParam());
+  EXPECT_EQ(r.workload.receives_failed, 0u);
+  EXPECT_EQ(r.workload.sends_ok, 40u);
+  EXPECT_EQ(r.workload.receives_ok, 4u);
+  EXPECT_GT(r.workload.messages_received, 0u);
+  EXPECT_EQ(r.workload.plaintext_mismatches, 0u);
+  EXPECT_GT(r.mean_send_ms, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllScenarios, ScenarioSmoke,
+    ::testing::ValuesIn(core::kAllScenarios),
+    [](const ::testing::TestParamInfo<Scenario>& info) {
+      return core::scenario_name(info.param);
+    });
+
+TEST(ScenarioOrdering, PaperGroupsHold) {
+  const WorkloadParams params;  // full paper workload: 100 sends, 10 receives
+  auto mean = [&](Scenario s) {
+    return core::run_scenario(s, /*clients=*/2, params).mean_send_ms;
+  };
+
+  const double df = mean(Scenario::kDF);
+  const double ds0 = mean(Scenario::kDS0);
+  const double ds500 = mean(Scenario::kDS500);
+  const double ds1000 = mean(Scenario::kDS1000);
+  const double sf = mean(Scenario::kSF);
+  const double ss0 = mean(Scenario::kSS0);
+  const double ss500 = mean(Scenario::kSS500);
+  const double ss1000 = mean(Scenario::kSS1000);
+  const double ss = mean(Scenario::kSS);
+
+  // Group 1 fastest; SS slowest by a large factor.
+  for (double fast : {df, ds0, sf, ss0}) {
+    EXPECT_LT(fast, ds1000);
+    EXPECT_LT(fast, ss1000);
+    EXPECT_LT(fast * 10.0, ss)
+        << "caching must beat the naive slow-link deployment by an order of "
+           "magnitude";
+  }
+  // More frequent propagation costs more.
+  EXPECT_LT(ds1000, ds500);
+  EXPECT_LT(ss1000, ss500);
+  // Group 3 still clearly beats SS.
+  EXPECT_LT(ds500, ss);
+  EXPECT_LT(ss500, ss);
+
+  // Dynamic deployments track their static counterparts (paper: "virtually
+  // indistinguishable"); allow 50% slack on scales that differ by 10x+
+  // between groups.
+  EXPECT_NEAR(df, sf, 0.5 * std::max(df, sf));
+  EXPECT_NEAR(ds0, ss0, 0.5 * std::max(ds0, ss0));
+  EXPECT_NEAR(ds500, ss500, 0.5 * std::max(ds500, ss500));
+  EXPECT_NEAR(ds1000, ss1000, 0.5 * std::max(ds1000, ss1000));
+}
+
+}  // namespace
+}  // namespace psf

@@ -1,0 +1,136 @@
+// PSDL serializer: canonical-form round trips for the built-in specs and
+// randomized programmatically built specs.
+#include <gtest/gtest.h>
+
+#include "mail/mail_spec.hpp"
+#include "spec/builder.hpp"
+#include "spec/parser.hpp"
+#include "spec/serialize.hpp"
+#include "util/rng.hpp"
+
+namespace psf::spec {
+namespace {
+
+// parse(serialize(s)) must be structurally identical to s.
+void expect_round_trip(const ServiceSpec& original) {
+  const std::string text = serialize_spec(original);
+  auto reparsed = parse_spec(text);
+  ASSERT_TRUE(reparsed.has_value())
+      << reparsed.status().to_string() << "\nserialized form was:\n"
+      << text;
+  EXPECT_TRUE(specs_equal(original, *reparsed))
+      << "original:\n"
+      << text << "\nreparsed:\n"
+      << serialize_spec(*reparsed);
+}
+
+TEST(SerializeTest, MailSpecRoundTrips) {
+  expect_round_trip(mail::mail_service_spec());
+}
+
+TEST(SerializeTest, RoundTripPreservesAllFieldKinds) {
+  ServiceSpec spec =
+      SpecBuilder("Everything")
+          .boolean_property("Flag")
+          .interval_property("Level", -3, 12)
+          .string_property("Owner")
+          .interface("Wide", {"Flag", "Level", "Owner"})
+          .interface("Bare", {})
+          .confidentiality_rule("Flag")
+          .component("Root")
+          .static_placement()
+          .implements("Wide", {{"Flag", lit_bool(true)},
+                               {"Level", lit_int(12)},
+                               {"Owner", lit_string("ops team")}})
+          .condition_eq("Owner", PropertyValue::string("ops team"))
+          .condition_in_range("Level", 2, 9)
+          .capacity(123.5)
+          .cpu_per_request(7.25)
+          .message_bytes(100, 20000)
+          .code_size(777)
+          .done()
+          .data_view("Cache", "Root")
+          .factor("Level", node_ref("Level"))
+          .implements("Wide", {{"Flag", lit_bool(false)},
+                               {"Level", factor_ref("Level")},
+                               {"Owner", ValueExpr::any()}})
+          .requires_iface("Wide", {{"Level", factor_ref("Level")}})
+          .condition_ge("Level", PropertyValue::integer(3))
+          .rrf(0.125)
+          .done()
+          .component("Passthrough")
+          .transparent()
+          .implements("Bare", {})
+          .requires_iface("Wide", {})
+          .done()
+          .build();
+  expect_round_trip(spec);
+}
+
+TEST(SerializeTest, RuleOutputKindsRoundTrip) {
+  ServiceSpec spec = SpecBuilder("Rules")
+                         .interval_property("Q", 0, 100)
+                         .interface("I", {"Q"})
+                         .component("C")
+                         .implements("I", {})
+                         .done()
+                         .build();
+  PropertyModificationRule rule;
+  rule.property = "Q";
+  rule.rows.push_back({RulePattern::lit(PropertyValue::integer(1)),
+                       RulePattern::wildcard(), RuleRow::OutKind::kInput,
+                       {}});
+  rule.rows.push_back({RulePattern::wildcard(),
+                       RulePattern::lit(PropertyValue::integer(2)),
+                       RuleRow::OutKind::kEnvValue,
+                       {}});
+  rule.rows.push_back({RulePattern::wildcard(), RulePattern::wildcard(),
+                       RuleRow::OutKind::kMin,
+                       {}});
+  rule.rows.push_back({RulePattern::lit(PropertyValue::integer(9)),
+                       RulePattern::lit(PropertyValue::integer(9)),
+                       RuleRow::OutKind::kLiteral,
+                       PropertyValue::integer(0)});
+  spec.rules.add(std::move(rule));
+  expect_round_trip(spec);
+}
+
+TEST(SerializeTest, SpecsEqualDetectsDifferences) {
+  ServiceSpec a = mail::mail_service_spec();
+  ServiceSpec b = mail::mail_service_spec();
+  EXPECT_TRUE(specs_equal(a, b));
+  b.components[0].behaviors.rrf = 0.37;
+  EXPECT_FALSE(specs_equal(a, b));
+}
+
+TEST(SerializeTest, RandomizedSpecsRoundTrip) {
+  util::Rng rng(20260707);
+  for (int trial = 0; trial < 20; ++trial) {
+    SpecBuilder builder("Rand" + std::to_string(trial));
+    builder.interval_property("P", 0, 50);
+    builder.boolean_property("B");
+    builder.interface("I", {"P", "B"});
+
+    const int comps = 1 + static_cast<int>(rng.uniform_u64(0, 3));
+    for (int c = 0; c < comps; ++c) {
+      auto cb = builder.component("C" + std::to_string(c));
+      cb.implements(
+          "I", {{"P", lit_int(rng.uniform_i64(0, 50))},
+                {"B", lit_bool(rng.bernoulli(0.5))}});
+      if (c > 0 && rng.bernoulli(0.5)) {
+        cb.requires_iface("I", {{"P", lit_int(rng.uniform_i64(0, 50))}});
+      }
+      if (rng.bernoulli(0.3)) {
+        cb.condition_in_range("P", rng.uniform_i64(0, 10),
+                              rng.uniform_i64(11, 50));
+      }
+      cb.rrf(static_cast<double>(rng.uniform_u64(0, 100)) / 100.0);
+      cb.cpu_per_request(rng.uniform(1.0, 500.0));
+      cb.done();
+    }
+    expect_round_trip(builder.build());
+  }
+}
+
+}  // namespace
+}  // namespace psf::spec

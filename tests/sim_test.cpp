@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace psf::sim {
+namespace {
+
+TEST(TimeTest, Arithmetic) {
+  const Time t = Time::zero() + Duration::from_millis(5);
+  EXPECT_EQ(t.nanos(), 5'000'000);
+  EXPECT_DOUBLE_EQ(t.millis(), 5.0);
+  EXPECT_EQ((t - Time::zero()).micros(), 5000.0);
+  EXPECT_EQ(Duration::from_seconds(1).nanos(), 1'000'000'000);
+  EXPECT_EQ((Duration::from_millis(2) + Duration::from_millis(3)).millis(),
+            5.0);
+  EXPECT_EQ((Duration::from_millis(5) * 2.0).millis(), 10.0);
+}
+
+TEST(SimulatorTest, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(Duration::from_millis(30), [&] { order.push_back(3); });
+  sim.schedule(Duration::from_millis(10), [&] { order.push_back(1); });
+  sim.schedule(Duration::from_millis(20), [&] { order.push_back(2); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now().millis(), 30.0);
+}
+
+TEST(SimulatorTest, SimultaneousEventsFireFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(Duration::from_millis(5), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&]() {
+    if (++depth < 100) {
+      sim.schedule(Duration::from_micros(1), recurse);
+    }
+  };
+  sim.schedule(Duration::from_micros(1), recurse);
+  EXPECT_EQ(sim.run(), 100u);
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.now().micros(), 100.0);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.schedule(Duration::from_millis(i * 10), [&] { ++fired; });
+  }
+  EXPECT_EQ(sim.run_until(Time::zero() + Duration::from_millis(45)), 4u);
+  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(sim.now().millis(), 45.0);  // clock advanced to the deadline
+  EXPECT_EQ(sim.run(), 6u);
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id =
+      sim.schedule(Duration::from_millis(1), [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // second cancel reports failure
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulatorTest, StepExecutesOneEvent) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule(Duration::from_millis(1), [&] { ++count; });
+  sim.schedule(Duration::from_millis(2), [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(SimulatorTest, EmptyAndPendingCounts) {
+  Simulator sim;
+  EXPECT_TRUE(sim.empty());
+  sim.schedule(Duration::from_millis(1), [] {});
+  sim.schedule(Duration::from_millis(2), [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.run();
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(PeriodicTimerTest, TicksAtPeriod) {
+  Simulator sim;
+  int ticks = 0;
+  PeriodicTimer timer(sim, Duration::from_millis(10), [&] { ++ticks; });
+  timer.start();
+  sim.run_until(Time::zero() + Duration::from_millis(95));
+  EXPECT_EQ(ticks, 9);
+  timer.stop();
+  sim.run();
+  EXPECT_EQ(ticks, 9);  // no ticks after stop
+}
+
+TEST(PeriodicTimerTest, StopInsideTickHalts) {
+  Simulator sim;
+  int ticks = 0;
+  PeriodicTimer timer(sim, Duration::from_millis(10), [&] {});
+  PeriodicTimer* tp = &timer;
+  PeriodicTimer outer(sim, Duration::from_millis(10), [&] {
+    if (++ticks == 3) tp->stop();
+  });
+  timer.start();
+  outer.start();
+  sim.run_until(Time::zero() + Duration::from_millis(200));
+  EXPECT_GE(ticks, 3);
+}
+
+TEST(PeriodicTimerTest, DestructionCancelsPendingTick) {
+  Simulator sim;
+  int ticks = 0;
+  {
+    PeriodicTimer timer(sim, Duration::from_millis(10), [&] { ++ticks; });
+    timer.start();
+  }
+  sim.run();
+  EXPECT_EQ(ticks, 0);
+}
+
+TEST(SimulatorTest, SchedulingIntoThePastAborts) {
+  Simulator sim;
+  sim.schedule(Duration::from_millis(10), [] {});
+  sim.run();
+  EXPECT_DEATH(sim.schedule_at(Time::zero(), [] {}), "scheduling into the past");
+}
+
+}  // namespace
+}  // namespace psf::sim

@@ -1,0 +1,257 @@
+// PSDL lexer/parser: round-trips of the paper's Fig. 2 constructs, error
+// reporting with locations, and spec validation.
+#include <gtest/gtest.h>
+
+#include "mail/mail_spec.hpp"
+#include "spec/lexer.hpp"
+#include "spec/parser.hpp"
+
+namespace psf::spec {
+namespace {
+
+// ---- lexer ------------------------------------------------------------------
+
+TEST(LexerTest, TokenizesPunctuationAndIdentifiers) {
+  auto tokens = tokenize("service X { a: 1; b = T; (c, d) -> min; }");
+  ASSERT_TRUE(tokens.has_value()) << tokens.status().to_string();
+  std::vector<TokenKind> kinds;
+  for (const Token& t : *tokens) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds.front(), TokenKind::kIdent);
+  EXPECT_EQ(kinds.back(), TokenKind::kEnd);
+  // Check a few structural tokens.
+  EXPECT_NE(std::find(kinds.begin(), kinds.end(), TokenKind::kArrow),
+            kinds.end());
+  EXPECT_NE(std::find(kinds.begin(), kinds.end(), TokenKind::kColon),
+            kinds.end());
+}
+
+TEST(LexerTest, NumbersAndUnits) {
+  auto tokens = tokenize("0.25 -3 150");
+  ASSERT_TRUE(tokens.has_value());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kFloat);
+  EXPECT_DOUBLE_EQ((*tokens)[0].float_value, 0.25);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kInt);
+  EXPECT_EQ((*tokens)[1].int_value, -3);
+  EXPECT_EQ((*tokens)[2].int_value, 150);
+}
+
+TEST(LexerTest, StringsWithEscapes) {
+  auto tokens = tokenize(R"("hello \"world\"\n")");
+  ASSERT_TRUE(tokens.has_value());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kString);
+  EXPECT_EQ((*tokens)[0].text, "hello \"world\"\n");
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  auto tokens = tokenize("a // line comment\n# hash comment\nb");
+  ASSERT_TRUE(tokens.has_value());
+  ASSERT_EQ(tokens->size(), 3u);  // a, b, end
+  EXPECT_EQ((*tokens)[0].text, "a");
+  EXPECT_EQ((*tokens)[1].text, "b");
+}
+
+TEST(LexerTest, UnterminatedStringReportsLocation) {
+  auto tokens = tokenize("x\n  \"oops");
+  ASSERT_FALSE(tokens.has_value());
+  EXPECT_EQ(tokens.status().code(), util::ErrorCode::kParseError);
+  EXPECT_NE(tokens.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(LexerTest, ComparisonOperators) {
+  auto tokens = tokenize(">= <= == = ->");
+  ASSERT_TRUE(tokens.has_value());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kGe);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kLe);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kEq);
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kAssign);
+  EXPECT_EQ((*tokens)[4].kind, TokenKind::kArrow);
+}
+
+TEST(LexerTest, InvalidCharacterFails) {
+  auto tokens = tokenize("a @ b");
+  ASSERT_FALSE(tokens.has_value());
+  EXPECT_NE(tokens.status().message().find("'@'"), std::string::npos);
+}
+
+// ---- parser -----------------------------------------------------------------
+
+constexpr const char* kTinyService = R"(
+service Tiny {
+  property Fresh { type: boolean; }
+  property Level { type: interval(1, 9); }
+  property Owner { type: string; }
+
+  interface Api { properties: Fresh, Level; }
+  interface Feed { }
+
+  rule Fresh {
+    (T, T) -> T;
+    (any, F) -> F;
+    (F, any) -> in;
+  }
+
+  component Origin {
+    static;
+    implements Api { Fresh = T; Level = 9; }
+    conditions { node.Level >= 8; Owner == "corp"; }
+    behaviors { capacity: 250; cpu_per_request: 40;
+                bytes_per_request: 2 KB; code_size: 1 MB; }
+  }
+
+  data view Cache represents Origin {
+    factors { Level = node.Level; }
+    implements Api { Fresh = T; Level = factor.Level; }
+    requires Api { Fresh = T; Level = factor.Level; }
+    conditions { node.Level in (2, 7); }
+    behaviors { rrf: 0.25; }
+  }
+
+  component Reader {
+    transparent;
+    implements Feed { }
+    requires Api { Fresh = T; }
+  }
+}
+)";
+
+TEST(ParserTest, ParsesTinyService) {
+  auto spec = parse_spec(kTinyService);
+  ASSERT_TRUE(spec.has_value()) << spec.status().to_string();
+
+  EXPECT_EQ(spec->name, "Tiny");
+  ASSERT_EQ(spec->properties.size(), 3u);
+  EXPECT_EQ(spec->properties[1].type, PropertyType::kInterval);
+  EXPECT_EQ(spec->properties[1].interval_lo, 1);
+  EXPECT_EQ(spec->properties[1].interval_hi, 9);
+
+  const ComponentDef* origin = spec->find_component("Origin");
+  ASSERT_NE(origin, nullptr);
+  EXPECT_TRUE(origin->static_placement);
+  EXPECT_EQ(origin->behaviors.capacity_rps, 250.0);
+  EXPECT_EQ(origin->behaviors.bytes_per_request, 2048u);
+  EXPECT_EQ(origin->behaviors.code_size_bytes, 1024u * 1024u);
+  ASSERT_EQ(origin->conditions.size(), 2u);
+  EXPECT_EQ(origin->conditions[0].op, Condition::Op::kGe);
+  EXPECT_EQ(origin->conditions[1].op, Condition::Op::kEq);
+  EXPECT_EQ(origin->conditions[1].value, PropertyValue::string("corp"));
+
+  const ComponentDef* cache = spec->find_component("Cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_EQ(cache->kind, ComponentKind::kDataView);
+  EXPECT_EQ(cache->represents, "Origin");
+  ASSERT_EQ(cache->factors.size(), 1u);
+  EXPECT_EQ(cache->factors[0].value.kind, ValueExpr::Kind::kEnvRef);
+  EXPECT_EQ(cache->behaviors.rrf, 0.25);
+  ASSERT_EQ(cache->conditions.size(), 1u);
+  EXPECT_EQ(cache->conditions[0].op, Condition::Op::kInRange);
+
+  const ComponentDef* reader = spec->find_component("Reader");
+  ASSERT_NE(reader, nullptr);
+  EXPECT_TRUE(reader->transparent);
+
+  // Rule with the three output kinds parsed.
+  const PropertyModificationRule* rule = spec->rules.find("Fresh");
+  ASSERT_NE(rule, nullptr);
+  ASSERT_EQ(rule->rows.size(), 3u);
+  EXPECT_EQ(rule->rows[2].out_kind, RuleRow::OutKind::kInput);
+}
+
+struct BadSpecCase {
+  std::string name;
+  std::string source;
+  std::string expected_fragment;
+};
+
+class ParserErrorTest : public ::testing::TestWithParam<BadSpecCase> {};
+
+TEST_P(ParserErrorTest, ReportsUsefully) {
+  auto spec = parse_spec(GetParam().source);
+  ASSERT_FALSE(spec.has_value());
+  EXPECT_NE(spec.status().message().find(GetParam().expected_fragment),
+            std::string::npos)
+      << "message was: " << spec.status().message();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Errors, ParserErrorTest,
+    ::testing::Values(
+        BadSpecCase{"missing_service", "component X {}", "expected 'service'"},
+        BadSpecCase{"unknown_decl", "service S { widget W {} }",
+                    "unknown declaration"},
+        BadSpecCase{"bad_type",
+                    "service S { property P { type: float; } }",
+                    "unknown property type"},
+        BadSpecCase{"undeclared_interface",
+                    "service S { component C { implements I {} } }",
+                    "unknown interface"},
+        BadSpecCase{"undeclared_property",
+                    "service S { interface I {} "
+                    "component C { implements I { X = 1; } } }",
+                    "undeclared property"},
+        BadSpecCase{"value_out_of_range",
+                    "service S { property P { type: interval(1, 5); } "
+                    "interface I { properties: P; } "
+                    "component C { implements I { P = 9; } } }",
+                    "out of range"},
+        BadSpecCase{"view_of_unknown",
+                    "service S { interface I {} "
+                    "data view V represents Nope { implements I {} } }",
+                    "unknown component"},
+        BadSpecCase{"undeclared_factor",
+                    "service S { property P { type: interval(1, 5); } "
+                    "interface I { properties: P; } "
+                    "component C { implements I { P = factor.Q; } } }",
+                    "undeclared factor"},
+        BadSpecCase{"rrf_range",
+                    "service S { interface I {} "
+                    "component C { implements I {} behaviors { rrf: 2; } } }",
+                    "rrf"},
+        BadSpecCase{"no_implements",
+                    "service S { interface I {} component C { } }",
+                    "implements no interface"},
+        BadSpecCase{"duplicate_component",
+                    "service S { interface I {} "
+                    "component C { implements I {} } "
+                    "component C { implements I {} } }",
+                    "duplicate"}),
+    [](const ::testing::TestParamInfo<BadSpecCase>& info) {
+      return info.param.name;
+    });
+
+TEST(ParserTest, MailSpecParsesAndValidates) {
+  // The production mail specification must always parse.
+  auto spec = parse_spec(mail::mail_spec_source());
+  ASSERT_TRUE(spec.has_value()) << spec.status().to_string();
+  EXPECT_EQ(spec->name, "SecureMail");
+  EXPECT_EQ(spec->components.size(), 6u);
+  EXPECT_NE(spec->find_component("ViewMailServer"), nullptr);
+  EXPECT_TRUE(spec->find_component("MailServer")->static_placement);
+  EXPECT_TRUE(spec->find_component("Encryptor")->transparent);
+  EXPECT_EQ(spec->find_component("ViewMailServer")->behaviors.rrf, 0.2);
+}
+
+TEST(ParserTest, SpecToStringReparses) {
+  // to_string() is not guaranteed to be PSDL, but the structural content
+  // must survive: spot-check a round trip through the object model.
+  auto spec = parse_spec(kTinyService);
+  ASSERT_TRUE(spec.has_value());
+  const std::string dump = spec->to_string();
+  EXPECT_NE(dump.find("Origin"), std::string::npos);
+  EXPECT_NE(dump.find("rrf: 0.25"), std::string::npos);
+  EXPECT_NE(dump.find("static;"), std::string::npos);
+}
+
+TEST(ValidateTest, InterfacePropertyMustBeDeclared) {
+  ServiceSpec spec;
+  spec.name = "S";
+  InterfaceDef iface;
+  iface.name = "I";
+  iface.properties = {"Ghost"};
+  spec.interfaces.push_back(iface);
+  auto st = spec.validate();
+  EXPECT_FALSE(st.is_ok());
+  EXPECT_NE(st.message().find("Ghost"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace psf::spec

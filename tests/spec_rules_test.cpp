@@ -1,0 +1,126 @@
+// Property modification rules (paper Fig. 4), including the confidentiality
+// table and the extended output kinds (in / env / min).
+#include <gtest/gtest.h>
+
+#include "spec/builder.hpp"
+#include "spec/rules.hpp"
+
+namespace psf::spec {
+namespace {
+
+PropertyValue T() { return PropertyValue::boolean(true); }
+PropertyValue F() { return PropertyValue::boolean(false); }
+
+PropertyModificationRule confidentiality_rule() {
+  PropertyModificationRule r;
+  r.property = "Confidentiality";
+  r.rows.push_back({RulePattern::lit(T()), RulePattern::lit(T()),
+                    RuleRow::OutKind::kLiteral, T()});
+  r.rows.push_back({RulePattern::lit(F()), RulePattern::wildcard(),
+                    RuleRow::OutKind::kLiteral, F()});
+  r.rows.push_back({RulePattern::wildcard(), RulePattern::lit(F()),
+                    RuleRow::OutKind::kLiteral, F()});
+  return r;
+}
+
+struct RuleCase {
+  PropertyValue in;
+  PropertyValue env;
+  PropertyValue out;
+};
+
+class ConfidentialityTable : public ::testing::TestWithParam<RuleCase> {};
+
+TEST_P(ConfidentialityTable, MatchesFig4) {
+  const RuleCase& c = GetParam();
+  EXPECT_EQ(confidentiality_rule().apply(c.in, c.env), c.out)
+      << "(" << c.in.to_string() << ", " << c.env.to_string() << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig4, ConfidentialityTable,
+    ::testing::Values(RuleCase{T(), T(), T()},  // secure env preserves T
+                      RuleCase{T(), F(), F()},  // insecure env degrades
+                      RuleCase{F(), T(), F()},  // F stays F
+                      RuleCase{F(), F(), F()},
+                      // Unset env: no row matches a T input -> identity.
+                      RuleCase{T(), PropertyValue(), T()},
+                      RuleCase{F(), PropertyValue(), F()}));
+
+TEST(RulesTest, FirstMatchingRowWins) {
+  PropertyModificationRule r;
+  r.property = "P";
+  r.rows.push_back({RulePattern::wildcard(), RulePattern::wildcard(),
+                    RuleRow::OutKind::kLiteral, PropertyValue::integer(1)});
+  r.rows.push_back({RulePattern::wildcard(), RulePattern::wildcard(),
+                    RuleRow::OutKind::kLiteral, PropertyValue::integer(2)});
+  EXPECT_EQ(r.apply(PropertyValue::integer(9), PropertyValue()),
+            PropertyValue::integer(1));
+}
+
+TEST(RulesTest, OutputKinds) {
+  PropertyModificationRule r;
+  r.property = "Q";
+  r.rows.push_back({RulePattern::lit(PropertyValue::integer(1)),
+                    RulePattern::wildcard(), RuleRow::OutKind::kInput, {}});
+  r.rows.push_back({RulePattern::lit(PropertyValue::integer(2)),
+                    RulePattern::wildcard(), RuleRow::OutKind::kEnvValue, {}});
+  r.rows.push_back({RulePattern::wildcard(), RulePattern::wildcard(),
+                    RuleRow::OutKind::kMin, {}});
+
+  const PropertyValue env = PropertyValue::integer(7);
+  EXPECT_EQ(r.apply(PropertyValue::integer(1), env), PropertyValue::integer(1));
+  EXPECT_EQ(r.apply(PropertyValue::integer(2), env), PropertyValue::integer(7));
+  EXPECT_EQ(r.apply(PropertyValue::integer(9), env), PropertyValue::integer(7));
+  EXPECT_EQ(r.apply(PropertyValue::integer(5), env), PropertyValue::integer(5));
+}
+
+TEST(RulesTest, NoMatchingRowIsIdentity) {
+  PropertyModificationRule r;
+  r.property = "P";
+  r.rows.push_back({RulePattern::lit(PropertyValue::integer(1)),
+                    RulePattern::lit(PropertyValue::integer(1)),
+                    RuleRow::OutKind::kLiteral, PropertyValue::integer(0)});
+  EXPECT_EQ(r.apply(PropertyValue::integer(5), PropertyValue::integer(5)),
+            PropertyValue::integer(5));
+}
+
+TEST(RuleSetTest, LookupAndApply) {
+  RuleSet rules;
+  rules.add(confidentiality_rule());
+  EXPECT_NE(rules.find("Confidentiality"), nullptr);
+  EXPECT_EQ(rules.find("Other"), nullptr);
+  // Property without a rule: identity.
+  EXPECT_EQ(rules.apply("Other", PropertyValue::integer(3), F()),
+            PropertyValue::integer(3));
+  EXPECT_EQ(rules.apply("Confidentiality", T(), F()), F());
+}
+
+TEST(RuleSetTest, BuilderConfidentialityHelperMatchesFig4) {
+  ServiceSpec spec = SpecBuilder("R")
+                         .boolean_property("Conf")
+                         .interface("I", {"Conf"})
+                         .confidentiality_rule("Conf")
+                         .component("C")
+                         .implements("I", {})
+                         .done()
+                         .build();
+  EXPECT_EQ(spec.rules.apply("Conf", T(), T()), T());
+  EXPECT_EQ(spec.rules.apply("Conf", T(), F()), F());
+  EXPECT_EQ(spec.rules.apply("Conf", F(), T()), F());
+}
+
+TEST(RulesTest, ChainedApplicationDegradesMonotonically) {
+  // Crossing secure, insecure, secure: once degraded, never restored.
+  const auto rule = confidentiality_rule();
+  PropertyValue v = T();
+  v = rule.apply(v, T());
+  EXPECT_EQ(v, T());
+  v = rule.apply(v, F());
+  EXPECT_EQ(v, F());
+  v = rule.apply(v, T());
+  EXPECT_EQ(v, F());
+}
+
+}  // namespace
+}  // namespace psf::spec

@@ -1,0 +1,178 @@
+// Property value semantics: the partial order driving §3.3's compatibility
+// check ("implemented must be a superset of required").
+#include <gtest/gtest.h>
+
+#include "spec/model.hpp"
+#include "spec/value.hpp"
+
+namespace psf::spec {
+namespace {
+
+TEST(PropertyValueTest, KindPredicates) {
+  EXPECT_FALSE(PropertyValue().is_set());
+  EXPECT_TRUE(PropertyValue::boolean(true).is_bool());
+  EXPECT_TRUE(PropertyValue::integer(3).is_int());
+  EXPECT_TRUE(PropertyValue::string("x").is_string());
+}
+
+struct SatisfyCase {
+  PropertyValue offered;
+  PropertyValue required;
+  bool expected;
+};
+
+class SatisfiesTest : public ::testing::TestWithParam<SatisfyCase> {};
+
+TEST_P(SatisfiesTest, Holds) {
+  const SatisfyCase& c = GetParam();
+  EXPECT_EQ(c.offered.satisfies(c.required), c.expected)
+      << c.offered.to_string() << " vs required " << c.required.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table, SatisfiesTest,
+    ::testing::Values(
+        // Booleans: T >= F.
+        SatisfyCase{PropertyValue::boolean(true), PropertyValue::boolean(true),
+                    true},
+        SatisfyCase{PropertyValue::boolean(true),
+                    PropertyValue::boolean(false), true},
+        SatisfyCase{PropertyValue::boolean(false),
+                    PropertyValue::boolean(true), false},
+        SatisfyCase{PropertyValue::boolean(false),
+                    PropertyValue::boolean(false), true},
+        // Integers: numeric order.
+        SatisfyCase{PropertyValue::integer(5), PropertyValue::integer(4),
+                    true},
+        SatisfyCase{PropertyValue::integer(4), PropertyValue::integer(4),
+                    true},
+        SatisfyCase{PropertyValue::integer(3), PropertyValue::integer(4),
+                    false},
+        // Strings: equality only.
+        SatisfyCase{PropertyValue::string("a"), PropertyValue::string("a"),
+                    true},
+        SatisfyCase{PropertyValue::string("a"), PropertyValue::string("b"),
+                    false},
+        // Unset requirement is always satisfied; unset offer never is.
+        SatisfyCase{PropertyValue::integer(1), PropertyValue(), true},
+        SatisfyCase{PropertyValue(), PropertyValue::integer(1), false},
+        SatisfyCase{PropertyValue(), PropertyValue(), true},
+        // Kind mismatches never satisfy.
+        SatisfyCase{PropertyValue::integer(1), PropertyValue::boolean(true),
+                    false},
+        SatisfyCase{PropertyValue::boolean(true), PropertyValue::string("T"),
+                    false}));
+
+TEST(PropertyValueTest, MinOf) {
+  EXPECT_EQ(PropertyValue::min_of(PropertyValue::integer(3),
+                                  PropertyValue::integer(5)),
+            PropertyValue::integer(3));
+  EXPECT_EQ(PropertyValue::min_of(PropertyValue::boolean(true),
+                                  PropertyValue::boolean(false)),
+            PropertyValue::boolean(false));
+  EXPECT_EQ(PropertyValue::min_of(PropertyValue::string("x"),
+                                  PropertyValue::string("x")),
+            PropertyValue::string("x"));
+  // Mismatched strings and kinds collapse to unset.
+  EXPECT_FALSE(PropertyValue::min_of(PropertyValue::string("x"),
+                                     PropertyValue::string("y"))
+                   .is_set());
+  EXPECT_FALSE(PropertyValue::min_of(PropertyValue::integer(1),
+                                     PropertyValue::boolean(true))
+                   .is_set());
+  // Unset is the identity.
+  EXPECT_EQ(PropertyValue::min_of(PropertyValue(), PropertyValue::integer(9)),
+            PropertyValue::integer(9));
+}
+
+TEST(PropertyValueTest, ToString) {
+  EXPECT_EQ(PropertyValue::boolean(true).to_string(), "T");
+  EXPECT_EQ(PropertyValue::boolean(false).to_string(), "F");
+  EXPECT_EQ(PropertyValue::integer(-3).to_string(), "-3");
+  EXPECT_EQ(PropertyValue::string("hi").to_string(), "\"hi\"");
+  EXPECT_EQ(PropertyValue().to_string(), "<unset>");
+}
+
+TEST(PropertyDefTest, AdmitsTypeAndRange) {
+  PropertyDef interval;
+  interval.type = PropertyType::kInterval;
+  interval.interval_lo = 1;
+  interval.interval_hi = 5;
+  EXPECT_TRUE(interval.admits(PropertyValue::integer(1)));
+  EXPECT_TRUE(interval.admits(PropertyValue::integer(5)));
+  EXPECT_FALSE(interval.admits(PropertyValue::integer(0)));
+  EXPECT_FALSE(interval.admits(PropertyValue::integer(6)));
+  EXPECT_FALSE(interval.admits(PropertyValue::boolean(true)));
+  EXPECT_TRUE(interval.admits(PropertyValue()));  // unset always admitted
+
+  PropertyDef boolean;
+  boolean.type = PropertyType::kBoolean;
+  EXPECT_TRUE(boolean.admits(PropertyValue::boolean(false)));
+  EXPECT_FALSE(boolean.admits(PropertyValue::integer(1)));
+
+  PropertyDef str;
+  str.type = PropertyType::kString;
+  EXPECT_TRUE(str.admits(PropertyValue::string("s")));
+  EXPECT_FALSE(str.admits(PropertyValue::integer(1)));
+}
+
+TEST(ConditionTest, Operators) {
+  Environment env;
+  env.set("TrustLevel", PropertyValue::integer(3));
+  env.set("User", PropertyValue::string("Alice"));
+
+  Condition eq;
+  eq.property = "User";
+  eq.op = Condition::Op::kEq;
+  eq.value = PropertyValue::string("Alice");
+  EXPECT_TRUE(eq.holds(env));
+  eq.value = PropertyValue::string("Bob");
+  EXPECT_FALSE(eq.holds(env));
+
+  Condition ge;
+  ge.property = "TrustLevel";
+  ge.op = Condition::Op::kGe;
+  ge.value = PropertyValue::integer(3);
+  EXPECT_TRUE(ge.holds(env));
+  ge.value = PropertyValue::integer(4);
+  EXPECT_FALSE(ge.holds(env));
+
+  Condition le;
+  le.property = "TrustLevel";
+  le.op = Condition::Op::kLe;
+  le.value = PropertyValue::integer(3);
+  EXPECT_TRUE(le.holds(env));
+  le.value = PropertyValue::integer(2);
+  EXPECT_FALSE(le.holds(env));
+
+  Condition range;
+  range.property = "TrustLevel";
+  range.op = Condition::Op::kInRange;
+  range.range_lo = 1;
+  range.range_hi = 3;
+  EXPECT_TRUE(range.holds(env));
+  range.range_hi = 2;
+  EXPECT_FALSE(range.holds(env));
+}
+
+TEST(ConditionTest, MissingPropertyFailsClosed) {
+  Environment env;
+  Condition cond;
+  cond.property = "TrustLevel";
+  cond.op = Condition::Op::kGe;
+  cond.value = PropertyValue::integer(1);
+  EXPECT_FALSE(cond.holds(env));
+}
+
+TEST(EnvironmentTest, SetAndGet) {
+  Environment env;
+  EXPECT_FALSE(env.get("x").has_value());
+  env.set("x", PropertyValue::integer(1));
+  ASSERT_TRUE(env.get("x").has_value());
+  EXPECT_EQ(*env.get("x"), PropertyValue::integer(1));
+  env.set("x", PropertyValue::integer(2));  // overwrite
+  EXPECT_EQ(*env.get("x"), PropertyValue::integer(2));
+}
+
+}  // namespace
+}  // namespace psf::spec

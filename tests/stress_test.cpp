@@ -1,0 +1,311 @@
+// Stress and failure injection: the runtime and coherence layers under
+// storms, churn, and mid-flight component removal. These tests assert
+// liveness (every callback fires exactly once) and conservation invariants
+// rather than exact values.
+#include <gtest/gtest.h>
+
+#include "coherence/replica.hpp"
+#include "mail/mail_spec.hpp"
+#include "mail/registration.hpp"
+#include "mail/server.hpp"
+#include "mail/view_server.hpp"
+#include "runtime/smock.hpp"
+#include "spec/builder.hpp"
+#include "util/rng.hpp"
+
+namespace psf {
+namespace {
+
+class SinkComponent : public runtime::Component {
+ public:
+  void handle_request(const runtime::Request& request,
+                      runtime::ResponseCallback done) override {
+    ++handled;
+    if (request.op == "relay") {
+      runtime::Request inner = request;
+      inner.op = "sink";
+      call("Down", std::move(inner), std::move(done));
+      return;
+    }
+    runtime::Response response;
+    response.wire_bytes = 128;
+    done(std::move(response));
+  }
+  int handled = 0;
+};
+
+struct StressFixture : public ::testing::Test {
+  StressFixture() : runtime(sim, network) {
+    // A 4-node diamond with modest links so contention is real.
+    for (int i = 0; i < 4; ++i) {
+      nodes.push_back(network.add_node("n" + std::to_string(i), 1e6));
+    }
+    network.add_link(nodes[0], nodes[1], 10e6, sim::Duration::from_millis(5));
+    network.add_link(nodes[1], nodes[3], 10e6, sim::Duration::from_millis(5));
+    network.add_link(nodes[0], nodes[2], 10e6, sim::Duration::from_millis(9));
+    network.add_link(nodes[2], nodes[3], 10e6, sim::Duration::from_millis(9));
+
+    service = std::make_unique<spec::ServiceSpec>(
+        spec::SpecBuilder("Stress")
+            .interface("Api", {})
+            .component("Sink")
+            .implements("Api", {})
+            .cpu_per_request(50)
+            .done()
+            .build());
+    PSF_CHECK(runtime.factories()
+                  .register_type("Sink",
+                                 [] { return std::make_unique<SinkComponent>(); })
+                  .is_ok());
+  }
+
+  runtime::RuntimeInstanceId install(net::NodeId node) {
+    runtime::RuntimeInstanceId out = 0;
+    runtime.install(*service->find_component("Sink"), node, {}, node,
+                    [&out](util::Expected<runtime::RuntimeInstanceId> id) {
+                      PSF_CHECK(id.has_value());
+                      out = *id;
+                    });
+    sim.run();
+    PSF_CHECK(runtime.start(out).is_ok());
+    return out;
+  }
+
+  sim::Simulator sim;
+  net::Network network;
+  runtime::SmockRuntime runtime;
+  std::vector<net::NodeId> nodes;
+  std::unique_ptr<spec::ServiceSpec> service;
+};
+
+TEST_F(StressFixture, TenThousandConcurrentRequestsAllComplete) {
+  const auto target = install(nodes[3]);
+  util::Rng rng(42);
+  int completed = 0;
+  constexpr int kRequests = 10000;
+  for (int i = 0; i < kRequests; ++i) {
+    runtime::Request request;
+    request.op = "sink";
+    request.wire_bytes = 200 + rng.uniform_u64(0, 2000);
+    const net::NodeId from = nodes[rng.uniform_u64(0, 2)];
+    sim.schedule(sim::Duration::from_micros(
+                     static_cast<double>(rng.uniform_u64(0, 1000000))),
+                 [this, from, target, request, &completed]() {
+                   runtime.invoke_from_node(from, target, request,
+                                            [&completed](runtime::Response r) {
+                                              EXPECT_TRUE(r.ok);
+                                              ++completed;
+                                            });
+                 });
+  }
+  sim.run();
+  EXPECT_EQ(completed, kRequests);
+  EXPECT_EQ(runtime.instance(target).stats.requests_handled,
+            static_cast<std::uint64_t>(kRequests));
+  // Conservation: every request crossed the network at least once.
+  EXPECT_GE(runtime.stats().messages_sent,
+            static_cast<std::uint64_t>(kRequests));
+}
+
+TEST_F(StressFixture, UninstallMidFlightFailsCleanly) {
+  const auto front = install(nodes[0]);
+  const auto back = install(nodes[3]);
+  ASSERT_TRUE(runtime.wire(front, "Down", back).is_ok());
+
+  int ok = 0, failed = 0;
+  constexpr int kRequests = 200;
+  for (int i = 0; i < kRequests; ++i) {
+    runtime::Request request;
+    request.op = "relay";
+    request.wire_bytes = 1000;
+    sim.schedule(sim::Duration::from_millis(static_cast<double>(i)),
+                 [this, front, request, &ok, &failed]() {
+                   runtime.invoke_from_node(nodes[0], front, request,
+                                            [&](runtime::Response r) {
+                                              (r.ok ? ok : failed)++;
+                                            });
+                 });
+  }
+  // Kill the backend mid-storm.
+  sim.schedule(sim::Duration::from_millis(100),
+               [this, back]() { PSF_CHECK(runtime.uninstall(back).is_ok()); });
+  sim.run();
+  // Liveness: every request got *an* answer.
+  EXPECT_EQ(ok + failed, kRequests);
+  EXPECT_GT(ok, 0);
+  EXPECT_GT(failed, 0);
+}
+
+TEST_F(StressFixture, InstallUninstallChurn) {
+  util::Rng rng(7);
+  std::vector<runtime::RuntimeInstanceId> live;
+  for (int round = 0; round < 200; ++round) {
+    if (live.empty() || rng.bernoulli(0.6)) {
+      live.push_back(install(nodes[rng.uniform_u64(0, 3)]));
+    } else {
+      const std::size_t victim = rng.uniform_u64(0, live.size() - 1);
+      ASSERT_TRUE(runtime.uninstall(live[victim]).is_ok());
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+    }
+  }
+  sim.run();
+  EXPECT_EQ(runtime.instance_count(), live.size());
+  // The survivors still serve.
+  if (!live.empty()) {
+    bool ok = false;
+    runtime::Request request;
+    request.op = "sink";
+    runtime.invoke_from_node(nodes[0], live.front(), std::move(request),
+                             [&ok](runtime::Response r) { ok = r.ok; });
+    sim.run();
+    EXPECT_TRUE(ok);
+  }
+}
+
+// ---- mail/coherence storms ------------------------------------------------
+
+struct MailStorm : public ::testing::Test {
+  MailStorm() : runtime(sim, network) {
+    net::Credentials edge_creds;
+    edge_creds.set("trust", std::int64_t{4});
+    edge_creds.set("secure", true);
+    edge = network.add_node("edge", 1e6, edge_creds);
+    net::Credentials home_creds;
+    home_creds.set("trust", std::int64_t{5});
+    home_creds.set("secure", true);
+    home = network.add_node("home", 1e6, home_creds);
+    network.add_link(edge, home, 5e6, sim::Duration::from_millis(80));
+
+    config = std::make_shared<mail::MailServiceConfig>();
+    config->view_policy = coherence::CoherencePolicy::count_based(10);
+    spec = std::make_unique<spec::ServiceSpec>(mail::mail_service_spec());
+    PSF_CHECK(mail::register_mail_factories(runtime.factories(), config)
+                  .is_ok());
+
+    server = install("MailServer", home, 0);
+    view = install("ViewMailServer", edge, 4);
+    PSF_CHECK(runtime.wire(view, "ServerInterface", server).is_ok());
+    PSF_CHECK(runtime.start(server).is_ok());
+    PSF_CHECK(runtime.start(view).is_ok());
+    sim.run();
+  }
+
+  runtime::RuntimeInstanceId install(const std::string& type, net::NodeId node,
+                                     std::int64_t trust) {
+    planner::FactorBindings factors;
+    if (trust > 0) {
+      factors.values["TrustLevel"] = spec::PropertyValue::integer(trust);
+    }
+    runtime::RuntimeInstanceId out = 0;
+    runtime.install(*spec->find_component(type), node, factors, node,
+                    [&out](util::Expected<runtime::RuntimeInstanceId> id) {
+                      PSF_CHECK(id.has_value());
+                      out = *id;
+                    });
+    sim.run();
+    return out;
+  }
+
+  sim::Simulator sim;
+  net::Network network;
+  runtime::SmockRuntime runtime;
+  net::NodeId edge, home;
+  mail::MailConfigPtr config;
+  std::unique_ptr<spec::ServiceSpec> spec;
+  runtime::RuntimeInstanceId server = 0, view = 0;
+};
+
+TEST_F(MailStorm, NoMailLostAcrossCountBasedSyncs) {
+  config->keys->provision_user("storm", mail::kMaxSensitivity);
+  constexpr int kSends = 500;
+  int acked = 0;
+  util::Rng rng(99);
+  for (int i = 0; i < kSends; ++i) {
+    auto body = std::make_shared<mail::SendBody>();
+    body->message.id = static_cast<std::uint64_t>(i + 1);
+    body->message.from = "storm";
+    body->message.to = "storm";
+    body->message.sensitivity = 2;
+    body->message.plaintext = {static_cast<std::uint8_t>(i)};
+    runtime::Request request;
+    request.op = mail::ops::kSend;
+    request.body = body;
+    request.wire_bytes = mail::send_wire_bytes(body->message);
+    sim.schedule(sim::Duration::from_micros(
+                     static_cast<double>(rng.uniform_u64(0, 3000000))),
+                 [this, request, &acked]() {
+                   runtime.invoke_from_node(edge, view, request,
+                                            [&acked](runtime::Response r) {
+                                              EXPECT_TRUE(r.ok) << r.error;
+                                              ++acked;
+                                            });
+                 });
+  }
+  sim.run();
+  EXPECT_EQ(acked, kSends);
+
+  // Flush the residue and check conservation: view cache has all messages;
+  // home has everything that was propagated; cache + home-pending add up.
+  auto* view_comp = dynamic_cast<mail::ViewMailServerComponent*>(
+      runtime.instance(view).component.get());
+  auto* server_comp = dynamic_cast<mail::MailServerComponent*>(
+      runtime.instance(server).component.get());
+  view_comp->replica_coherence()->flush();
+  sim.run();
+  EXPECT_EQ(view_comp->cached_inbox_size("storm"),
+            static_cast<std::size_t>(kSends));
+  EXPECT_EQ(server_comp->inbox_size("storm"),
+            static_cast<std::size_t>(kSends));
+  EXPECT_EQ(view_comp->replica_coherence()->pending(), 0u);
+}
+
+TEST_F(MailStorm, FlushStormWithConcurrentReceivesStaysConsistent) {
+  config->keys->provision_user("mixed", mail::kMaxSensitivity);
+  util::Rng rng(5);
+  int sends_acked = 0, receives_acked = 0;
+  constexpr int kOps = 400;
+  for (int i = 0; i < kOps; ++i) {
+    const bool is_send = i % 4 != 0;
+    sim.schedule(
+        sim::Duration::from_micros(
+            static_cast<double>(rng.uniform_u64(0, 2000000))),
+        [this, i, is_send, &sends_acked, &receives_acked]() {
+          if (is_send) {
+            auto body = std::make_shared<mail::SendBody>();
+            body->message.id = static_cast<std::uint64_t>(i + 1);
+            body->message.from = "mixed";
+            body->message.to = "mixed";
+            body->message.sensitivity = 2;
+            body->message.plaintext = {1};
+            runtime::Request request;
+            request.op = mail::ops::kSend;
+            request.body = body;
+            request.wire_bytes = mail::send_wire_bytes(body->message);
+            runtime.invoke_from_node(edge, view, std::move(request),
+                                     [&sends_acked](runtime::Response r) {
+                                       EXPECT_TRUE(r.ok) << r.error;
+                                       ++sends_acked;
+                                     });
+          } else {
+            auto body = std::make_shared<mail::ReceiveBody>();
+            body->user = "mixed";
+            runtime::Request request;
+            request.op = mail::ops::kReceive;
+            request.body = body;
+            request.wire_bytes = 256;
+            runtime.invoke_from_node(edge, view, std::move(request),
+                                     [&receives_acked](runtime::Response r) {
+                                       EXPECT_TRUE(r.ok) << r.error;
+                                       ++receives_acked;
+                                     });
+          }
+        });
+  }
+  sim.run();
+  EXPECT_EQ(sends_acked + receives_acked, kOps);
+  // Nothing deadlocked in the defer/drain path.
+  EXPECT_TRUE(sim.empty());
+}
+
+}  // namespace
+}  // namespace psf

@@ -1,0 +1,137 @@
+// Topology generators: connectivity, determinism, parameter plausibility.
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "net/topology.hpp"
+
+namespace psf::net {
+namespace {
+
+// BFS connectivity check.
+bool connected(const Network& n) {
+  if (n.node_count() == 0) return true;
+  std::vector<bool> seen(n.node_count(), false);
+  std::queue<NodeId> frontier;
+  frontier.push(NodeId{0});
+  seen[0] = true;
+  std::size_t count = 1;
+  while (!frontier.empty()) {
+    NodeId cur = frontier.front();
+    frontier.pop();
+    for (LinkId lid : n.links_of(cur)) {
+      NodeId next = n.link(lid).other(cur);
+      if (!seen[next.value]) {
+        seen[next.value] = true;
+        ++count;
+        frontier.push(next);
+      }
+    }
+  }
+  return count == n.node_count();
+}
+
+struct GeneratorCase {
+  std::string name;
+  std::function<Network(std::uint64_t seed)> make;
+};
+
+class TopologyParamTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {
+};
+
+TEST_P(TopologyParamTest, WaxmanConnectedAndSized) {
+  const auto [size, seed] = GetParam();
+  WaxmanParams params;
+  params.num_nodes = size;
+  util::Rng rng(seed);
+  Network n = generate_waxman(params, rng);
+  EXPECT_EQ(n.node_count(), size);
+  EXPECT_TRUE(connected(n));
+  EXPECT_GE(n.link_count(), size - 1);  // at least a spanning structure
+}
+
+TEST_P(TopologyParamTest, BarabasiAlbertConnectedAndSized) {
+  const auto [size, seed] = GetParam();
+  if (size < 3) GTEST_SKIP();
+  BarabasiAlbertParams params;
+  params.num_nodes = size;
+  params.links_per_new_node = 2;
+  util::Rng rng(seed);
+  Network n = generate_barabasi_albert(params, rng);
+  EXPECT_EQ(n.node_count(), size);
+  EXPECT_TRUE(connected(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TopologyParamTest,
+    ::testing::Combine(::testing::Values<std::size_t>(2, 5, 20, 60),
+                       ::testing::Values<std::uint64_t>(1, 42, 20260707)));
+
+TEST(TopologyTest, WaxmanDeterministicForSeed) {
+  WaxmanParams params;
+  params.num_nodes = 30;
+  util::Rng rng1(77), rng2(77);
+  Network a = generate_waxman(params, rng1);
+  Network b = generate_waxman(params, rng2);
+  ASSERT_EQ(a.link_count(), b.link_count());
+  for (LinkId lid : a.all_links()) {
+    EXPECT_EQ(a.link(lid).a, b.link(lid).a);
+    EXPECT_EQ(a.link(lid).b, b.link(lid).b);
+    EXPECT_EQ(a.link(lid).bandwidth_bps, b.link(lid).bandwidth_bps);
+  }
+}
+
+TEST(TopologyTest, WaxmanResourceRangesRespected) {
+  WaxmanParams params;
+  params.num_nodes = 40;
+  params.min_bandwidth_bps = 5e6;
+  params.max_bandwidth_bps = 6e6;
+  params.min_cpu = 1e5;
+  params.max_cpu = 2e5;
+  util::Rng rng(3);
+  Network n = generate_waxman(params, rng);
+  for (NodeId id : n.all_nodes()) {
+    EXPECT_GE(n.node(id).cpu_capacity, 1e5);
+    EXPECT_LE(n.node(id).cpu_capacity, 2e5);
+  }
+  for (LinkId id : n.all_links()) {
+    EXPECT_GE(n.link(id).bandwidth_bps, 5e6);
+    EXPECT_LE(n.link(id).bandwidth_bps, 6e6);
+  }
+}
+
+TEST(TopologyTest, BarabasiAlbertSkewsDegree) {
+  BarabasiAlbertParams params;
+  params.num_nodes = 200;
+  params.links_per_new_node = 2;
+  util::Rng rng(11);
+  Network n = generate_barabasi_albert(params, rng);
+
+  std::size_t max_degree = 0;
+  double total_degree = 0;
+  for (NodeId id : n.all_nodes()) {
+    max_degree = std::max(max_degree, n.links_of(id).size());
+    total_degree += static_cast<double>(n.links_of(id).size());
+  }
+  const double avg = total_degree / static_cast<double>(n.node_count());
+  // Preferential attachment produces hubs far above the average degree.
+  EXPECT_GT(static_cast<double>(max_degree), 4.0 * avg);
+}
+
+TEST(TopologyTest, HierarchicalComposesSites) {
+  HierarchicalParams params;
+  params.as_level.num_nodes = 4;
+  params.router_level.num_nodes = 5;
+  util::Rng rng(5);
+  Network n = generate_hierarchical(params, rng);
+  EXPECT_EQ(n.node_count(), 20u);
+  EXPECT_TRUE(connected(n));
+  // Every node carries its AS id as a credential.
+  for (NodeId id : n.all_nodes()) {
+    EXPECT_TRUE(n.node(id).credentials.has("as"));
+  }
+}
+
+}  // namespace
+}  // namespace psf::net

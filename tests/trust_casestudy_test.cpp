@@ -1,0 +1,187 @@
+// The §6 vision end-to-end: the Fig. 6 case study driven entirely by the
+// trust-management substrate. Node trust levels come from dRBAC-style
+// credentials (NYU's MailCA asserting its own sites, a cross-domain
+// delegation granting the Seattle partner a weaker trust level), and
+// credential revocation flows through to planning.
+#include <gtest/gtest.h>
+
+#include "core/case_study.hpp"
+#include "core/framework.hpp"
+#include "mail/mail_spec.hpp"
+#include "mail/registration.hpp"
+#include "trust/trust_graph.hpp"
+
+namespace psf {
+namespace {
+
+struct TrustCaseStudy : public ::testing::Test {
+  void SetUp() override {
+    net::Network network = core::case_study_network(&sites);
+    // Strip the static trust credentials: trust must come from the graph.
+    for (net::NodeId id : network.all_nodes()) {
+      network.node(id).credentials.set("trust", std::int64_t{0});
+    }
+
+    graph.declare_namespace("mail", "MailCA");
+    graph.declare_namespace("partner", "PartnerCA");
+    const trust::Role trust_role{"mail", "TrustLevel"};
+    const trust::Role member{"partner", "Member"};
+
+    auto assert_trust = [&](const std::string& node, std::int64_t level) {
+      trust::TrustCredential c;
+      c.kind = trust::CredentialKind::kAssertion;
+      c.issuer = "MailCA";
+      c.subject = node;
+      c.granted = trust_role;
+      c.value = level;
+      return graph.add(c);
+    };
+    for (net::NodeId n : sites.new_york) {
+      assert_trust(network.node(n).name, 5);
+    }
+    for (net::NodeId n : sites.san_diego) {
+      assert_trust(network.node(n).name, 4);
+    }
+    // Seattle: partner membership + a cross-domain delegation worth trust 2.
+    for (net::NodeId n : sites.seattle) {
+      trust::TrustCredential c;
+      c.kind = trust::CredentialKind::kAssertion;
+      c.issuer = "PartnerCA";
+      c.subject = network.node(n).name;
+      c.granted = member;
+      membership_ids.push_back(graph.add(c));
+    }
+    {
+      trust::TrustCredential d;
+      d.kind = trust::CredentialKind::kDelegation;
+      d.issuer = "MailCA";
+      d.granted = trust_role;
+      d.via = member;
+      d.value = 2;
+      graph.add(d);
+    }
+
+    core::FrameworkOptions options;
+    options.lookup_node = sites.new_york[0];
+    options.server_node = sites.new_york[0];
+    fw = std::make_unique<core::Framework>(std::move(network), options);
+
+    config = std::make_shared<mail::MailServiceConfig>();
+    ASSERT_TRUE(
+        mail::register_mail_factories(fw->runtime().factories(), config)
+            .is_ok());
+
+    // Trust-backed node translation; links keep the credential map.
+    planner::CredentialMapTranslator link_fallback;
+    link_fallback.map_link({"Confidentiality", "secure",
+                            spec::PropertyType::kBoolean,
+                            spec::PropertyValue::boolean(false)});
+    auto translator = std::make_shared<planner::TrustBackedTranslator>(
+        graph, "mail",
+        std::vector<planner::CredentialMapping>{
+            {"TrustLevel", "TrustLevel", spec::PropertyType::kInterval,
+             spec::PropertyValue::integer(1)},
+            // Node confidentiality stays credential-free here: all sites
+            // are physically secure in the case study.
+            {"Confidentiality", "Confidentiality",
+             spec::PropertyType::kBoolean, spec::PropertyValue::boolean(true)}},
+        link_fallback);
+
+    auto st = fw->register_service(mail::mail_registration(sites.mail_home),
+                                   translator);
+    ASSERT_TRUE(st.is_ok()) << st.to_string();
+  }
+
+  util::Expected<runtime::AccessOutcome> try_bind(net::NodeId node,
+                                                  std::int64_t trust) {
+    planner::PlanRequest defaults;
+    defaults.interface_name = "ClientInterface";
+    defaults.required_properties.emplace_back(
+        "TrustLevel", spec::PropertyValue::integer(trust));
+    defaults.request_rate_rps = 50.0;
+    auto proxy = fw->make_proxy(node, "SecureMail", defaults);
+    util::Status status = util::internal_error("incomplete");
+    bool done = false;
+    proxy->bind([&](util::Status st) {
+      status = st;
+      done = true;
+    });
+    fw->run_until_condition([&done]() { return done; },
+                            sim::Duration::from_seconds(300));
+    if (!status.is_ok()) return status;
+    return proxy->outcome();
+  }
+
+  core::CaseStudySites sites;
+  trust::TrustGraph graph;
+  std::unique_ptr<core::Framework> fw;
+  mail::MailConfigPtr config;
+  std::vector<std::uint64_t> membership_ids;
+};
+
+TEST_F(TrustCaseStudy, GraphDrivenEnvironmentMatchesFig5Trust) {
+  const auto* env = fw->server().environment("SecureMail");
+  ASSERT_NE(env, nullptr);
+  EXPECT_EQ(env->node_env(sites.mail_home).get("TrustLevel"),
+            spec::PropertyValue::integer(5));
+  EXPECT_EQ(env->node_env(sites.sd_client).get("TrustLevel"),
+            spec::PropertyValue::integer(4));
+  EXPECT_EQ(env->node_env(sites.sea_client).get("TrustLevel"),
+            spec::PropertyValue::integer(2));
+}
+
+TEST_F(TrustCaseStudy, Fig6DeploymentsEmergeFromCredentials) {
+  auto sd = try_bind(sites.sd_client, 4);
+  ASSERT_TRUE(sd.has_value()) << sd.status().to_string();
+  std::set<std::string> sd_components;
+  for (const auto& p : sd->plan.placements) {
+    sd_components.insert(p.component->name);
+  }
+  EXPECT_TRUE(sd_components.count("ViewMailServer"));
+  EXPECT_TRUE(sd_components.count("Encryptor"));
+
+  auto sea = try_bind(sites.sea_client, 2);
+  ASSERT_TRUE(sea.has_value()) << sea.status().to_string();
+  EXPECT_EQ(fw->runtime().instance(sea->entry).def->name, "ViewMailClient");
+}
+
+TEST_F(TrustCaseStudy, RevokingPartnerMembershipCutsSeattleOff) {
+  // Seattle works while the membership credentials are live...
+  ASSERT_TRUE(try_bind(sites.sea_client, 2).has_value());
+
+  // ...until the partnership ends: PartnerCA's membership assertions are
+  // revoked, the derived mail.TrustLevel=2 evaporates, and after an
+  // environment refresh Seattle cannot host even the restricted client.
+  for (std::uint64_t id : membership_ids) {
+    ASSERT_TRUE(graph.revoke(id).is_ok());
+  }
+  ASSERT_TRUE(fw->server().refresh_environment("SecureMail").is_ok());
+
+  auto after = try_bind(sites.sea_client, 2);
+  ASSERT_FALSE(after.has_value());
+  EXPECT_EQ(after.status().code(), util::ErrorCode::kUnsatisfiable);
+
+  // San Diego (directly asserted, not delegation-derived) is unaffected.
+  EXPECT_TRUE(try_bind(sites.sd_client, 4).has_value());
+}
+
+TEST_F(TrustCaseStudy, RevocationObserverCanDriveRefreshAutomatically) {
+  // Wire the trust graph's revocation stream into the framework: the §6
+  // "continuous monitoring of credential validity".
+  int refreshes = 0;
+  graph.add_revocation_observer([this, &refreshes](const trust::TrustCredential&) {
+    ASSERT_TRUE(fw->server().refresh_environment("SecureMail").is_ok());
+    ++refreshes;
+  });
+  ASSERT_TRUE(graph.revoke(membership_ids[0]).is_ok());
+  EXPECT_EQ(refreshes, 1);
+  // That node (and only that node) lost its trust level.
+  const auto* env = fw->server().environment("SecureMail");
+  EXPECT_EQ(env->node_env(sites.seattle[0]).get("TrustLevel"),
+            spec::PropertyValue::integer(1));  // translator default
+  EXPECT_EQ(env->node_env(sites.seattle[1]).get("TrustLevel"),
+            spec::PropertyValue::integer(2));
+}
+
+}  // namespace
+}  // namespace psf

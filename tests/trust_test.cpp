@@ -1,0 +1,186 @@
+// Mini-dRBAC trust engine: assertions, delegation chains, authority checks,
+// value capping, revocation and expiry.
+#include <gtest/gtest.h>
+
+#include "trust/trust_graph.hpp"
+
+namespace psf::trust {
+namespace {
+
+TrustCredential assertion(Principal issuer, Principal subject, Role role,
+                          std::optional<std::int64_t> value = std::nullopt,
+                          bool delegatable = false) {
+  TrustCredential c;
+  c.kind = CredentialKind::kAssertion;
+  c.issuer = std::move(issuer);
+  c.subject = std::move(subject);
+  c.granted = std::move(role);
+  c.value = value;
+  c.delegatable = delegatable;
+  return c;
+}
+
+TrustCredential delegation(Principal issuer, Role granted, Role via,
+                           std::optional<std::int64_t> value = std::nullopt) {
+  TrustCredential c;
+  c.kind = CredentialKind::kDelegation;
+  c.issuer = std::move(issuer);
+  c.granted = std::move(granted);
+  c.via = std::move(via);
+  c.value = value;
+  return c;
+}
+
+const Role kTrust{"mail", "TrustLevel"};
+const Role kPartner{"partner", "Member"};
+
+TEST(TrustGraphTest, OwnerAssertionGrantsRole) {
+  TrustGraph g;
+  g.declare_namespace("mail", "MailCA");
+  g.add(assertion("MailCA", "node-ny", kTrust, 5));
+  EXPECT_EQ(g.role_value("node-ny", kTrust), 5);
+  EXPECT_FALSE(g.role_value("node-other", kTrust).has_value());
+}
+
+TEST(TrustGraphTest, NonOwnerAssertionIsIgnored) {
+  TrustGraph g;
+  g.declare_namespace("mail", "MailCA");
+  g.add(assertion("Mallory", "node-x", kTrust, 5));
+  EXPECT_FALSE(g.role_value("node-x", kTrust).has_value());
+}
+
+TEST(TrustGraphTest, DelegatableHolderCanGrant) {
+  TrustGraph g;
+  g.declare_namespace("mail", "MailCA");
+  // MailCA grants the branch admin TrustLevel 4, delegatable.
+  g.add(assertion("MailCA", "BranchAdmin", kTrust, 4, /*delegatable=*/true));
+  // The branch admin asserts trust for its nodes.
+  g.add(assertion("BranchAdmin", "node-sd", kTrust, 4));
+  EXPECT_EQ(g.role_value("node-sd", kTrust), 4);
+}
+
+TEST(TrustGraphTest, DelegatedGrantCappedAtHolderValue) {
+  TrustGraph g;
+  g.declare_namespace("mail", "MailCA");
+  g.add(assertion("MailCA", "BranchAdmin", kTrust, 4, /*delegatable=*/true));
+  // Branch admin tries to grant more than it holds.
+  g.add(assertion("BranchAdmin", "node-sd", kTrust, 5));
+  EXPECT_EQ(g.role_value("node-sd", kTrust), 4);  // capped
+}
+
+TEST(TrustGraphTest, NonDelegatableHolderCannotGrant) {
+  TrustGraph g;
+  g.declare_namespace("mail", "MailCA");
+  g.add(assertion("MailCA", "Peon", kTrust, 4, /*delegatable=*/false));
+  g.add(assertion("Peon", "node-x", kTrust, 4));
+  EXPECT_FALSE(g.role_value("node-x", kTrust).has_value());
+}
+
+TEST(TrustGraphTest, CrossNamespaceDelegation) {
+  // The §6 scenario: partner-organization membership translates into a
+  // (weaker) mail trust level via a delegation credential.
+  TrustGraph g;
+  g.declare_namespace("mail", "MailCA");
+  g.declare_namespace("partner", "PartnerCA");
+  g.add(assertion("PartnerCA", "node-sea", kPartner));
+  g.add(delegation("MailCA", kTrust, kPartner, /*value=*/2));
+  EXPECT_EQ(g.role_value("node-sea", kTrust), 2);
+  // A node without partner membership gains nothing.
+  EXPECT_FALSE(g.role_value("node-x", kTrust).has_value());
+}
+
+TEST(TrustGraphTest, DelegationRequiresAuthorizedIssuer) {
+  TrustGraph g;
+  g.declare_namespace("mail", "MailCA");
+  g.declare_namespace("partner", "PartnerCA");
+  g.add(assertion("PartnerCA", "node-sea", kPartner));
+  // PartnerCA cannot delegate into the mail namespace.
+  g.add(delegation("PartnerCA", kTrust, kPartner, 5));
+  EXPECT_FALSE(g.role_value("node-sea", kTrust).has_value());
+}
+
+TEST(TrustGraphTest, ChainedDelegations) {
+  TrustGraph g;
+  g.declare_namespace("a", "A");
+  g.declare_namespace("b", "B");
+  g.declare_namespace("c", "C");
+  const Role ra{"a", "R"}, rb{"b", "R"}, rc{"c", "R"};
+  g.add(assertion("A", "p", ra, 9));
+  g.add(delegation("B", rb, ra, 7));
+  g.add(delegation("C", rc, rb));
+  EXPECT_EQ(g.role_value("p", rb), 7);
+  EXPECT_EQ(g.role_value("p", rc), 7);  // inherits the capped value
+}
+
+TEST(TrustGraphTest, MultipleGrantsTakeMaximum) {
+  TrustGraph g;
+  g.declare_namespace("mail", "MailCA");
+  g.add(assertion("MailCA", "node", kTrust, 2));
+  g.add(assertion("MailCA", "node", kTrust, 4));
+  EXPECT_EQ(g.role_value("node", kTrust), 4);
+}
+
+TEST(TrustGraphTest, RevocationRemovesDerivedRoles) {
+  TrustGraph g;
+  g.declare_namespace("mail", "MailCA");
+  g.declare_namespace("partner", "PartnerCA");
+  const std::uint64_t membership =
+      g.add(assertion("PartnerCA", "node-sea", kPartner));
+  g.add(delegation("MailCA", kTrust, kPartner, 2));
+  ASSERT_EQ(g.role_value("node-sea", kTrust), 2);
+
+  int notifications = 0;
+  g.add_revocation_observer(
+      [&notifications](const TrustCredential&) { ++notifications; });
+  ASSERT_TRUE(g.revoke(membership).is_ok());
+  EXPECT_EQ(notifications, 1);
+  // Both the membership and everything derived from it are gone.
+  EXPECT_FALSE(g.role_value("node-sea", kPartner).has_value());
+  EXPECT_FALSE(g.role_value("node-sea", kTrust).has_value());
+}
+
+TEST(TrustGraphTest, RevokeErrors) {
+  TrustGraph g;
+  EXPECT_EQ(g.revoke(99).code(), util::ErrorCode::kNotFound);
+  g.declare_namespace("mail", "MailCA");
+  const auto id = g.add(assertion("MailCA", "n", kTrust, 1));
+  ASSERT_TRUE(g.revoke(id).is_ok());
+  EXPECT_EQ(g.revoke(id).code(), util::ErrorCode::kFailedPrecondition);
+}
+
+TEST(TrustGraphTest, ExpiryHonored) {
+  TrustGraph g;
+  g.declare_namespace("mail", "MailCA");
+  TrustCredential c = assertion("MailCA", "node", kTrust, 3);
+  c.not_after = sim::Time::zero() + sim::Duration::from_seconds(10);
+  g.add(c);
+  EXPECT_EQ(g.role_value("node", kTrust, sim::Time::zero()), 3);
+  EXPECT_EQ(g.role_value(
+                "node", kTrust,
+                sim::Time::zero() + sim::Duration::from_seconds(11))
+                .has_value(),
+            false);
+}
+
+TEST(TrustGraphTest, DelegationCycleTerminates) {
+  TrustGraph g;
+  g.declare_namespace("a", "A");
+  g.declare_namespace("b", "B");
+  const Role ra{"a", "R"}, rb{"b", "R"};
+  g.add(delegation("A", ra, rb));
+  g.add(delegation("B", rb, ra));
+  g.add(assertion("A", "p", ra, 3));
+  // Must not loop forever; p holds both roles at 3.
+  EXPECT_EQ(g.role_value("p", ra), 3);
+  EXPECT_EQ(g.role_value("p", rb), 3);
+}
+
+TEST(TrustGraphTest, ValuelessRoleDefaultsToOne) {
+  TrustGraph g;
+  g.declare_namespace("partner", "PartnerCA");
+  g.add(assertion("PartnerCA", "n", kPartner));
+  EXPECT_EQ(g.role_value("n", kPartner), 1);
+}
+
+}  // namespace
+}  // namespace psf::trust

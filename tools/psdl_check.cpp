@@ -1,0 +1,115 @@
+// psdl_check — validate a PSDL service description and summarize it.
+//
+//   psdl_check service.psdl        # parse + validate a file
+//   psdl_check --mail              # check the built-in mail spec
+//   psdl_check --chains Iface      # also enumerate linkages for Iface
+//   psdl_check --canon file.psdl   # emit the canonical (serialized) form
+//   cat spec.psdl | psdl_check -   # read from stdin
+//
+// Exit status: 0 on a valid spec, 1 on any parse/validation error.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "mail/mail_spec.hpp"
+#include "planner/linkage.hpp"
+#include "spec/parser.hpp"
+#include "spec/serialize.hpp"
+
+namespace {
+
+void summarize(const psf::spec::ServiceSpec& spec) {
+  std::printf("service %s: %zu properties, %zu interfaces, %zu components, "
+              "%zu modification rule(s)\n",
+              spec.name.c_str(), spec.properties.size(),
+              spec.interfaces.size(), spec.components.size(),
+              spec.rules.all().size());
+  for (const auto& comp : spec.components) {
+    std::printf("  %-9s %-18s implements:", comp.is_view() ? "view" : "component",
+                comp.name.c_str());
+    for (const auto& decl : comp.implements) {
+      std::printf(" %s", decl.interface_name.c_str());
+    }
+    if (!comp.requires_.empty()) {
+      std::printf("  requires:");
+      for (const auto& decl : comp.requires_) {
+        std::printf(" %s", decl.interface_name.c_str());
+      }
+    }
+    if (comp.transparent) std::printf("  [transparent]");
+    if (comp.static_placement) std::printf("  [static]");
+    if (comp.behaviors.rrf < 1.0) std::printf("  rrf=%.2f", comp.behaviors.rrf);
+    std::printf("\n");
+  }
+}
+
+void print_chains(const psf::spec::ServiceSpec& spec,
+                  const std::string& iface) {
+  psf::planner::LinkageOptions options;
+  auto trees = psf::planner::enumerate_linkages(spec, iface, options);
+  std::printf("\n%zu valid linkage(s) for interface '%s':\n", trees.size(),
+              iface.c_str());
+  for (const auto& t : trees) std::printf("  %s\n", t.to_string().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string source;
+  std::string chains_iface;
+  std::string input_label = "<stdin>";
+  bool canonical = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--mail") {
+      source = psf::mail::mail_spec_source();
+      input_label = "<built-in mail spec>";
+    } else if (arg == "--chains" && i + 1 < argc) {
+      chains_iface = argv[++i];
+    } else if (arg == "--canon") {
+      canonical = true;
+    } else if (arg == "-") {
+      std::ostringstream oss;
+      oss << std::cin.rdbuf();
+      source = oss.str();
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: psdl_check [file.psdl | - | --mail] "
+                  "[--chains Interface]\n");
+      return 0;
+    } else {
+      std::ifstream file(arg);
+      if (!file) {
+        std::fprintf(stderr, "psdl_check: cannot open '%s'\n", arg.c_str());
+        return 1;
+      }
+      std::ostringstream oss;
+      oss << file.rdbuf();
+      source = oss.str();
+      input_label = arg;
+    }
+  }
+
+  if (source.empty()) {
+    std::fprintf(stderr,
+                 "psdl_check: no input (try --mail or a filename)\n");
+    return 1;
+  }
+
+  auto spec = psf::spec::parse_spec(source);
+  if (!spec.has_value()) {
+    std::fprintf(stderr, "psdl_check: %s: %s\n", input_label.c_str(),
+                 spec.status().to_string().c_str());
+    return 1;
+  }
+  if (canonical) {
+    std::printf("%s", psf::spec::serialize_spec(*spec).c_str());
+    return 0;
+  }
+  std::printf("%s: OK\n", input_label.c_str());
+  summarize(*spec);
+  if (!chains_iface.empty()) print_chains(*spec, chains_iface);
+  return 0;
+}

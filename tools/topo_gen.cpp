@@ -1,0 +1,108 @@
+// topo_gen — generate a BRITE-style topology and dump it as Graphviz DOT
+// (or as the framework's plain-text form).
+//
+//   topo_gen --model waxman --nodes 20 --seed 42          # DOT to stdout
+//   topo_gen --model ba --nodes 50 --format text
+//   topo_gen --model hier --nodes 4 --routers 5
+//   topo_gen --case-study                                 # the Fig. 5 world
+//
+// Pipe through `dot -Tpng` to visualize.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/case_study.hpp"
+#include "net/topology.hpp"
+
+namespace {
+
+void dump_dot(const psf::net::Network& network) {
+  std::printf("graph topology {\n  overlap=false;\n  splines=true;\n");
+  for (psf::net::NodeId id : network.all_nodes()) {
+    const psf::net::Node& n = network.node(id);
+    std::printf("  n%u [label=\"%s\\ncpu=%.1fM\", pos=\"%.0f,%.0f\"];\n",
+                id.value, n.name.c_str(), n.cpu_capacity / 1e6, n.x, n.y);
+  }
+  for (psf::net::LinkId id : network.all_links()) {
+    const psf::net::Link& l = network.link(id);
+    const bool secure = l.credentials.get_bool("secure", false);
+    std::printf("  n%u -- n%u [label=\"%.0fms/%.0fMb\"%s];\n", l.a.value,
+                l.b.value, l.latency.millis(), l.bandwidth_bps / 1e6,
+                secure ? "" : ", style=dashed, color=red");
+  }
+  std::printf("}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string model = "waxman";
+  std::string format = "dot";
+  std::size_t nodes = 20;
+  std::size_t routers = 5;
+  std::uint64_t seed = 42;
+  bool case_study = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "topo_gen: %s needs a value\n", arg.c_str());
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--model") {
+      model = next();
+    } else if (arg == "--nodes") {
+      nodes = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--routers") {
+      routers = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--seed") {
+      seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--format") {
+      format = next();
+    } else if (arg == "--case-study") {
+      case_study = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: topo_gen [--model waxman|ba|hier] [--nodes N] "
+                  "[--routers R] [--seed S] [--format dot|text] "
+                  "[--case-study]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "topo_gen: unknown flag '%s'\n", arg.c_str());
+      return 1;
+    }
+  }
+
+  psf::net::Network network;
+  psf::util::Rng rng(seed);
+  if (case_study) {
+    psf::core::CaseStudySites sites;
+    network = psf::core::case_study_network(&sites);
+  } else if (model == "waxman") {
+    psf::net::WaxmanParams params;
+    params.num_nodes = nodes;
+    network = psf::net::generate_waxman(params, rng);
+  } else if (model == "ba") {
+    psf::net::BarabasiAlbertParams params;
+    params.num_nodes = nodes;
+    network = psf::net::generate_barabasi_albert(params, rng);
+  } else if (model == "hier") {
+    psf::net::HierarchicalParams params;
+    params.as_level.num_nodes = nodes;
+    params.router_level.num_nodes = routers;
+    network = psf::net::generate_hierarchical(params, rng);
+  } else {
+    std::fprintf(stderr, "topo_gen: unknown model '%s'\n", model.c_str());
+    return 1;
+  }
+
+  if (format == "dot") {
+    dump_dot(network);
+  } else {
+    std::printf("%s", network.to_string().c_str());
+  }
+  return 0;
+}
