@@ -170,6 +170,67 @@ void BM_MailPlannerOnWaxman(benchmark::State& state) {
 BENCHMARK(BM_MailPlannerOnWaxman)->Arg(8)->Arg(12)->Arg(16)->Arg(24)
     ->Unit(benchmark::kMillisecond);
 
+// The parallel branch-and-bound search on the same mail-on-Waxman world as
+// BM_MailPlannerOnWaxman/24: threads × bound-pruning cross product. The
+// interesting comparisons are against the serial exhaustive baseline
+// (threads=1, bound=0 ≡ the pre-B&B planner) and across thread counts.
+void BM_ParallelBnB(benchmark::State& state) {
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  const bool bound = state.range(1) != 0;
+  const std::size_t n = 24;
+  net::WaxmanParams params;
+  params.num_nodes = n;
+  util::Rng rng(2026);
+  net::Network network = net::generate_waxman(params, rng);
+  for (net::NodeId id : network.all_nodes()) {
+    network.node(id).credentials.set(
+        "trust", static_cast<std::int64_t>(2 + id.value % 3));
+    network.node(id).credentials.set("secure", true);
+  }
+  network.node(net::NodeId{0}).credentials.set("trust", std::int64_t{5});
+  for (net::LinkId id : network.all_links()) {
+    network.link(id).credentials.set("secure", (id.value % 3) != 0);
+  }
+
+  spec::ServiceSpec spec = mail::mail_service_spec();
+  auto translator = mail::mail_translator();
+  planner::EnvironmentView env(network, *translator);
+  planner::Planner planner(spec, env);
+
+  planner::ExistingInstance home;
+  home.runtime_id = 1;
+  home.component = spec.find_component("MailServer");
+  home.node = net::NodeId{0};
+  home.effective["ServerInterface"]["Confidentiality"] =
+      spec::PropertyValue::boolean(true);
+  home.effective["ServerInterface"]["TrustLevel"] =
+      spec::PropertyValue::integer(5);
+  home.downstream_latency_s = 1e-4;
+
+  planner::PlanRequest request;
+  request.interface_name = "ClientInterface";
+  request.required_properties.emplace_back("TrustLevel",
+                                           spec::PropertyValue::integer(2));
+  request.client_node = net::NodeId{static_cast<std::uint32_t>(n - 1)};
+  request.max_depth = 5;
+  request.search_threads = threads;
+  request.bound_pruning = bound;
+
+  std::uint64_t candidates = 0, pruned = 0;
+  for (auto _ : state) {
+    planner::SearchStats stats;
+    auto plan = planner.plan(request, {home}, &stats);
+    benchmark::DoNotOptimize(plan);
+    candidates = stats.candidates_examined;
+    pruned = stats.pruned_by_bound;
+  }
+  state.counters["candidates"] = static_cast<double>(candidates);
+  state.counters["pruned"] = static_cast<double>(pruned);
+}
+BENCHMARK(BM_ParallelBnB)
+    ->ArgsProduct({{1, 2, 4, 8}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_ReuseShrinksSearch(benchmark::State& state) {
   // With a warm ViewMailServer offered for reuse, the search terminates at
   // it instead of exploring deep chains.

@@ -172,6 +172,14 @@ const Route* Network::cached_route(NodeId from, NodeId to) const {
   return &*route_cache_[idx];
 }
 
+void Network::precompute_routes() const {
+  for (const Node& from : nodes_) {
+    for (const Node& to : nodes_) {
+      cached_route(from.id, to.id);
+    }
+  }
+}
+
 std::vector<NodeId> Network::all_nodes() const {
   std::vector<NodeId> out;
   out.reserve(nodes_.size());

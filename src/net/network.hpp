@@ -117,7 +117,15 @@ class Network {
 
   // All-pairs convenience built on route(); used by the planner's
   // environment view. Results are cached; the cache resets on mutation.
+  // Lazily filling the cache is NOT thread-safe — parallel readers must call
+  // precompute_routes() first.
   const Route* cached_route(NodeId from, NodeId to) const;
+
+  // Eagerly fills the all-pairs route cache. After this returns (and until
+  // the next mutation) cached_route() is a pure read with stable pointers,
+  // safe to call concurrently — the parallel planner calls this before
+  // fanning out its search workers.
+  void precompute_routes() const;
 
   // Iteration support (ids are dense).
   std::vector<NodeId> all_nodes() const;

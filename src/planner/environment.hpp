@@ -16,9 +16,11 @@
 // service's modification rules across each link and intermediate node).
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "net/network.hpp"
@@ -118,6 +120,36 @@ class EnvironmentView {
   const net::Network& network_;
   std::vector<spec::Environment> node_envs_;
   std::vector<spec::Environment> link_envs_;
+};
+
+// Memoizes EnvironmentView::transform_along within one planner search. The
+// mapping DFS re-applies the same (property, value, route) transform every
+// time it revisits a candidate edge under a different partial plan, and each
+// application walks every link and intermediate node of the route. Keyed by
+// route identity (pointers into the network's route cache are stable between
+// mutations), traversal origin, property, and input value; distinct input
+// values per key are few, so they live in a small linear-scanned vector.
+// Not thread-safe: each search worker owns one memo.
+class TransformMemo {
+ public:
+  spec::PropertyValue transform(const EnvironmentView& env,
+                                const spec::RuleSet& rules,
+                                const std::string& property,
+                                const spec::PropertyValue& value,
+                                const net::Route& route, net::NodeId from);
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    spec::PropertyValue in;
+    spec::PropertyValue out;
+  };
+  using Key = std::tuple<const net::Route*, std::uint32_t, std::string>;
+  std::map<Key, std::vector<Entry>> cache_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
 };
 
 }  // namespace psf::planner

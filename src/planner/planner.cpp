@@ -1,7 +1,9 @@
 #include "planner/planner.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <functional>
+#include <future>
 #include <limits>
 #include <map>
 #include <optional>
@@ -44,6 +46,10 @@ struct Score {
   }
 };
 
+bool score_equal(const Score& a, const Score& b) {
+  return !(a < b) && !(b < a);
+}
+
 Score score_plan(Objective objective, const PlanMetrics& m) {
   switch (objective) {
     case Objective::kMinLatency:
@@ -58,31 +64,78 @@ Score score_plan(Objective objective, const PlanMetrics& m) {
   return {};
 }
 
+// One entry-level candidate of the mapping search: the depth-1 placement
+// choice (component × node) that roots an independent subtree. The parallel
+// search fans these out across workers.
+struct EntryBranch {
+  const spec::ComponentDef* component = nullptr;
+  const spec::LinkageDecl* impl = nullptr;
+  net::NodeId node;
+};
+
+// The incumbent's primary score, shared across search workers so that one
+// worker's good plan prunes the others' subtrees. Only the primary field is
+// shared: it is sufficient for the strict bound test, and a single double
+// can be maintained lock-free.
+class SharedIncumbent {
+ public:
+  double load() const { return primary_.load(std::memory_order_relaxed); }
+
+  void offer(double primary) {
+    double cur = primary_.load(std::memory_order_relaxed);
+    while (primary < cur &&
+           !primary_.compare_exchange_weak(cur, primary,
+                                           std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  std::atomic<double> primary_{kInfinity};
+};
+
 class Search {
  public:
   Search(const spec::ServiceSpec& spec, const EnvironmentView& env,
-         const PlanRequest& request,
-         const std::vector<ExistingInstance>& existing, SearchStats& stats)
+         const spec::ImplementerIndex& index, const PlanRequest& request,
+         const std::vector<ExistingInstance>& existing,
+         SharedIncumbent& shared, SearchStats& stats)
       : spec_(spec),
         env_(env),
         network_(env.network()),
+        index_(index),
         request_(request),
         existing_(existing),
-        stats_(stats) {
+        shared_(shared),
+        stats_(stats),
+        bound_pruning_(request.bound_pruning) {
     node_load_.assign(network_.node_count(), 0.0);
     link_load_.assign(network_.link_count(), 0.0);
     existing_added_rps_.assign(existing.size(), 0.0);
   }
 
-  std::optional<DeploymentPlan> run() {
-    satisfy(request_.interface_name, request_.required_properties,
-            request_.client_node, request_.request_rate_rps, /*depth=*/1,
-            /*entry_level=*/true, kNoParent,
-            [this](InstanceId root, double padded_s, double warm_s) {
-              finish_plan(root, padded_s, warm_s);
-            });
-    return std::move(best_);
+  // Explores branches[first], branches[first + stride], ... in order. With
+  // first=0, stride=1 this is exactly the serial search; a parallel worker
+  // takes a stride-W slice so that adjacent (similar-cost) branches spread
+  // across workers.
+  void run_branches(const std::vector<EntryBranch>& branches,
+                    std::size_t first, std::size_t stride) {
+    if (request_.max_depth < 1) return;
+    for (std::size_t i = first; i < branches.size(); i += stride) {
+      current_branch_ = i;
+      const EntryBranch& b = branches[i];
+      try_new(*b.component, *b.impl, b.node, request_.interface_name,
+              request_.required_properties, request_.client_node,
+              request_.request_rate_rps, /*depth=*/1, kNoParent,
+              /*discount=*/1.0, /*committed=*/0.0,
+              [this](InstanceId root, double padded_s, double warm_s) {
+                finish_plan(root, padded_s, warm_s);
+              });
+    }
   }
+
+  std::optional<DeploymentPlan> take_best() { return std::move(best_); }
+  const Score& best_score() const { return best_score_; }
+  std::size_t best_branch() const { return best_branch_; }
 
  private:
   using Requirements =
@@ -125,11 +178,65 @@ class Search {
     return {};
   }
 
+  // ---- branch-and-bound ---------------------------------------------------
+
+  // The incumbent primary score this worker must beat: the better of its own
+  // best and the fleet-wide shared best.
+  double incumbent_primary() const {
+    double inc = shared_.load();
+    if (best_.has_value() && best_score_.primary < inc) {
+      inc = best_score_.primary;
+    }
+    return inc;
+  }
+
+  // Strict bound test with a small relative margin. The margin absorbs
+  // floating-point reassociation between the incrementally accumulated bound
+  // and the final score computation, so a mathematical tie is never pruned —
+  // that is what keeps the parallel result bit-identical to the serial one
+  // (ties keep the earliest branch, and an exact-tie subtree must survive to
+  // report its candidate).
+  bool should_prune(double bound) const {
+    const double inc = incumbent_primary();
+    if (inc == kInfinity) return false;
+    return bound > inc + 1e-9 * std::max(1.0, std::abs(inc));
+  }
+
+  // Code-transfer time for deploying `comp` at `node` (the deployment-cost
+  // metric's per-placement term).
+  double code_transfer_cost(const spec::ComponentDef& comp,
+                            net::NodeId node) const {
+    const net::NodeId origin = request_.code_origin.valid()
+                                   ? request_.code_origin
+                                   : request_.client_node;
+    const net::Route* route = network_.cached_route(origin, node);
+    double cost = 0.0;
+    for (net::LinkId lid : route->links) {
+      const net::Link& link = network_.link(lid);
+      cost += link.latency.seconds() +
+              static_cast<double>(comp.behaviors.code_size_bytes) * 8.0 /
+                  link.bandwidth_bps;
+    }
+    return cost;
+  }
+
   // ---- search ---------------------------------------------------------
 
   // Explores every feasible way to provide `iface` (meeting `reqs`) to a
   // consumer at `from`; for each, invokes `sink` with the working state
   // extended by the candidate subtree, then undoes the extension.
+  //
+  // `discount` and `committed` carry the admissible lower bound through the
+  // recursion. Their meaning depends on the active objective:
+  //  - kMinLatency: `committed` is the padded latency already locked into the
+  //    partial plan (in final-plan seconds); `discount` is the product of
+  //    the padded RRFs of the ancestors, i.e. the factor that converts an
+  //    edge cost at this depth into final-plan seconds.
+  //  - kMaxCapacity: `committed` is the maximum resource utilization
+  //    observed while reserving the partial plan (final utilization of those
+  //    resources can only be higher).
+  //  - kMinDeploymentCost: the bound lives in the `committed_cost_` member
+  //    instead (placement-scoped rather than path-scoped).
   static constexpr InstanceId kNoParent = UINT32_MAX;
 
   // True when linking `parent` to a candidate that is the *same component
@@ -161,35 +268,31 @@ class Search {
 
   void satisfy(const std::string& iface, const Requirements& reqs,
                net::NodeId from, double rate, std::size_t depth,
-               bool entry_level, InstanceId parent, const Sink& sink) {
+               InstanceId parent, double discount, double committed,
+               const Sink& sink) {
     if (depth > request_.max_depth) return;
 
     // (a) Reuse an already-running instance.
-    if (!entry_level) {
-      for (std::size_t e = 0; e < existing_.size(); ++e) {
-        try_existing(e, iface, reqs, from, rate, parent, sink);
-      }
+    for (std::size_t e = 0; e < existing_.size(); ++e) {
+      try_existing(e, iface, reqs, from, rate, parent, discount, committed,
+                   sink);
     }
 
     // (b) Deploy a new component.
-    for (const spec::ComponentDef& comp : spec_.components) {
-      const spec::LinkageDecl* impl = comp.find_implements(iface);
-      if (impl == nullptr) continue;
-      if (entry_level && request_.pin_entry_to_client) {
-        try_new(comp, *impl, request_.client_node, iface, reqs, from, rate,
-                depth, parent, sink);
-      } else {
-        for (net::NodeId node : network_.all_nodes()) {
-          try_new(comp, *impl, node, iface, reqs, from, rate, depth, parent,
-                  sink);
-        }
+    auto it = index_.find(iface);
+    if (it == index_.end()) return;
+    for (const spec::ImplementerRef& ref : it->second) {
+      for (net::NodeId node : network_.all_nodes()) {
+        try_new(*ref.component, *ref.linkage, node, iface, reqs, from, rate,
+                depth, parent, discount, committed, sink);
       }
     }
   }
 
   void try_existing(std::size_t index, const std::string& iface,
                     const Requirements& reqs, net::NodeId from, double rate,
-                    InstanceId parent, const Sink& sink) {
+                    InstanceId parent, double discount, double committed,
+                    const Sink& sink) {
     const ExistingInstance& inst = existing_[index];
     ++stats_.candidates_examined;
     auto eff_it = inst.effective.find(iface);
@@ -213,15 +316,61 @@ class Search {
       return;
     }
     const net::Route* route_back = network_.cached_route(inst.node, from);
+    // The response path must be routable too: on an asymmetric topology a
+    // candidate whose return route is severed would otherwise slip through
+    // to property transformation over a dead route.
+    if (route_back->bottleneck_bandwidth_bps == 0.0 && !route_back->local()) {
+      ++stats_.rejected_unroutable;
+      return;
+    }
 
     // §3.3 condition 2 against the instance's stored effective properties.
     for (const auto& [prop, required] : reqs) {
       spec::PropertyValue v;
       auto vit = eff_it->second.find(prop);
       if (vit != eff_it->second.end()) v = vit->second;
-      v = env_.transform_along(spec_.rules, prop, v, *route_back, inst.node);
+      v = memo_.transform(env_, spec_.rules, prop, v, *route_back, inst.node);
       if (!v.satisfies(required)) {
         ++stats_.rejected_compatibility;
+        return;
+      }
+    }
+
+    const double rtt = edge_rtt_seconds(
+        network_, *route_in, inst.component->behaviors.bytes_per_request,
+        inst.component->behaviors.bytes_per_response);
+
+    // Bound: reusing an instance commits this edge's RTT plus the instance's
+    // (exactly known) downstream latency; it adds no deployment cost, and
+    // for capacity only the inbound links tighten.
+    if (bound_pruning_) {
+      double bound = -kInfinity;
+      switch (request_.objective) {
+        case Objective::kMinLatency:
+          bound = committed + discount * (rtt + inst.downstream_latency_s);
+          break;
+        case Objective::kMinDeploymentCost:
+          bound = committed_cost_;
+          break;
+        case Objective::kMaxCapacity: {
+          double u = committed;
+          const double add_bps =
+              rate *
+              static_cast<double>(
+                  inst.component->behaviors.bytes_per_request +
+                  inst.component->behaviors.bytes_per_response) *
+              8.0;
+          for (net::LinkId lid : route_in->links) {
+            const net::Link& link = network_.link(lid);
+            u = std::max(u, (link_load_[lid.value] + add_bps) /
+                                link.bandwidth_available_bps());
+          }
+          bound = u - 1.0;
+          break;
+        }
+      }
+      if (should_prune(bound)) {
+        ++stats_.pruned_by_bound;
         return;
       }
     }
@@ -255,9 +404,6 @@ class Search {
     placements_[pid].inbound_rate_rps += rate;
     existing_added_rps_[index] += rate;
 
-    const double rtt = edge_rtt_seconds(
-        network_, *route_in, inst.component->behaviors.bytes_per_request,
-        inst.component->behaviors.bytes_per_response);
     // An existing instance is warm on both tracks.
     sink(pid, rtt + inst.downstream_latency_s,
          rtt + inst.downstream_latency_s);
@@ -275,7 +421,8 @@ class Search {
   void try_new(const spec::ComponentDef& comp, const spec::LinkageDecl& impl,
                net::NodeId node, const std::string& iface,
                const Requirements& reqs, net::NodeId from, double rate,
-               std::size_t depth, InstanceId parent, const Sink& sink) {
+               std::size_t depth, InstanceId parent, double discount,
+               double committed, const Sink& sink) {
     ++stats_.candidates_examined;
 
     // Static components only participate through pre-placed instances.
@@ -351,6 +498,67 @@ class Search {
       ++stats_.rejected_instance_capacity;
       return;
     }
+
+    const double cpu_time_s =
+        comp.behaviors.cpu_per_request / host.cpu_capacity;
+    const double rtt = edge_rtt_seconds(
+        network_, *route_in, comp.behaviors.bytes_per_request,
+        comp.behaviors.bytes_per_response);
+    // Cold-cache discount for newly deployed views (see PlanRequest).
+    const double warm_rrf = comp.behaviors.rrf;
+    double padded_rrf = warm_rrf;
+    if (comp.is_view()) {
+      padded_rrf =
+          std::min(1.0, warm_rrf +
+                            request_.cold_view_penalty * (1.0 - warm_rrf));
+    }
+
+    // Bound: every completion through this candidate pays at least the work
+    // already committed plus this edge's RTT and CPU time — all remaining
+    // contributions are non-negative, so pruning here is admissible.
+    double child_committed = committed;
+    double cost_add = 0.0;
+    if (bound_pruning_) {
+      double bound = -kInfinity;
+      switch (request_.objective) {
+        case Objective::kMinLatency:
+          child_committed = committed + discount * (rtt + cpu_time_s);
+          bound = child_committed;
+          break;
+        case Objective::kMinDeploymentCost:
+          cost_add = 1.0 + code_transfer_cost(comp, node);
+          bound = committed_cost_ + cost_add;
+          break;
+        case Objective::kMaxCapacity: {
+          double u = committed;
+          const double avail = host.cpu_available();
+          if (cpu_add > 0.0 && avail > 0.0) {
+            u = std::max(u, (node_load_[node.value] + cpu_add) / avail);
+          }
+          const double add_bps =
+              rate *
+              static_cast<double>(comp.behaviors.bytes_per_request +
+                                  comp.behaviors.bytes_per_response) *
+              8.0;
+          for (net::LinkId lid : route_in->links) {
+            const net::Link& link = network_.link(lid);
+            u = std::max(u, (link_load_[lid.value] + add_bps) /
+                                link.bandwidth_available_bps());
+          }
+          if (comp.behaviors.capacity_rps > 0.0) {
+            u = std::max(u, rate / comp.behaviors.capacity_rps);
+          }
+          child_committed = u;
+          bound = u - 1.0;
+          break;
+        }
+      }
+      if (should_prune(bound)) {
+        ++stats_.pruned_by_bound;
+        return;
+      }
+    }
+
     if (!reserve_route(*route_in, comp.behaviors, rate)) {
       ++stats_.rejected_link_capacity;
       return;
@@ -358,6 +566,7 @@ class Search {
     node_load_[node.value] += cpu_add;
     path_.insert({&comp, node.value});
     if (comp.is_view()) view_path_.emplace_back(&comp, factors);
+    committed_cost_ += cost_add;
 
     const InstanceId pid = static_cast<InstanceId>(placements_.size());
     {
@@ -370,21 +579,11 @@ class Search {
       placements_.push_back(std::move(p));
     }
 
-    const double cpu_time_s =
-        comp.behaviors.cpu_per_request / host.cpu_capacity;
-    // Cold-cache discount for newly deployed views (see PlanRequest).
-    const double warm_rrf = comp.behaviors.rrf;
-    double padded_rrf = warm_rrf;
-    if (comp.is_view()) {
-      padded_rrf =
-          std::min(1.0, warm_rrf +
-                            request_.cold_view_penalty * (1.0 - warm_rrf));
-    }
     std::vector<ChildRecord> children;
 
     satisfy_children(
         comp, factors, node_env, pid, node, rate * padded_rrf, depth,
-        0, 0.0, 0.0, children,
+        0, 0.0, 0.0, discount * padded_rrf, child_committed, children,
         [&](double children_padded_s, double children_warm_s) {
           Placement& self = placements_[pid];
           self.expected_latency_s = cpu_time_s + warm_rrf * children_warm_s;
@@ -401,7 +600,8 @@ class Search {
             spec::PropertyValue v;
             auto vit = eff_it->second.find(prop);
             if (vit != eff_it->second.end()) v = vit->second;
-            v = env_.transform_along(spec_.rules, prop, v, *route_back, node);
+            v = memo_.transform(env_, spec_.rules, prop, v, *route_back,
+                                node);
             if (!v.satisfies(required)) {
               ++stats_.subtrees_pruned;
               ++stats_.rejected_compatibility;
@@ -409,15 +609,13 @@ class Search {
             }
           }
 
-          const double rtt = edge_rtt_seconds(
-              network_, *route_in, comp.behaviors.bytes_per_request,
-              comp.behaviors.bytes_per_response);
           sink(pid, rtt + padded_latency_s, rtt + self.expected_latency_s);
         });
 
     // Undo (children are fully undone by their own frames).
     PSF_CHECK(placements_.size() == static_cast<std::size_t>(pid) + 1);
     placements_.pop_back();
+    committed_cost_ -= cost_add;
     if (comp.is_view()) view_path_.pop_back();
     path_.erase({&comp, node.value});
     node_load_[node.value] -= cpu_add;
@@ -426,13 +624,17 @@ class Search {
 
   // Satisfies comp.requires_[index..) in declaration order; when all are
   // placed, calls done(total_cost) where total_cost = Σ over children of
-  // (edge rtt + child subtree latency).
+  // (edge rtt + child subtree latency). `child_discount` / `base_committed`
+  // carry the bound (see satisfy); completed sibling edges enter the
+  // committed value as they accumulate in `padded_so_far`.
   void satisfy_children(const spec::ComponentDef& comp,
                         const FactorBindings& factors,
                         const spec::Environment& node_env, InstanceId parent,
                         net::NodeId node, double child_rate, std::size_t depth,
                         std::size_t index, double padded_so_far,
-                        double warm_so_far, std::vector<ChildRecord>& children,
+                        double warm_so_far, double child_discount,
+                        double base_committed,
+                        std::vector<ChildRecord>& children,
                         const std::function<void(double, double)>& done) {
     if (index == comp.requires_.size()) {
       done(padded_so_far, warm_so_far);
@@ -448,8 +650,13 @@ class Search {
       if (v.is_set()) reqs.emplace_back(pa.property, std::move(v));
     }
 
-    satisfy(req.interface_name, reqs, node, child_rate, depth + 1,
-            /*entry_level=*/false, parent,
+    double committed_here = base_committed;
+    if (request_.objective == Objective::kMinLatency) {
+      committed_here = base_committed + child_discount * padded_so_far;
+    }
+
+    satisfy(req.interface_name, reqs, node, child_rate, depth + 1, parent,
+            child_discount, committed_here,
             [&](InstanceId child_root, double edge_padded_s,
                 double edge_warm_s) {
               const net::NodeId child_node = placements_[child_root].node;
@@ -462,7 +669,8 @@ class Search {
               satisfy_children(comp, factors, node_env, parent, node,
                                child_rate, depth, index + 1,
                                padded_so_far + edge_padded_s,
-                               warm_so_far + edge_warm_s, children, done);
+                               warm_so_far + edge_warm_s, child_discount,
+                               base_committed, children, done);
               children.pop_back();
               wires_.pop_back();
             });
@@ -496,7 +704,7 @@ class Search {
   EffectiveProps compute_effective(
       const spec::ComponentDef& comp, const spec::Environment& node_env,
       const FactorBindings& factors,
-      const std::vector<ChildRecord>& children) const {
+      const std::vector<ChildRecord>& children) {
     EffectiveProps out;
     for (const spec::LinkageDecl& decl : comp.implements) {
       const spec::InterfaceDef* iface =
@@ -522,8 +730,8 @@ class Search {
                 break;
               }
             }
-            cv = env_.transform_along(spec_.rules, prop, cv,
-                                      *child.route_to_parent, cp.node);
+            cv = memo_.transform(env_, spec_.rules, prop, cv,
+                                 *child.route_to_parent, cp.node);
             if (first) {
               inherited = cv;
               first = false;
@@ -548,9 +756,6 @@ class Search {
     // value so cold-cache effects influence the choice.
     metrics.expected_latency_s = warm_s;
 
-    const net::NodeId origin = request_.code_origin.valid()
-                                   ? request_.code_origin
-                                   : request_.client_node;
     double headroom = 1.0;
     for (const Placement& p : placements_) {
       if (p.reuse_existing) {
@@ -558,14 +763,7 @@ class Search {
         continue;
       }
       ++metrics.new_components;
-      const net::Route* code_route = network_.cached_route(origin, p.node);
-      for (net::LinkId lid : code_route->links) {
-        const net::Link& link = network_.link(lid);
-        metrics.deployment_cost_s +=
-            link.latency.seconds() +
-            static_cast<double>(p.component->behaviors.code_size_bytes) *
-                8.0 / link.bandwidth_bps;
-      }
+      metrics.deployment_cost_s += code_transfer_cost(*p.component, p.node);
       if (p.component->behaviors.capacity_rps > 0.0) {
         headroom = std::min(headroom,
                             1.0 - p.inbound_rate_rps /
@@ -602,14 +800,20 @@ class Search {
     plan.metrics = metrics;
     best_ = std::move(plan);
     best_score_ = score;
+    best_branch_ = current_branch_;
+    shared_.offer(best_score_.primary);
   }
 
   const spec::ServiceSpec& spec_;
   const EnvironmentView& env_;
   const net::Network& network_;
+  const spec::ImplementerIndex& index_;
   const PlanRequest& request_;
   const std::vector<ExistingInstance>& existing_;
+  SharedIncumbent& shared_;
   SearchStats& stats_;
+  const bool bound_pruning_;
+  TransformMemo memo_;
 
   // Working state (mutated along the DFS, undone on backtrack).
   std::vector<Placement> placements_;
@@ -621,17 +825,64 @@ class Search {
   std::set<std::pair<const spec::ComponentDef*, std::uint32_t>> path_;
   std::vector<std::pair<const spec::ComponentDef*, FactorBindings>>
       view_path_;
+  // Committed (1 + code-transfer cost) of the current partial plan's new
+  // placements — the kMinDeploymentCost bound.
+  double committed_cost_ = 0.0;
 
+  std::size_t current_branch_ = 0;
+  std::size_t best_branch_ = 0;
   std::optional<DeploymentPlan> best_;
   Score best_score_;
 };
 
+// Enumerates the entry-level fan-out in the serial search's visit order:
+// implementing components in declaration order, nodes in id order (or just
+// the client node when the entry is pinned there).
+std::vector<EntryBranch> make_entry_branches(
+    const spec::ImplementerIndex& index, const PlanRequest& request,
+    const net::Network& network) {
+  std::vector<EntryBranch> branches;
+  auto it = index.find(request.interface_name);
+  if (it == index.end()) return branches;
+  for (const spec::ImplementerRef& ref : it->second) {
+    if (request.pin_entry_to_client) {
+      branches.push_back({ref.component, ref.linkage, request.client_node});
+    } else {
+      for (net::NodeId node : network.all_nodes()) {
+        branches.push_back({ref.component, ref.linkage, node});
+      }
+    }
+  }
+  return branches;
+}
+
 }  // namespace
+
+SearchStats& SearchStats::operator+=(const SearchStats& other) {
+  candidates_examined += other.candidates_examined;
+  subtrees_pruned += other.subtrees_pruned;
+  plans_scored += other.plans_scored;
+  pruned_by_bound += other.pruned_by_bound;
+  workers_used = std::max(workers_used, other.workers_used);
+  rejected_static += other.rejected_static;
+  rejected_cycle += other.rejected_cycle;
+  rejected_duplicate_view += other.rejected_duplicate_view;
+  rejected_condition += other.rejected_condition;
+  rejected_factor += other.rejected_factor;
+  rejected_compatibility += other.rejected_compatibility;
+  rejected_node_capacity += other.rejected_node_capacity;
+  rejected_link_capacity += other.rejected_link_capacity;
+  rejected_instance_capacity += other.rejected_instance_capacity;
+  rejected_unroutable += other.rejected_unroutable;
+  return *this;
+}
 
 std::string SearchStats::to_string() const {
   std::ostringstream oss;
   oss << "examined " << candidates_examined << " candidates, scored "
-      << plans_scored << " plan(s); rejections:";
+      << plans_scored << " plan(s), pruned " << pruned_by_bound
+      << " subtree(s) by bound, " << workers_used
+      << " worker(s); rejections:";
   const std::pair<const char*, std::uint64_t> rows[] = {
       {"static", rejected_static},
       {"cycle", rejected_cycle},
@@ -663,6 +914,9 @@ const char* objective_name(Objective o) {
   return "?";
 }
 
+Planner::Planner(const spec::ServiceSpec& spec, const EnvironmentView& env)
+    : spec_(spec), env_(env), iface_index_(spec.build_implementer_index()) {}
+
 std::vector<util::Expected<DeploymentPlan>> Planner::plan_many(
     const std::vector<PlanRequest>& requests,
     const std::vector<ExistingInstance>& existing,
@@ -684,6 +938,7 @@ std::vector<util::Expected<DeploymentPlan>> Planner::plan_many(
     }
     return results;
   }
+  env_.network().precompute_routes();
   util::ThreadPool pool(threads);
   pool.parallel_for(requests.size(), [&](std::size_t i) {
     results[i] = plan(requests[i], existing);
@@ -707,10 +962,78 @@ util::Expected<DeploymentPlan> Planner::plan(
     return util::invalid_argument("negative request rate");
   }
 
-  SearchStats local_stats;
-  Search search(spec_, env_, request, existing, local_stats);
-  std::optional<DeploymentPlan> best = search.run();
-  if (stats != nullptr) *stats = local_stats;
+  const std::vector<EntryBranch> branches =
+      make_entry_branches(iface_index_, request, env_.network());
+
+  std::size_t workers = request.search_threads == 0
+                            ? util::ThreadPool::default_thread_count()
+                            : request.search_threads;
+  workers = std::min(workers, std::max<std::size_t>(branches.size(), 1));
+
+  SharedIncumbent shared;
+  SearchStats merged;
+  std::optional<DeploymentPlan> best;
+  Score best_score;
+  std::size_t best_branch = 0;
+
+  if (workers <= 1) {
+    Search search(spec_, env_, iface_index_, request, existing, shared,
+                  merged);
+    search.run_branches(branches, 0, 1);
+    best = search.take_best();
+    best_score = search.best_score();
+    best_branch = search.best_branch();
+    merged.workers_used = 1;
+  } else {
+    // The workers read the route cache concurrently; fill it up front so
+    // cached_route() is a pure read during the search.
+    env_.network().precompute_routes();
+
+    struct WorkerOutcome {
+      SearchStats stats;
+      std::optional<DeploymentPlan> plan;
+      Score score;
+      std::size_t branch = 0;
+    };
+    std::vector<WorkerOutcome> outcomes(workers);
+    {
+      util::ThreadPool pool(workers);
+      std::vector<std::future<void>> futures;
+      futures.reserve(workers);
+      for (std::size_t w = 0; w < workers; ++w) {
+        futures.push_back(pool.submit([&, w] {
+          WorkerOutcome& out = outcomes[w];
+          Search search(spec_, env_, iface_index_, request, existing, shared,
+                        out.stats);
+          search.run_branches(branches, w, workers);
+          out.plan = search.take_best();
+          out.score = search.best_score();
+          out.branch = search.best_branch();
+        }));
+      }
+      for (auto& f : futures) f.get();
+    }
+
+    // Deterministic reduction: lowest (score, entry branch index) wins, so
+    // equal-score plans resolve to the one the serial search would have kept
+    // regardless of worker timing.
+    for (std::size_t w = 0; w < workers; ++w) {
+      merged += outcomes[w].stats;
+      if (!outcomes[w].plan.has_value()) continue;
+      const bool better =
+          !best.has_value() || outcomes[w].score < best_score ||
+          (score_equal(outcomes[w].score, best_score) &&
+           outcomes[w].branch < best_branch);
+      if (better) {
+        best = std::move(outcomes[w].plan);
+        best_score = outcomes[w].score;
+        best_branch = outcomes[w].branch;
+      }
+    }
+    merged.workers_used = workers;
+  }
+
+  if (stats != nullptr) *stats = merged;
   if (!best) {
     return util::unsatisfiable(
         "no deployment of '" + spec_.name + "' satisfies interface '" +

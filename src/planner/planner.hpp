@@ -71,12 +71,27 @@ struct PlanRequest {
   // while still preferring a *local* new cache over a remote warm one when
   // the WAN savings dominate.
   double cold_view_penalty = 0.1;
+  // Branch-and-bound workers fanned out over the entry-level candidate set
+  // (component × node at depth 1). 1 = serial search (default), 0 = one
+  // worker per hardware thread. Workers share the incumbent score, so the
+  // result is bit-identical to the serial search at any worker count; see
+  // DESIGN.md "Planner search strategy".
+  std::size_t search_threads = 1;
+  // Admissible lower-bound pruning of the mapping search. Disabling it never
+  // changes the returned plan, only the search cost — the toggle exists for
+  // benchmarks and for isolating planner bugs from pruning bugs.
+  bool bound_pruning = true;
 };
 
 struct SearchStats {
   std::uint64_t candidates_examined = 0;
   std::uint64_t subtrees_pruned = 0;
   std::uint64_t plans_scored = 0;
+  // Subtrees cut because the admissible lower bound of every completion was
+  // already worse than the incumbent plan's score.
+  std::uint64_t pruned_by_bound = 0;
+  // Search workers that explored the entry-level fan-out (1 = serial).
+  std::uint64_t workers_used = 1;
 
   // Rejection breakdown — why candidates fell out of the search. The
   // dominant cause is the first place to look when a request comes back
@@ -93,13 +108,17 @@ struct SearchStats {
   std::uint64_t rejected_instance_capacity = 0;
   std::uint64_t rejected_unroutable = 0;
 
+  // Merges another worker's stats into this one: counters add,
+  // workers_used keeps the maximum (the coordinator overwrites it with the
+  // actual fan-out after merging).
+  SearchStats& operator+=(const SearchStats& other);
+
   std::string to_string() const;
 };
 
 class Planner {
  public:
-  Planner(const spec::ServiceSpec& spec, const EnvironmentView& env)
-      : spec_(spec), env_(env) {}
+  Planner(const spec::ServiceSpec& spec, const EnvironmentView& env);
 
   // Finds the best deployment; kUnsatisfiable when no mapping meets all
   // constraints. Thread-compatible: concurrent plan() calls are safe.
@@ -124,6 +143,9 @@ class Planner {
  private:
   const spec::ServiceSpec& spec_;
   const EnvironmentView& env_;
+  // interface → implementing components, built once so the search does not
+  // rescan the component list for every candidate edge.
+  spec::ImplementerIndex iface_index_;
 };
 
 }  // namespace psf::planner

@@ -181,6 +181,21 @@ std::vector<const ComponentDef*> ServiceSpec::implementers_of(
   return out;
 }
 
+ImplementerIndex ServiceSpec::build_implementer_index() const {
+  ImplementerIndex index;
+  for (const ComponentDef& c : components) {
+    for (const LinkageDecl& decl : c.implements) {
+      auto& refs = index[decl.interface_name];
+      // Only the first Implements of an interface counts (find_implements
+      // semantics); components are visited in declaration order, so a repeat
+      // within one component lands adjacent.
+      if (!refs.empty() && refs.back().component == &c) continue;
+      refs.push_back({&c, &decl});
+    }
+  }
+  return index;
+}
+
 namespace {
 
 util::Status check_assignment(const ServiceSpec& spec,

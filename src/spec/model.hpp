@@ -129,6 +129,19 @@ struct ComponentDef {
   std::string to_string() const;
 };
 
+// One Implements declaration of one component, as indexed by interface name.
+struct ImplementerRef {
+  const ComponentDef* component = nullptr;
+  const LinkageDecl* linkage = nullptr;
+};
+
+// interface name → implementers, in component declaration order (one entry
+// per component: its first Implements of that interface, matching
+// find_implements). The planner resolves an interface for every candidate
+// edge of its mapping search; this index replaces a linear component scan on
+// that hot path.
+using ImplementerIndex = std::map<std::string, std::vector<ImplementerRef>>;
+
 class ServiceSpec {
  public:
   std::string name;
@@ -144,6 +157,10 @@ class ServiceSpec {
   // Components whose Implements list contains `iface`.
   std::vector<const ComponentDef*> implementers_of(
       const std::string& iface) const;
+
+  // Builds the interface→implementers index. References point into this
+  // spec; the index is invalidated by any mutation of `components`.
+  ImplementerIndex build_implementer_index() const;
 
   // Structural validation: every reference resolves, literal values admit
   // their property types, views represent real components, factor references

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Repo check driver: the tier-1 build + test cycle, then a ThreadSanitizer
+# build that exercises the parallel branch-and-bound planner.
+#
+#   tools/check.sh            # standard build + full ctest + TSan planner test
+#   tools/check.sh --no-tsan  # standard build + full ctest only
+#
+# Run from the repo root. Build trees: build/ (standard), build-tsan/.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+RUN_TSAN=1
+if [[ "${1:-}" == "--no-tsan" ]]; then
+  RUN_TSAN=0
+fi
+
+echo "== standard build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "${JOBS}"
+
+echo "== tier-1 tests =="
+(cd build && ctest --output-on-failure -j "${JOBS}")
+
+if [[ "${RUN_TSAN}" == 1 ]]; then
+  echo "== ThreadSanitizer build (parallel planner) =="
+  cmake -B build-tsan -S . -DPSF_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "${JOBS}" --target planner_parallel_test
+  ./build-tsan/tests/planner_parallel_test
+fi
+
+echo "== all checks passed =="
