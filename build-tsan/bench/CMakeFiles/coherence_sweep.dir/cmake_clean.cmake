@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coherence_sweep.dir/coherence_sweep.cpp.o"
+  "CMakeFiles/coherence_sweep.dir/coherence_sweep.cpp.o.d"
+  "coherence_sweep"
+  "coherence_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coherence_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_chains.dir/fig3_chains.cpp.o"
+  "CMakeFiles/fig3_chains.dir/fig3_chains.cpp.o.d"
+  "fig3_chains"
+  "fig3_chains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_chains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

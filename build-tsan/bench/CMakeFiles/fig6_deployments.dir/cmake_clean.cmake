@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_deployments.dir/fig6_deployments.cpp.o"
+  "CMakeFiles/fig6_deployments.dir/fig6_deployments.cpp.o.d"
+  "fig6_deployments"
+  "fig6_deployments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_deployments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

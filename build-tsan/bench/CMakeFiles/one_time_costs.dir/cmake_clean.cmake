@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/one_time_costs.dir/one_time_costs.cpp.o"
+  "CMakeFiles/one_time_costs.dir/one_time_costs.cpp.o.d"
+  "one_time_costs"
+  "one_time_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/one_time_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planner_scaling.dir/planner_scaling.cpp.o"
+  "CMakeFiles/planner_scaling.dir/planner_scaling.cpp.o.d"
+  "planner_scaling"
+  "planner_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planner_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

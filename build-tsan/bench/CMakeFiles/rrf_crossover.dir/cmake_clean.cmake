@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrf_crossover.dir/rrf_crossover.cpp.o"
+  "CMakeFiles/rrf_crossover.dir/rrf_crossover.cpp.o.d"
+  "rrf_crossover"
+  "rrf_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrf_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

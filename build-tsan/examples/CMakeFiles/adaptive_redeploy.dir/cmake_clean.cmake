@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_redeploy.dir/adaptive_redeploy.cpp.o"
+  "CMakeFiles/adaptive_redeploy.dir/adaptive_redeploy.cpp.o.d"
+  "adaptive_redeploy"
+  "adaptive_redeploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_redeploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mail_demo.dir/mail_demo.cpp.o"
+  "CMakeFiles/mail_demo.dir/mail_demo.cpp.o.d"
+  "mail_demo"
+  "mail_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mail_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

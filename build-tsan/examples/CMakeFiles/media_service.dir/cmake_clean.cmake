@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/media_service.dir/media_service.cpp.o"
+  "CMakeFiles/media_service.dir/media_service.cpp.o.d"
+  "media_service"
+  "media_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/media_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

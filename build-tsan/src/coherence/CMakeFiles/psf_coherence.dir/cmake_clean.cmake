@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psf_coherence.dir/directory.cpp.o"
+  "CMakeFiles/psf_coherence.dir/directory.cpp.o.d"
+  "CMakeFiles/psf_coherence.dir/policy.cpp.o"
+  "CMakeFiles/psf_coherence.dir/policy.cpp.o.d"
+  "CMakeFiles/psf_coherence.dir/replica.cpp.o"
+  "CMakeFiles/psf_coherence.dir/replica.cpp.o.d"
+  "libpsf_coherence.a"
+  "libpsf_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psf_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psf_core.dir/case_study.cpp.o"
+  "CMakeFiles/psf_core.dir/case_study.cpp.o.d"
+  "CMakeFiles/psf_core.dir/framework.cpp.o"
+  "CMakeFiles/psf_core.dir/framework.cpp.o.d"
+  "CMakeFiles/psf_core.dir/redeploy.cpp.o"
+  "CMakeFiles/psf_core.dir/redeploy.cpp.o.d"
+  "CMakeFiles/psf_core.dir/scenarios.cpp.o"
+  "CMakeFiles/psf_core.dir/scenarios.cpp.o.d"
+  "CMakeFiles/psf_core.dir/workload.cpp.o"
+  "CMakeFiles/psf_core.dir/workload.cpp.o.d"
+  "libpsf_core.a"
+  "libpsf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psf_crypto.dir/cipher.cpp.o"
+  "CMakeFiles/psf_crypto.dir/cipher.cpp.o.d"
+  "CMakeFiles/psf_crypto.dir/keystore.cpp.o"
+  "CMakeFiles/psf_crypto.dir/keystore.cpp.o.d"
+  "libpsf_crypto.a"
+  "libpsf_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psf_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

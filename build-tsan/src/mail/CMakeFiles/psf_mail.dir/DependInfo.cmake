@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mail/client.cpp" "src/mail/CMakeFiles/psf_mail.dir/client.cpp.o" "gcc" "src/mail/CMakeFiles/psf_mail.dir/client.cpp.o.d"
+  "/root/repo/src/mail/crypto_components.cpp" "src/mail/CMakeFiles/psf_mail.dir/crypto_components.cpp.o" "gcc" "src/mail/CMakeFiles/psf_mail.dir/crypto_components.cpp.o.d"
+  "/root/repo/src/mail/mail_spec.cpp" "src/mail/CMakeFiles/psf_mail.dir/mail_spec.cpp.o" "gcc" "src/mail/CMakeFiles/psf_mail.dir/mail_spec.cpp.o.d"
+  "/root/repo/src/mail/registration.cpp" "src/mail/CMakeFiles/psf_mail.dir/registration.cpp.o" "gcc" "src/mail/CMakeFiles/psf_mail.dir/registration.cpp.o.d"
+  "/root/repo/src/mail/server.cpp" "src/mail/CMakeFiles/psf_mail.dir/server.cpp.o" "gcc" "src/mail/CMakeFiles/psf_mail.dir/server.cpp.o.d"
+  "/root/repo/src/mail/types.cpp" "src/mail/CMakeFiles/psf_mail.dir/types.cpp.o" "gcc" "src/mail/CMakeFiles/psf_mail.dir/types.cpp.o.d"
+  "/root/repo/src/mail/view_server.cpp" "src/mail/CMakeFiles/psf_mail.dir/view_server.cpp.o" "gcc" "src/mail/CMakeFiles/psf_mail.dir/view_server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/runtime/CMakeFiles/psf_runtime.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/coherence/CMakeFiles/psf_coherence.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/crypto/CMakeFiles/psf_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/spec/CMakeFiles/psf_spec.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/psf_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/planner/CMakeFiles/psf_planner.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/trust/CMakeFiles/psf_trust.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/net/CMakeFiles/psf_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/psf_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

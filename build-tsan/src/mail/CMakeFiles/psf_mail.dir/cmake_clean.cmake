@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psf_mail.dir/client.cpp.o"
+  "CMakeFiles/psf_mail.dir/client.cpp.o.d"
+  "CMakeFiles/psf_mail.dir/crypto_components.cpp.o"
+  "CMakeFiles/psf_mail.dir/crypto_components.cpp.o.d"
+  "CMakeFiles/psf_mail.dir/mail_spec.cpp.o"
+  "CMakeFiles/psf_mail.dir/mail_spec.cpp.o.d"
+  "CMakeFiles/psf_mail.dir/registration.cpp.o"
+  "CMakeFiles/psf_mail.dir/registration.cpp.o.d"
+  "CMakeFiles/psf_mail.dir/server.cpp.o"
+  "CMakeFiles/psf_mail.dir/server.cpp.o.d"
+  "CMakeFiles/psf_mail.dir/types.cpp.o"
+  "CMakeFiles/psf_mail.dir/types.cpp.o.d"
+  "CMakeFiles/psf_mail.dir/view_server.cpp.o"
+  "CMakeFiles/psf_mail.dir/view_server.cpp.o.d"
+  "libpsf_mail.a"
+  "libpsf_mail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psf_mail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psf_net.dir/credential.cpp.o"
+  "CMakeFiles/psf_net.dir/credential.cpp.o.d"
+  "CMakeFiles/psf_net.dir/network.cpp.o"
+  "CMakeFiles/psf_net.dir/network.cpp.o.d"
+  "CMakeFiles/psf_net.dir/topology.cpp.o"
+  "CMakeFiles/psf_net.dir/topology.cpp.o.d"
+  "libpsf_net.a"
+  "libpsf_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psf_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/planner/dp_chain.cpp" "src/planner/CMakeFiles/psf_planner.dir/dp_chain.cpp.o" "gcc" "src/planner/CMakeFiles/psf_planner.dir/dp_chain.cpp.o.d"
+  "/root/repo/src/planner/environment.cpp" "src/planner/CMakeFiles/psf_planner.dir/environment.cpp.o" "gcc" "src/planner/CMakeFiles/psf_planner.dir/environment.cpp.o.d"
+  "/root/repo/src/planner/linkage.cpp" "src/planner/CMakeFiles/psf_planner.dir/linkage.cpp.o" "gcc" "src/planner/CMakeFiles/psf_planner.dir/linkage.cpp.o.d"
+  "/root/repo/src/planner/plan.cpp" "src/planner/CMakeFiles/psf_planner.dir/plan.cpp.o" "gcc" "src/planner/CMakeFiles/psf_planner.dir/plan.cpp.o.d"
+  "/root/repo/src/planner/planner.cpp" "src/planner/CMakeFiles/psf_planner.dir/planner.cpp.o" "gcc" "src/planner/CMakeFiles/psf_planner.dir/planner.cpp.o.d"
+  "/root/repo/src/planner/validate.cpp" "src/planner/CMakeFiles/psf_planner.dir/validate.cpp.o" "gcc" "src/planner/CMakeFiles/psf_planner.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/spec/CMakeFiles/psf_spec.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/net/CMakeFiles/psf_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/trust/CMakeFiles/psf_trust.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/psf_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/psf_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psf_planner.dir/dp_chain.cpp.o"
+  "CMakeFiles/psf_planner.dir/dp_chain.cpp.o.d"
+  "CMakeFiles/psf_planner.dir/environment.cpp.o"
+  "CMakeFiles/psf_planner.dir/environment.cpp.o.d"
+  "CMakeFiles/psf_planner.dir/linkage.cpp.o"
+  "CMakeFiles/psf_planner.dir/linkage.cpp.o.d"
+  "CMakeFiles/psf_planner.dir/plan.cpp.o"
+  "CMakeFiles/psf_planner.dir/plan.cpp.o.d"
+  "CMakeFiles/psf_planner.dir/planner.cpp.o"
+  "CMakeFiles/psf_planner.dir/planner.cpp.o.d"
+  "CMakeFiles/psf_planner.dir/validate.cpp.o"
+  "CMakeFiles/psf_planner.dir/validate.cpp.o.d"
+  "libpsf_planner.a"
+  "libpsf_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psf_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

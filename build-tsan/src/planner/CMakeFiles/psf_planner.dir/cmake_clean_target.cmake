@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpsf_planner.a"
+)

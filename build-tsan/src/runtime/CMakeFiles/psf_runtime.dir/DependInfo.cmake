@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/deployment.cpp" "src/runtime/CMakeFiles/psf_runtime.dir/deployment.cpp.o" "gcc" "src/runtime/CMakeFiles/psf_runtime.dir/deployment.cpp.o.d"
+  "/root/repo/src/runtime/generic.cpp" "src/runtime/CMakeFiles/psf_runtime.dir/generic.cpp.o" "gcc" "src/runtime/CMakeFiles/psf_runtime.dir/generic.cpp.o.d"
+  "/root/repo/src/runtime/lookup.cpp" "src/runtime/CMakeFiles/psf_runtime.dir/lookup.cpp.o" "gcc" "src/runtime/CMakeFiles/psf_runtime.dir/lookup.cpp.o.d"
+  "/root/repo/src/runtime/monitor.cpp" "src/runtime/CMakeFiles/psf_runtime.dir/monitor.cpp.o" "gcc" "src/runtime/CMakeFiles/psf_runtime.dir/monitor.cpp.o.d"
+  "/root/repo/src/runtime/smock.cpp" "src/runtime/CMakeFiles/psf_runtime.dir/smock.cpp.o" "gcc" "src/runtime/CMakeFiles/psf_runtime.dir/smock.cpp.o.d"
+  "/root/repo/src/runtime/telemetry.cpp" "src/runtime/CMakeFiles/psf_runtime.dir/telemetry.cpp.o" "gcc" "src/runtime/CMakeFiles/psf_runtime.dir/telemetry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/planner/CMakeFiles/psf_planner.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/psf_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/net/CMakeFiles/psf_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/spec/CMakeFiles/psf_spec.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/psf_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/trust/CMakeFiles/psf_trust.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psf_runtime.dir/deployment.cpp.o"
+  "CMakeFiles/psf_runtime.dir/deployment.cpp.o.d"
+  "CMakeFiles/psf_runtime.dir/generic.cpp.o"
+  "CMakeFiles/psf_runtime.dir/generic.cpp.o.d"
+  "CMakeFiles/psf_runtime.dir/lookup.cpp.o"
+  "CMakeFiles/psf_runtime.dir/lookup.cpp.o.d"
+  "CMakeFiles/psf_runtime.dir/monitor.cpp.o"
+  "CMakeFiles/psf_runtime.dir/monitor.cpp.o.d"
+  "CMakeFiles/psf_runtime.dir/smock.cpp.o"
+  "CMakeFiles/psf_runtime.dir/smock.cpp.o.d"
+  "CMakeFiles/psf_runtime.dir/telemetry.cpp.o"
+  "CMakeFiles/psf_runtime.dir/telemetry.cpp.o.d"
+  "libpsf_runtime.a"
+  "libpsf_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psf_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

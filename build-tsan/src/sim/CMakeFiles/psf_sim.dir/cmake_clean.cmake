@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psf_sim.dir/time.cpp.o"
+  "CMakeFiles/psf_sim.dir/time.cpp.o.d"
+  "libpsf_sim.a"
+  "libpsf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

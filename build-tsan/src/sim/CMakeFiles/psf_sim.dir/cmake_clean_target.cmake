@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpsf_sim.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spec/lexer.cpp" "src/spec/CMakeFiles/psf_spec.dir/lexer.cpp.o" "gcc" "src/spec/CMakeFiles/psf_spec.dir/lexer.cpp.o.d"
+  "/root/repo/src/spec/model.cpp" "src/spec/CMakeFiles/psf_spec.dir/model.cpp.o" "gcc" "src/spec/CMakeFiles/psf_spec.dir/model.cpp.o.d"
+  "/root/repo/src/spec/parser.cpp" "src/spec/CMakeFiles/psf_spec.dir/parser.cpp.o" "gcc" "src/spec/CMakeFiles/psf_spec.dir/parser.cpp.o.d"
+  "/root/repo/src/spec/rules.cpp" "src/spec/CMakeFiles/psf_spec.dir/rules.cpp.o" "gcc" "src/spec/CMakeFiles/psf_spec.dir/rules.cpp.o.d"
+  "/root/repo/src/spec/serialize.cpp" "src/spec/CMakeFiles/psf_spec.dir/serialize.cpp.o" "gcc" "src/spec/CMakeFiles/psf_spec.dir/serialize.cpp.o.d"
+  "/root/repo/src/spec/value.cpp" "src/spec/CMakeFiles/psf_spec.dir/value.cpp.o" "gcc" "src/spec/CMakeFiles/psf_spec.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/psf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psf_spec.dir/lexer.cpp.o"
+  "CMakeFiles/psf_spec.dir/lexer.cpp.o.d"
+  "CMakeFiles/psf_spec.dir/model.cpp.o"
+  "CMakeFiles/psf_spec.dir/model.cpp.o.d"
+  "CMakeFiles/psf_spec.dir/parser.cpp.o"
+  "CMakeFiles/psf_spec.dir/parser.cpp.o.d"
+  "CMakeFiles/psf_spec.dir/rules.cpp.o"
+  "CMakeFiles/psf_spec.dir/rules.cpp.o.d"
+  "CMakeFiles/psf_spec.dir/serialize.cpp.o"
+  "CMakeFiles/psf_spec.dir/serialize.cpp.o.d"
+  "CMakeFiles/psf_spec.dir/value.cpp.o"
+  "CMakeFiles/psf_spec.dir/value.cpp.o.d"
+  "libpsf_spec.a"
+  "libpsf_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psf_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

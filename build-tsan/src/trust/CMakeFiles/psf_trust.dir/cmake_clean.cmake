@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psf_trust.dir/trust_graph.cpp.o"
+  "CMakeFiles/psf_trust.dir/trust_graph.cpp.o.d"
+  "libpsf_trust.a"
+  "libpsf_trust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psf_trust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

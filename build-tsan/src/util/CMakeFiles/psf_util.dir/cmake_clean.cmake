@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psf_util.dir/logging.cpp.o"
+  "CMakeFiles/psf_util.dir/logging.cpp.o.d"
+  "CMakeFiles/psf_util.dir/rng.cpp.o"
+  "CMakeFiles/psf_util.dir/rng.cpp.o.d"
+  "CMakeFiles/psf_util.dir/strings.cpp.o"
+  "CMakeFiles/psf_util.dir/strings.cpp.o.d"
+  "CMakeFiles/psf_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/psf_util.dir/thread_pool.cpp.o.d"
+  "libpsf_util.a"
+  "libpsf_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psf_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/core_test.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/psf_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/mail/CMakeFiles/psf_mail.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/coherence/CMakeFiles/psf_coherence.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/runtime/CMakeFiles/psf_runtime.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/planner/CMakeFiles/psf_planner.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/trust/CMakeFiles/psf_trust.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/crypto/CMakeFiles/psf_crypto.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/spec/CMakeFiles/psf_spec.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/net/CMakeFiles/psf_net.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/psf_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/psf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_chain_test.dir/dp_chain_test.cpp.o"
+  "CMakeFiles/dp_chain_test.dir/dp_chain_test.cpp.o.d"
+  "dp_chain_test"
+  "dp_chain_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_chain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generic_edge_test.dir/generic_edge_test.cpp.o"
+  "CMakeFiles/generic_edge_test.dir/generic_edge_test.cpp.o.d"
+  "generic_edge_test"
+  "generic_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generic_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

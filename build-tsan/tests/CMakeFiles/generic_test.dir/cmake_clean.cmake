@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generic_test.dir/generic_test.cpp.o"
+  "CMakeFiles/generic_test.dir/generic_test.cpp.o.d"
+  "generic_test"
+  "generic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linkage_test.dir/linkage_test.cpp.o"
+  "CMakeFiles/linkage_test.dir/linkage_test.cpp.o.d"
+  "linkage_test"
+  "linkage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linkage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

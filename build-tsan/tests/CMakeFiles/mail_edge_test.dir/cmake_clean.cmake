@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mail_edge_test.dir/mail_edge_test.cpp.o"
+  "CMakeFiles/mail_edge_test.dir/mail_edge_test.cpp.o.d"
+  "mail_edge_test"
+  "mail_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mail_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

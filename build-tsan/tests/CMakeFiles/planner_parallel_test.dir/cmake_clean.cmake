@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planner_parallel_test.dir/planner_parallel_test.cpp.o"
+  "CMakeFiles/planner_parallel_test.dir/planner_parallel_test.cpp.o.d"
+  "planner_parallel_test"
+  "planner_parallel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planner_parallel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

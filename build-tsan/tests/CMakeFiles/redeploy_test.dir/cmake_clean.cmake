@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redeploy_test.dir/redeploy_test.cpp.o"
+  "CMakeFiles/redeploy_test.dir/redeploy_test.cpp.o.d"
+  "redeploy_test"
+  "redeploy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redeploy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

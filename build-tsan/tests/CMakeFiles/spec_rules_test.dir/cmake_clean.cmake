@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_rules_test.dir/spec_rules_test.cpp.o"
+  "CMakeFiles/spec_rules_test.dir/spec_rules_test.cpp.o.d"
+  "spec_rules_test"
+  "spec_rules_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_value_test.dir/spec_value_test.cpp.o"
+  "CMakeFiles/spec_value_test.dir/spec_value_test.cpp.o.d"
+  "spec_value_test"
+  "spec_value_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

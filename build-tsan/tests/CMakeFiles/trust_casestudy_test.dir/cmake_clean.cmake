@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trust_casestudy_test.dir/trust_casestudy_test.cpp.o"
+  "CMakeFiles/trust_casestudy_test.dir/trust_casestudy_test.cpp.o.d"
+  "trust_casestudy_test"
+  "trust_casestudy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trust_casestudy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

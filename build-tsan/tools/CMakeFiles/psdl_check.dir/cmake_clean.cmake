@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psdl_check.dir/psdl_check.cpp.o"
+  "CMakeFiles/psdl_check.dir/psdl_check.cpp.o.d"
+  "psdl_check"
+  "psdl_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psdl_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

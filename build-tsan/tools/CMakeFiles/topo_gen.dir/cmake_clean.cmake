@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topo_gen.dir/topo_gen.cpp.o"
+  "CMakeFiles/topo_gen.dir/topo_gen.cpp.o.d"
+  "topo_gen"
+  "topo_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topo_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
