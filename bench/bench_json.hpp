@@ -1,0 +1,97 @@
+// Machine-readable bench results (EXPERIMENTS.md "Machine-readable
+// results"): each bench binary emits a flat JSON object to
+// BENCH_<name>.json — bench name, parameters, measured wall seconds and
+// throughput — so experiment drivers can diff runs without scraping stdout.
+//
+// Output directory resolution: $PSF_BENCH_JSON_DIR when set, else the
+// repository root baked in at configure time (PSF_BENCH_OUTPUT_DIR), else
+// the current working directory.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace psf::bench {
+
+class JsonResult {
+ public:
+  explicit JsonResult(std::string name) : name_(std::move(name)) {
+    fields_.emplace_back("name", quote(name_));
+  }
+
+  void add(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, quote(value));
+  }
+  void add(const std::string& key, const char* value) {
+    fields_.emplace_back(key, quote(value));
+  }
+  void add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    fields_.emplace_back(key, buf);
+  }
+  void add(const std::string& key, std::uint64_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+  }
+  void add(const std::string& key, int value) {
+    fields_.emplace_back(key, std::to_string(value));
+  }
+  void add(const std::string& key, bool value) {
+    fields_.emplace_back(key, value ? "true" : "false");
+  }
+
+  std::string path() const {
+    std::string dir;
+    if (const char* env = std::getenv("PSF_BENCH_JSON_DIR")) {
+      dir = env;
+    } else {
+#ifdef PSF_BENCH_OUTPUT_DIR
+      dir = PSF_BENCH_OUTPUT_DIR;
+#else
+      dir = ".";
+#endif
+    }
+    return dir + "/BENCH_" + name_ + ".json";
+  }
+
+  // Writes the object; returns false (with a note on stderr) when the file
+  // cannot be opened. Benches report but do not fail on write errors, so a
+  // read-only checkout still runs.
+  bool write() const {
+    const std::string file = path();
+    std::FILE* out = std::fopen(file.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "bench_json: cannot write %s\n", file.c_str());
+      return false;
+    }
+    std::fprintf(out, "{");
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      std::fprintf(out, "%s\"%s\": %s", i == 0 ? "" : ", ",
+                   fields_[i].first.c_str(), fields_[i].second.c_str());
+    }
+    std::fprintf(out, "}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", file.c_str());
+    return true;
+  }
+
+ private:
+  static std::string quote(const std::string& raw) {
+    std::string out = "\"";
+    for (char c : raw) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
+    return out;
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> fields_;  // key → rendered
+};
+
+}  // namespace psf::bench

@@ -14,6 +14,9 @@ Framework::Framework(net::Network network, FrameworkOptions options)
   PSF_CHECK_MSG(network_.node_count() > 0, "empty network");
   PSF_CHECK(options.lookup_node.value < network_.node_count());
   PSF_CHECK(options.server_node.value < network_.node_count());
+  // Every monitor-reported change bumps the server's environment epochs so
+  // cached access paths planned against the old topology are not replayed.
+  server_.attach_monitor(monitor_);
 }
 
 util::Status Framework::register_service(

@@ -19,6 +19,7 @@ void WorkloadClient::start() {
   // Account setup time: the user's per-level keys exist before any message
   // is sealed (paper §2).
   config_->keys->provision_user(user_, mail::kMaxSensitivity);
+  started_ = runtime_.simulator().now();
   schedule_next();
 }
 
@@ -121,6 +122,9 @@ void WorkloadClient::issue_receive() {
 }
 
 void WorkloadClient::op_completed() {
+  if (stats_.first_op_ms < 0.0) {
+    stats_.first_op_ms = (runtime_.simulator().now() - started_).millis();
+  }
   if (sends_issued_ >= params_.sends &&
       receives_issued_ >= params_.receives) {
     finished_ = true;

@@ -39,6 +39,11 @@ struct WorkloadStats {
   std::uint64_t receives_failed = 0;
   std::uint64_t messages_received = 0;
   std::uint64_t plaintext_mismatches = 0;  // decrypted body != expected
+  // Simulated ms from start() to the first completed operation. For a
+  // proxy transport this includes the bind (lookup + planning +
+  // deployment) — the client-visible one-time access cost that the plan
+  // cache amortizes across a fleet. Negative until the first op completes.
+  double first_op_ms = -1.0;
 };
 
 class WorkloadClient {
@@ -75,6 +80,7 @@ class WorkloadClient {
   std::size_t sends_issued_ = 0;
   std::size_t receives_issued_ = 0;
   std::uint64_t next_message_id_ = 1;
+  sim::Time started_;
   bool finished_ = false;
   WorkloadStats stats_;
   util::SampleSet send_latency_ms_;

@@ -61,8 +61,17 @@ spec::Environment CredentialMapTranslator::translate_link(
 
 spec::Environment TrustBackedTranslator::translate_node(
     const net::Node& node) const {
+  return from_holdings(graph_.holdings_of(node.name));
+}
+
+spec::Environment TrustBackedTranslator::translate_principal(
+    const std::string& principal) const {
+  return from_holdings(graph_.holdings_of(principal));
+}
+
+spec::Environment TrustBackedTranslator::from_holdings(
+    const trust::Holdings& holdings) const {
   spec::Environment env;
-  const trust::Holdings holdings = graph_.holdings_of(node.name);
   for (const CredentialMapping& m : node_properties_) {
     const trust::Role role{role_ns_, m.credential};
     auto it = holdings.find(role);
@@ -94,7 +103,7 @@ spec::Environment TrustBackedTranslator::translate_link(
 
 EnvironmentView::EnvironmentView(const net::Network& network,
                                  const PropertyTranslator& translator)
-    : network_(network) {
+    : network_(network), translator_(&translator) {
   node_envs_.reserve(network.node_count());
   for (net::NodeId id : network.all_nodes()) {
     node_envs_.push_back(translator.translate_node(network.node(id)));
@@ -113,6 +122,17 @@ const spec::Environment& EnvironmentView::node_env(net::NodeId id) const {
 const spec::Environment& EnvironmentView::link_env(net::LinkId id) const {
   PSF_CHECK(id.valid() && id.value < link_envs_.size());
   return link_envs_[id.value];
+}
+
+const spec::Environment& EnvironmentView::principal_env(
+    const std::string& principal) const {
+  auto it = principal_envs_.find(principal);
+  if (it == principal_envs_.end()) {
+    it = principal_envs_
+             .emplace(principal, translator_->translate_principal(principal))
+             .first;
+  }
+  return it->second;
 }
 
 spec::PropertyValue EnvironmentView::transform_along(

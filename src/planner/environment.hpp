@@ -36,6 +36,17 @@ class PropertyTranslator {
 
   virtual spec::Environment translate_node(const net::Node& node) const = 0;
   virtual spec::Environment translate_link(const net::Link& link) const = 0;
+
+  // Translates a client principal's credentials into service properties
+  // (§3.1: the access request carries the client's credentials, and the
+  // planner "first needs to translate these credentials into properties").
+  // The generic server merges the result into a request's required
+  // properties before planning. Default: no derived properties.
+  virtual spec::Environment translate_principal(
+      const std::string& principal) const {
+    (void)principal;
+    return {};
+  }
 };
 
 // One mapping row: service property <- credential, with an optional default
@@ -89,7 +100,15 @@ class TrustBackedTranslator : public PropertyTranslator {
   spec::Environment translate_node(const net::Node& node) const override;
   spec::Environment translate_link(const net::Link& link) const override;
 
+  // A principal's properties derive from its own role holdings, exactly as
+  // node properties do — delegation to a user drives what the planner is
+  // asked to guarantee for that user.
+  spec::Environment translate_principal(
+      const std::string& principal) const override;
+
  private:
+  spec::Environment from_holdings(const trust::Holdings& holdings) const;
+
   const trust::TrustGraph& graph_;
   std::string role_ns_;
   std::vector<CredentialMapping> node_properties_;
@@ -106,6 +125,13 @@ class EnvironmentView {
   const spec::Environment& node_env(net::NodeId id) const;
   const spec::Environment& link_env(net::LinkId id) const;
 
+  // Translated requirement set of a client principal, memoized: repeated
+  // accesses by the same principal (the common case under fleet load)
+  // translate once per environment view. A refresh_environment rebuilds the
+  // view, so the memo never outlives the credentials it was derived from.
+  const spec::Environment& principal_env(const std::string& principal) const;
+  std::size_t principal_cache_size() const { return principal_envs_.size(); }
+
   // Transforms `value` of property `property` across `route` starting from
   // node `from`: the modification rules are applied for each link crossed
   // and each *intermediate* node traversed (endpoints are the communicating
@@ -118,8 +144,10 @@ class EnvironmentView {
 
  private:
   const net::Network& network_;
+  const PropertyTranslator* translator_;
   std::vector<spec::Environment> node_envs_;
   std::vector<spec::Environment> link_envs_;
+  mutable std::map<std::string, spec::Environment> principal_envs_;
 };
 
 // Memoizes EnvironmentView::transform_along within one planner search. The

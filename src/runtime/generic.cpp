@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <utility>
 
+#include "runtime/monitor.hpp"
 #include "util/logging.hpp"
 
 namespace psf::runtime {
@@ -148,9 +150,30 @@ void GenericServer::request_access(
   if (!request.code_origin.valid()) {
     request.code_origin = state->registration.code_origin;
   }
+  merge_principal_requirements(*state, request);
+  const std::string fingerprint = plan_fingerprint(request);
 
-  // Run the planner (host wall-clock measured for the benches), then charge
-  // the equivalent CPU at this server's host before deploying.
+  // Warm path: an identical client already holds a validated access path.
+  if (try_cached_access(*state, fingerprint, done)) return;
+
+  // Coalesce: an identical access is being planned/deployed right now —
+  // attach as a waiter instead of running the planner again (the
+  // "thundering herd" on a newly advertised service).
+  if (auto it = state->inflight.find(fingerprint);
+      it != state->inflight.end()) {
+    ++cache_telemetry_.coalesced;
+    it->second->waiters.push_back(std::move(done));
+    return;
+  }
+  // Neither cached nor in flight: this access runs the cold path and is the
+  // one that counts as a miss (coalesced waiters above do not).
+  ++cache_telemetry_.misses;
+  auto flight = std::make_shared<InFlightAccess>();
+  flight->epoch_at_start = state->epoch;
+  state->inflight.emplace(fingerprint, flight);
+
+  // Cold path: run the planner (host wall-clock measured for the benches),
+  // then charge the equivalent CPU at this server's host before deploying.
   const auto wall_start = std::chrono::steady_clock::now();
   planner::SearchStats stats;
   auto plan = state->planner->plan(request, state->existing, &stats);
@@ -159,7 +182,8 @@ void GenericServer::request_access(
                                     wall_start)
           .count();
   if (!plan) {
-    done(plan.status());
+    finish_access(*state, fingerprint, flight, std::move(done),
+                  plan.status());
     return;
   }
 
@@ -172,16 +196,17 @@ void GenericServer::request_access(
       std::move(plan).value());
   runtime_.charge_cpu(
       host_, planning_units,
-      [this, state, plan_value, wall_seconds, before_planning,
-       done = std::move(done)]() mutable {
+      [this, state, plan_value, wall_seconds, before_planning, stats,
+       fingerprint, flight, done = std::move(done)]() mutable {
         const sim::Time after_planning = runtime_.simulator().now();
         engine_.deploy(
             *plan_value, state->registration.code_origin,
             [this, state, plan_value, wall_seconds, before_planning,
-             after_planning,
+             after_planning, stats, fingerprint, flight,
              done = std::move(done)](util::Expected<DeployedPlan> deployed) {
               if (!deployed) {
-                done(deployed.status());
+                finish_access(*state, fingerprint, flight, std::move(done),
+                              deployed.status());
                 return;
               }
               absorb_deployment(*state, *plan_value, *deployed);
@@ -192,9 +217,157 @@ void GenericServer::request_access(
               outcome.costs.planning = after_planning - before_planning;
               outcome.costs.deployment = deployed->elapsed;
               outcome.costs.planning_wall_seconds = wall_seconds;
-              done(std::move(outcome));
+              outcome.search = stats;
+              finish_access(*state, fingerprint, flight, std::move(done),
+                            std::move(outcome));
             });
       });
+}
+
+void GenericServer::merge_principal_requirements(
+    ServiceState& state, planner::PlanRequest& request) const {
+  if (request.principal.empty()) return;
+  const spec::Environment& derived =
+      state.env->principal_env(request.principal);
+  for (const auto& [prop, value] : derived.all()) {
+    const bool present = std::any_of(
+        request.required_properties.begin(),
+        request.required_properties.end(),
+        [&prop](const auto& entry) { return entry.first == prop; });
+    // Explicit requirements win: the principal's credentials only add
+    // properties the client did not already demand.
+    if (!present) request.required_properties.emplace_back(prop, value);
+  }
+}
+
+bool GenericServer::try_cached_access(
+    ServiceState& state, const std::string& fingerprint,
+    std::function<void(util::Expected<AccessOutcome>)>& done) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  PlanCache::Entry* entry =
+      state.cache.find(fingerprint, state.epoch, cache_telemetry_);
+  if (entry == nullptr) return false;
+
+  // Hit-time validation. Epoch matching proved the environment unchanged,
+  // but the instance population moves independently of it: crashes,
+  // uninstalls, redeployment retirements (forget_instance), and load added
+  // by other plans since the entry was created.
+  enum class Evict { kNone, kLiveness, kCapacity };
+  Evict evict = Evict::kNone;
+  for (RuntimeInstanceId id : entry->access.instances) {
+    if (!runtime_.exists(id)) {
+      evict = Evict::kLiveness;
+      break;
+    }
+  }
+  if (evict == Evict::kNone) {
+    const planner::DeploymentPlan& plan = entry->access.plan;
+    for (std::size_t i = 0; i < plan.placements.size(); ++i) {
+      const planner::Placement& p = plan.placements[i];
+      if (p.id == plan.entry) continue;  // client-private, never pooled
+      const planner::ExistingInstance* pooled = nullptr;
+      for (const planner::ExistingInstance& inst : state.existing) {
+        if (inst.runtime_id == entry->access.instances[i]) {
+          pooled = &inst;
+          break;
+        }
+      }
+      if (pooled == nullptr) {
+        // Forgotten (retired by redeployment) — must not be handed out.
+        evict = Evict::kLiveness;
+        break;
+      }
+      // Mirror the planner's instance-capacity condition (§3.3 condition 3):
+      // admitting this client must not oversubscribe a shared component.
+      const double capacity = p.component->behaviors.capacity_rps;
+      if (capacity > 0.0 &&
+          pooled->current_load_rps + p.inbound_rate_rps > capacity) {
+        evict = Evict::kCapacity;
+        break;
+      }
+    }
+  }
+  if (evict != Evict::kNone) {
+    if (evict == Evict::kLiveness) {
+      ++cache_telemetry_.liveness_evictions;
+    } else {
+      ++cache_telemetry_.capacity_evictions;
+    }
+    state.cache.erase(fingerprint, cache_telemetry_);
+    return false;  // fall through to a cold replan
+  }
+
+  // Hit: replay the stored outcome. The client shares the cached entry
+  // binding; no planning, no deployment, no CPU charged at the server.
+  ++cache_telemetry_.hits;
+  ++entry->hits;
+  account_access_load(state, entry->access.plan, entry->access.instances);
+  AccessOutcome outcome;
+  outcome.entry = entry->access.entry;
+  outcome.plan = entry->access.plan;
+  outcome.instances = entry->access.instances;
+  outcome.cache_hit = true;
+  outcome.costs.planning_wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  cache_telemetry_.warm_access_ms.add(
+      (outcome.costs.planning + outcome.costs.deployment).millis());
+  done(std::move(outcome));
+  return true;
+}
+
+void GenericServer::account_access_load(
+    ServiceState& state, const planner::DeploymentPlan& plan,
+    const std::vector<RuntimeInstanceId>& instances) {
+  for (std::size_t i = 0; i < plan.placements.size(); ++i) {
+    const planner::Placement& p = plan.placements[i];
+    if (p.id == plan.entry) continue;
+    for (planner::ExistingInstance& existing : state.existing) {
+      if (existing.runtime_id == instances[i]) {
+        existing.current_load_rps += p.inbound_rate_rps;
+        break;
+      }
+    }
+  }
+}
+
+void GenericServer::finish_access(
+    ServiceState& state, const std::string& fingerprint,
+    const std::shared_ptr<InFlightAccess>& flight,
+    std::function<void(util::Expected<AccessOutcome>)> primary,
+    util::Expected<AccessOutcome> result) {
+  // Release the slot and publish into the cache BEFORE invoking callbacks:
+  // a callback may synchronously issue another identical access, which
+  // should now hit the cache rather than re-coalesce on a dead flight.
+  state.inflight.erase(fingerprint);
+  auto waiters = std::move(flight->waiters);
+  flight->waiters.clear();
+
+  if (result) {
+    cache_telemetry_.cold_access_ms.add(
+        (result->costs.planning + result->costs.deployment).millis());
+    if (state.epoch == flight->epoch_at_start) {
+      CachedAccess cached;
+      cached.plan = result->plan;
+      cached.instances = result->instances;
+      cached.entry = result->entry;
+      state.cache.insert(fingerprint, state.epoch, std::move(cached),
+                         cache_telemetry_);
+    }
+    // Each waiter is a distinct client riding the same deployment: account
+    // its load on the shared placements exactly as a cache hit would.
+    primary(util::Expected<AccessOutcome>(result.value()));
+    for (auto& waiter : waiters) {
+      account_access_load(state, result->plan, result->instances);
+      AccessOutcome copy = result.value();
+      copy.coalesced = true;
+      waiter(std::move(copy));
+    }
+  } else {
+    primary(result.status());
+    for (auto& waiter : waiters) waiter(result.status());
+  }
 }
 
 void GenericServer::absorb_deployment(ServiceState& state,
@@ -229,6 +402,11 @@ util::Status GenericServer::refresh_environment(const std::string& service) {
   if (state == nullptr) {
     return util::not_found("service '" + service + "' not registered");
   }
+  // The world the cached plans were computed against is gone: bump the
+  // epoch so they lazily invalidate. Rebuilding the view also resets the
+  // per-principal translation memo.
+  ++state->epoch;
+  ++cache_telemetry_.epoch_bumps;
   state->env = std::make_unique<planner::EnvironmentView>(runtime_.network(),
                                                           *state->translator);
   state->planner = std::make_unique<planner::Planner>(
@@ -294,6 +472,10 @@ util::Status GenericServer::forget_instance(const std::string& service,
   for (auto it = state->existing.begin(); it != state->existing.end(); ++it) {
     if (it->runtime_id == id) {
       state->existing.erase(it);
+      // A cached plan that hands out a binding to the retired instance must
+      // never be replayed; the hit-time pool check would also catch it, but
+      // eager eviction keeps the cache honest for diagnostics.
+      state->cache.evict_referencing(id, cache_telemetry_);
       return util::Status::ok();
     }
   }
@@ -324,6 +506,24 @@ const std::vector<planner::ExistingInstance>& GenericServer::existing_instances(
   static const std::vector<planner::ExistingInstance> kEmpty;
   const ServiceState* state = state_of(service);
   return state == nullptr ? kEmpty : state->existing;
+}
+
+void GenericServer::attach_monitor(NetworkMonitor& monitor) {
+  monitor.subscribe([this](const NetworkMonitor::ChangeEvent&) {
+    for (auto& [name, state] : services_) ++state->epoch;
+    ++cache_telemetry_.epoch_bumps;
+  });
+}
+
+std::uint64_t GenericServer::environment_epoch(
+    const std::string& service) const {
+  const ServiceState* state = state_of(service);
+  return state == nullptr ? 0 : state->epoch;
+}
+
+std::size_t GenericServer::plan_cache_size(const std::string& service) const {
+  const ServiceState* state = state_of(service);
+  return state == nullptr ? 0 : state->cache.size();
 }
 
 const spec::ServiceSpec* GenericServer::service_spec(
@@ -374,10 +574,18 @@ void GenericProxy::bind(std::function<void(util::Status)> done) {
 
   const sim::Time t0 = runtime_.simulator().now();
   // Step 2 of Fig. 1: attribute query to the lookup node, proxy download
-  // back to the client.
-  runtime_.send_bytes(client_node_, lookup_.host(), 512, [this, ad, t0]() {
+  // back to the client. A node that already downloaded this service's proxy
+  // keeps it cached — repeat binds from the site pay only a small
+  // freshness-check reply instead of the full code transfer.
+  const std::uint64_t download_bytes =
+      lookup_.proxy_code_cached(service_, client_node_)
+          ? kProxyRevalidateBytes
+          : ad->proxy_code_bytes;
+  runtime_.send_bytes(client_node_, lookup_.host(), 512,
+                      [this, ad, t0, download_bytes]() {
     runtime_.send_bytes(
-        lookup_.host(), client_node_, ad->proxy_code_bytes, [this, ad, t0]() {
+        lookup_.host(), client_node_, download_bytes, [this, ad, t0]() {
+          lookup_.note_proxy_download(service_, client_node_);
           const sim::Time lookup_done = runtime_.simulator().now();
           // Step 3: forward the access request (with credentials) to the
           // generic server.

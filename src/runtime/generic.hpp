@@ -22,10 +22,13 @@
 #include "planner/planner.hpp"
 #include "runtime/deployment.hpp"
 #include "runtime/lookup.hpp"
+#include "runtime/plan_cache.hpp"
 #include "runtime/smock.hpp"
 #include "util/status.hpp"
 
 namespace psf::runtime {
+
+class NetworkMonitor;
 
 struct InitialPlacement {
   std::string component;  // component name in the spec
@@ -62,6 +65,14 @@ struct AccessOutcome {
   // placements resolve to the pre-existing instance.
   std::vector<RuntimeInstanceId> instances;
   AccessCosts costs;
+  // Planner search statistics; all-zero on a cache hit (no search ran).
+  planner::SearchStats search;
+  // Served from the plan cache: the client shares a previously deployed
+  // access path and paid neither planning nor deployment.
+  bool cache_hit = false;
+  // Attached as a waiter to an identical in-flight access; the planner ran
+  // once for the whole batch.
+  bool coalesced = false;
 };
 
 class GenericServer {
@@ -87,8 +98,28 @@ class GenericServer {
       std::function<void(util::Expected<AccessOutcome>)> done);
 
   // Re-translates environments after the network changed (monitor callback)
-  // and replans still-registered access paths on demand.
+  // and replans still-registered access paths on demand. Bumps the service's
+  // environment epoch, lazily invalidating every cached access path.
   util::Status refresh_environment(const std::string& service);
+
+  // Subscribes to the monitor: every reported change bumps the environment
+  // epoch of every registered service, so cached access paths planned
+  // against the old topology are never replayed — even before any
+  // refresh_environment runs. Wired by the Framework at construction.
+  void attach_monitor(NetworkMonitor& monitor);
+
+  // Current environment epoch (0 until the first bump); 0 for unknown
+  // services.
+  std::uint64_t environment_epoch(const std::string& service) const;
+
+  // Cached access paths currently held for `service` (diagnostics/tests).
+  std::size_t plan_cache_size(const std::string& service) const;
+
+  // Cache/coalescing counters and latency distributions, shared across all
+  // services this server hosts. Feed to Telemetry::attach_plan_cache.
+  const PlanCacheTelemetry& access_telemetry() const {
+    return cache_telemetry_;
+  }
 
   // Reusable instances the planner may bind to (diagnostics/tests).
   const std::vector<planner::ExistingInstance>& existing_instances(
@@ -108,12 +139,25 @@ class GenericServer {
   const planner::EnvironmentView* environment(const std::string& service) const;
 
  private:
+  // Requests coalescing on an identical in-flight access: the first caller
+  // runs the planner, later identical callers attach here and receive
+  // copies of the outcome (flagged `coalesced`).
+  struct InFlightAccess {
+    std::uint64_t epoch_at_start = 0;
+    std::vector<std::function<void(util::Expected<AccessOutcome>)>> waiters;
+  };
+
   struct ServiceState {
     ServiceRegistration registration;
     std::shared_ptr<const planner::PropertyTranslator> translator;
     std::unique_ptr<planner::EnvironmentView> env;
     std::unique_ptr<planner::Planner> planner;
     std::vector<planner::ExistingInstance> existing;
+    // Per-service environment epoch; cache entries tagged with an older
+    // epoch are stale.
+    std::uint64_t epoch = 0;
+    PlanCache cache;
+    std::map<std::string, std::shared_ptr<InFlightAccess>> inflight;
   };
 
   ServiceState* state_of(const std::string& service);
@@ -125,11 +169,42 @@ class GenericServer {
                          const planner::DeploymentPlan& plan,
                          const DeployedPlan& deployed);
 
+  // Merges the principal's translated properties into the request's
+  // requirements (memoized per principal in the environment view).
+  void merge_principal_requirements(ServiceState& state,
+                                    planner::PlanRequest& request) const;
+
+  // Warm path: replays a cached outcome when one exists for `fingerprint`
+  // under the current epoch AND every instance it hands out is alive, still
+  // pooled, and has capacity headroom for the added load. Returns true when
+  // `done` was invoked (synchronously — a hit costs no simulated time at
+  // the server). Failed validation evicts the entry and returns false.
+  bool try_cached_access(
+      ServiceState& state, const std::string& fingerprint,
+      std::function<void(util::Expected<AccessOutcome>)>& done);
+
+  // Accounts one client's worth of load on the shared (non-entry)
+  // placements of `plan` — the hit/coalesced-path counterpart of what
+  // absorb_deployment does for the cold path.
+  void account_access_load(ServiceState& state,
+                           const planner::DeploymentPlan& plan,
+                           const std::vector<RuntimeInstanceId>& instances);
+
+  // Cold-path completion: publishes the outcome into the cache (unless the
+  // epoch moved while planning), releases the in-flight slot, and fans the
+  // result out to the primary caller and every coalesced waiter.
+  void finish_access(
+      ServiceState& state, const std::string& fingerprint,
+      const std::shared_ptr<InFlightAccess>& flight,
+      std::function<void(util::Expected<AccessOutcome>)> primary,
+      util::Expected<AccessOutcome> result);
+
   SmockRuntime& runtime_;
   net::NodeId host_;
   LookupService& lookup_;
   DeploymentEngine engine_;
   std::map<std::string, std::unique_ptr<ServiceState>> services_;
+  PlanCacheTelemetry cache_telemetry_;
 };
 
 class GenericProxy {

@@ -1,5 +1,7 @@
 #include "runtime/lookup.hpp"
 
+#include <iterator>
+
 namespace psf::runtime {
 
 util::Status LookupService::register_service(ServiceAdvertisement ad) {
@@ -19,6 +21,10 @@ util::Status LookupService::unregister_service(
   if (services_.erase(service_name) == 0) {
     return util::not_found("service '" + service_name + "' not registered");
   }
+  for (auto it = proxy_code_nodes_.begin(); it != proxy_code_nodes_.end();) {
+    it = it->first == service_name ? proxy_code_nodes_.erase(it)
+                                   : std::next(it);
+  }
   return util::Status::ok();
 }
 
@@ -26,6 +32,20 @@ const ServiceAdvertisement* LookupService::find(
     const std::string& service_name) const {
   auto it = services_.find(service_name);
   return it == services_.end() ? nullptr : &it->second;
+}
+
+bool LookupService::proxy_code_cached(const std::string& service_name,
+                                      net::NodeId node) const {
+  return proxy_code_nodes_.count({service_name, node.value}) != 0;
+}
+
+void LookupService::note_proxy_download(const std::string& service_name,
+                                        net::NodeId node) {
+  if (proxy_code_nodes_.emplace(service_name, node.value).second) {
+    ++proxy_stats_.downloads;
+  } else {
+    ++proxy_stats_.cache_hits;
+  }
 }
 
 std::vector<const ServiceAdvertisement*> LookupService::query(

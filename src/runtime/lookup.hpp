@@ -9,7 +9,9 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "net/network.hpp"
@@ -18,6 +20,10 @@
 namespace psf::runtime {
 
 class GenericServer;
+
+// What a repeat bind transfers instead of the full proxy code: a freshness
+// check against the registry (the node already holds the code).
+inline constexpr std::uint64_t kProxyRevalidateBytes = 256;
 
 struct ServiceAdvertisement {
   std::string service_name;
@@ -44,9 +50,28 @@ class LookupService {
 
   std::size_t size() const { return services_.size(); }
 
+  // ---- per-client-node proxy-code cache ------------------------------------
+  // The registry remembers which nodes already downloaded a service's proxy
+  // code; GenericProxy::bind consults this to shrink repeat transfers to
+  // kProxyRevalidateBytes. Unregistering a service drops its marks (a
+  // re-registered service may ship different proxy code).
+
+  struct ProxyCacheStats {
+    std::uint64_t downloads = 0;   // full proxy-code transfers
+    std::uint64_t cache_hits = 0;  // revalidations served from node cache
+  };
+
+  bool proxy_code_cached(const std::string& service_name,
+                         net::NodeId node) const;
+  // Records a completed download/revalidation for (service, node).
+  void note_proxy_download(const std::string& service_name, net::NodeId node);
+  const ProxyCacheStats& proxy_cache_stats() const { return proxy_stats_; }
+
  private:
   net::NodeId host_;
   std::map<std::string, ServiceAdvertisement> services_;
+  std::set<std::pair<std::string, std::uint32_t>> proxy_code_nodes_;
+  ProxyCacheStats proxy_stats_;
 };
 
 }  // namespace psf::runtime

@@ -38,6 +38,10 @@ class NetworkMonitor {
     observers_.push_back(std::move(observer));
   }
 
+  // Monotonic count of reported changes — a cheap "did the topology move"
+  // probe for epoch-style consumers that do not need the event details.
+  std::uint64_t change_count() const { return change_count_; }
+
   void set_link_bandwidth(net::LinkId link, double bps);
   void set_link_latency(net::LinkId link, sim::Duration latency);
   void set_link_credential(net::LinkId link, const std::string& name,
@@ -58,12 +62,14 @@ class NetworkMonitor {
 
  private:
   void notify(const ChangeEvent& event) {
+    ++change_count_;
     for (const auto& observer : observers_) observer(event);
   }
 
   sim::Simulator& sim_;
   net::Network& network_;
   std::vector<Observer> observers_;
+  std::uint64_t change_count_ = 0;
 };
 
 }  // namespace psf::runtime

@@ -1,5 +1,6 @@
 #include "runtime/smock.hpp"
 
+#include <iterator>
 #include <utility>
 
 #include "util/logging.hpp"
@@ -57,14 +58,21 @@ void SmockRuntime::install(
   }
   const net::NodeId origin =
       code_origin.valid() ? code_origin : node;  // local install
+  // A node keeps the code of every component ever installed on it, so a
+  // repeat remote install pays only the zero-byte control round (latency,
+  // not serialization) — the warm half of the access-path cache story.
+  const auto code_key = std::make_pair(node.value, def.name);
+  const bool code_cached = origin != node && code_present_.count(code_key) != 0;
+  if (code_cached) ++stats_.code_cache_hits;
   const std::uint64_t code_bytes =
-      origin == node ? 0 : def.behaviors.code_size_bytes;
+      (origin == node || code_cached) ? 0 : def.behaviors.code_size_bytes;
 
   // Download the component's code to the target node, then let the node
   // wrapper instantiate and initialize it.
-  send_bytes(origin, node, code_bytes, [this, &def, node,
+  send_bytes(origin, node, code_bytes, [this, &def, node, code_key,
                                         factors = std::move(factors),
                                         done = std::move(done)]() mutable {
+    code_present_.insert(code_key);
     auto component = factories_.create(def.name);
     if (!component) {
       done(component.status());
@@ -133,6 +141,10 @@ std::vector<RuntimeInstanceId> SmockRuntime::crash_node(net::NodeId node) {
     Instance& inst = instances_.at(id);
     inst.crashed = true;
     inst.started = false;
+  }
+  // The machine is wiped: staged component code does not survive a crash.
+  for (auto it = code_present_.begin(); it != code_present_.end();) {
+    it = it->first == node.value ? code_present_.erase(it) : std::next(it);
   }
   if (!victims.empty()) {
     PSF_WARN() << "node " << network_.node(node).name << " crashed; "

@@ -19,7 +19,9 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "net/network.hpp"
@@ -63,6 +65,9 @@ struct RuntimeStats {
   std::uint64_t bytes_transferred = 0;
   std::uint64_t installs = 0;
   std::uint64_t requests_delivered = 0;
+  // Remote installs that skipped the code transfer because the node already
+  // staged this component's code from an earlier install.
+  std::uint64_t code_cache_hits = 0;
 };
 
 class SmockRuntime {
@@ -160,6 +165,10 @@ class SmockRuntime {
   std::vector<double> node_busy_s_;
   std::vector<double> link_busy_s_;
   RuntimeStats stats_;
+  // Component code staged per node by earlier installs: (node, component
+  // name). A repeat install transfers only a zero-byte control round — the
+  // node wrapper keeps the code on disk. Cleared per node on crash.
+  std::set<std::pair<std::uint32_t, std::string>> code_present_;
 };
 
 }  // namespace psf::runtime

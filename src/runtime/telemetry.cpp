@@ -83,8 +83,10 @@ std::string Telemetry::report(std::size_t top_n) const {
     }
     return oss.str();
   };
-  return format("node cpu utilization", node_usage()) +
-         format("link utilization", link_usage());
+  std::string out = format("node cpu utilization", node_usage()) +
+                    format("link utilization", link_usage());
+  if (plan_cache_ != nullptr) out += plan_cache_->report();
+  return out;
 }
 
 }  // namespace psf::runtime

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/plan_cache.hpp"
 #include "runtime/smock.hpp"
 #include "sim/simulator.hpp"
 #include "util/stats.hpp"
@@ -43,7 +44,15 @@ class Telemetry {
   std::vector<ResourceUsage> node_usage() const;
   std::vector<ResourceUsage> link_usage() const;
 
-  // Human-readable table of the busiest resources.
+  // Attaches the generic server's plan-cache counters so report() includes
+  // hit/miss/coalesce/invalidation rates and the cold-vs-warm latency
+  // histogram. The pointer must outlive this Telemetry.
+  void attach_plan_cache(const PlanCacheTelemetry* cache) {
+    plan_cache_ = cache;
+  }
+
+  // Human-readable table of the busiest resources (plus the plan-cache
+  // block when attached).
   std::string report(std::size_t top_n = 8) const;
 
  private:
@@ -59,6 +68,7 @@ class Telemetry {
   std::vector<double> link_last_busy_;
   std::vector<util::RunningStats> node_util_;
   std::vector<util::RunningStats> link_util_;
+  const PlanCacheTelemetry* plan_cache_ = nullptr;
 };
 
 }  // namespace psf::runtime

@@ -71,6 +71,8 @@ class SampleSet {
     return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
   }
 
+  const std::vector<double>& samples() const { return samples_; }
+
  private:
   std::vector<double> samples_;
   RunningStats stats_;

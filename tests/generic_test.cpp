@@ -148,7 +148,11 @@ TEST_F(GenericFixture, SecondClientReusesSharedComponents) {
   ASSERT_TRUE(s1.is_ok()) << s1.to_string();
   const std::size_t after_first = fw->runtime().instance_count();
 
-  auto p2 = fw->make_proxy(sites.sd_client, "SecureMail", defaults());
+  // A different rate bucket keeps this a *cold* plan (an identical request
+  // would be served from the plan cache — covered by plan_cache_test).
+  auto d2 = defaults();
+  d2.request_rate_rps = 150.0;
+  auto p2 = fw->make_proxy(sites.sd_client, "SecureMail", d2);
   util::Status s2 = util::internal_error("");
   p2->bind([&s2](util::Status st) { s2 = st; });
   fw->run();
@@ -158,6 +162,7 @@ TEST_F(GenericFixture, SecondClientReusesSharedComponents) {
   // The second San Diego client gets only a private MailClient and binds to
   // the existing view (whose downstream tunnel is already wired, so the new
   // plan contains exactly two placements).
+  EXPECT_FALSE(p2->outcome().cache_hit);
   EXPECT_EQ(after_second, after_first + 1)
       << p2->outcome().plan.to_string(fw->network());
   EXPECT_EQ(p2->outcome().plan.placements.size(), 2u);
@@ -168,7 +173,7 @@ TEST_F(GenericFixture, SecondClientReusesSharedComponents) {
   for (const auto& inst : fw->server().existing_instances("SecureMail")) {
     if (inst.component->name == "ViewMailServer") {
       found = true;
-      EXPECT_NEAR(inst.current_load_rps, 100.0, 1e-9);  // 2 clients x 50 rps
+      EXPECT_NEAR(inst.current_load_rps, 200.0, 1e-9);  // 50 + 150 rps
     }
   }
   EXPECT_TRUE(found);

@@ -80,6 +80,54 @@ TEST_F(TelemetryFixture, ReportListsBusiestResources) {
   EXPECT_NE(report.find("a<->b"), std::string::npos);
 }
 
+TEST_F(TelemetryFixture, PlanCacheCountersRenderInReport) {
+  PlanCacheTelemetry cache;
+  cache.hits = 7;
+  cache.misses = 2;
+  cache.coalesced = 5;
+  cache.invalidations = 3;
+  cache.stale_epoch_evictions = 1;
+  cache.liveness_evictions = 1;
+  cache.capacity_evictions = 1;
+  cache.epoch_bumps = 4;
+  cache.inserts = 2;
+  cache.cold_access_ms.add(120.0);
+  cache.cold_access_ms.add(80.0);
+  for (int i = 0; i < 7; ++i) cache.warm_access_ms.add(0.0);
+
+  Telemetry telemetry(runtime, sim::Duration::from_seconds(1));
+  telemetry.attach_plan_cache(&cache);
+  telemetry.start();
+  sim.run_until(sim::Time::zero() + sim::Duration::from_seconds(1));
+  telemetry.stop();
+
+  const std::string report = telemetry.report();
+  EXPECT_NE(report.find("plan cache"), std::string::npos);
+  EXPECT_NE(report.find("hits 7 misses 2 coalesced 5 invalidations 3"),
+            std::string::npos);
+  EXPECT_NE(report.find("stale-epoch 1 liveness 1 capacity 1"),
+            std::string::npos);
+  EXPECT_NE(report.find("epoch bumps 4"), std::string::npos);
+  EXPECT_NE(report.find("cold access (plan+deploy): n=2"), std::string::npos);
+  EXPECT_NE(report.find("warm access (plan+deploy): n=7"), std::string::npos);
+
+  // The standalone report carries the latency histogram line for each
+  // distribution (log-decade buckets).
+  const std::string cache_report = cache.report();
+  EXPECT_NE(cache_report.find("<=1000ms:1"), std::string::npos)  // 120 ms
+      << cache_report;
+  EXPECT_NE(cache_report.find("<=0.01ms:7"), std::string::npos)  // warm zeros
+      << cache_report;
+}
+
+TEST_F(TelemetryFixture, ReportWithoutPlanCacheOmitsSection) {
+  Telemetry telemetry(runtime, sim::Duration::from_seconds(1));
+  telemetry.start();
+  sim.run_until(sim::Time::zero() + sim::Duration::from_seconds(1));
+  telemetry.stop();
+  EXPECT_EQ(telemetry.report().find("plan cache"), std::string::npos);
+}
+
 TEST_F(TelemetryFixture, IdleResourcesReportZero) {
   Telemetry telemetry(runtime, sim::Duration::from_millis(100));
   telemetry.start();

@@ -2,32 +2,61 @@
 # Repo check driver: the tier-1 build + test cycle, then a ThreadSanitizer
 # build that exercises the parallel branch-and-bound planner.
 #
-#   tools/check.sh            # standard build + full ctest + TSan planner test
-#   tools/check.sh --no-tsan  # standard build + full ctest only
+#   tools/check.sh            # standard build + tier-1 ctest + TSan planner test
+#   tools/check.sh --no-tsan  # standard build + tier-1 ctest only
+#   tools/check.sh --asan     # also: AddressSanitizer build running the
+#                             # plan-cache / generic-server suites
+#   tools/check.sh --stress   # also: long-running suites (ctest -L stress)
 #
-# Run from the repo root. Build trees: build/ (standard), build-tsan/.
+# Tests are labeled in tests/CMakeLists.txt: "tier1" is the fast default
+# suite; "stress" marks the randomized/fuzz soak tests.
+#
+# Run from the repo root. Build trees: build/ (standard), build-tsan/,
+# build-asan/.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc)}"
 RUN_TSAN=1
-if [[ "${1:-}" == "--no-tsan" ]]; then
-  RUN_TSAN=0
-fi
+RUN_ASAN=0
+RUN_STRESS=0
+for arg in "$@"; do
+  case "${arg}" in
+    --no-tsan) RUN_TSAN=0 ;;
+    --asan) RUN_ASAN=1 ;;
+    --stress) RUN_STRESS=1 ;;
+    *) echo "unknown option: ${arg}" >&2; exit 2 ;;
+  esac
+done
 
 echo "== standard build =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "${JOBS}"
 
 echo "== tier-1 tests =="
-(cd build && ctest --output-on-failure -j "${JOBS}")
+(cd build && ctest --output-on-failure -j "${JOBS}" -L tier1)
+
+if [[ "${RUN_STRESS}" == 1 ]]; then
+  echo "== stress tests =="
+  (cd build && ctest --output-on-failure -j "${JOBS}" -L stress)
+fi
 
 if [[ "${RUN_TSAN}" == 1 ]]; then
   echo "== ThreadSanitizer build (parallel planner) =="
   cmake -B build-tsan -S . -DPSF_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "${JOBS}" --target planner_parallel_test
   ./build-tsan/tests/planner_parallel_test
+fi
+
+if [[ "${RUN_ASAN}" == 1 ]]; then
+  echo "== AddressSanitizer build (plan cache + generic server) =="
+  cmake -B build-asan -S . -DPSF_SANITIZE=address >/dev/null
+  cmake --build build-asan -j "${JOBS}" \
+    --target plan_cache_test generic_test telemetry_test
+  ./build-asan/tests/plan_cache_test
+  ./build-asan/tests/generic_test
+  ./build-asan/tests/telemetry_test
 fi
 
 echo "== all checks passed =="
