@@ -1,12 +1,36 @@
-// E6 (ablation) — the coherence design space of §3.2: how the view's
-// consistency policy trades client-perceived send latency against staleness
-// (updates waiting at the replica) and WAN traffic. Sweeps policy kind and
-// period/threshold on the San Diego deployment.
+// E6 (ablation) — the coherence data-path design space of §3.2: how the
+// view's consistency policy, flush window, write coalescing, and directory
+// fan-out batching trade client-perceived send latency against staleness
+// (updates waiting at the replica) and WAN traffic.
+//
+// Deployment under test (hand-wired, mirroring the SS scenarios plus the
+// Seattle partner site): MailClient×3 @SD -> ViewMailServer@SD (trust 4) ->
+// Encryptor@SD -> Decryptor@NY -> MailServer@NY, with a second
+// ViewMailServer@Seattle (trust 2) hanging off the San Diego view. The
+// Seattle replica is what gives the home directory real fan-out work: every
+// sync batch the SD view writes back is re-pushed to Seattle — one RPC per
+// update on the legacy path, one multi-update RPC per epoch when batched.
+//
+// 20% of sends are high-sensitivity (forwarded past the views to the home),
+// so the home also pushes direct traffic back out to both replicas.
+//
+// Acceptance gates (exit nonzero on failure):
+//   1. batched directory fan-out sends >= 2x fewer push RPCs than the
+//      legacy per-update path at time-500ms and time-1000ms;
+//   2. count-25 with flush window 4 has lower client p95 send latency than
+//      the same policy stop-and-wait (window 1);
+//   3. write-through with window 1 is bit-identical in replica flush
+//      counts/bytes across legacy and batched directory tunings (the
+//      write-through-equivalence invariant, DESIGN.md §coherence).
 #include <cstdio>
+#include <map>
 #include <memory>
+#include <string>
 
+#include "bench_json.hpp"
 #include "core/case_study.hpp"
 #include "core/framework.hpp"
+#include "core/scenarios.hpp"
 #include "core/workload.hpp"
 #include "mail/mail_spec.hpp"
 #include "mail/registration.hpp"
@@ -19,12 +43,11 @@ namespace {
 struct SweepResult {
   double mean_send_ms = 0.0;
   double p95_send_ms = 0.0;
-  std::uint64_t flushes = 0;
-  std::uint64_t bytes_flushed = 0;
-  std::size_t residual_pending = 0;  // staleness at end of run
+  core::CoherenceSummary coherence;
 };
 
-SweepResult run_policy(const coherence::CoherencePolicy& policy,
+SweepResult run_config(const coherence::CoherencePolicy& policy,
+                       const coherence::DirectoryTuning& tuning,
                        std::size_t clients) {
   core::CaseStudySites sites;
   net::Network network = core::case_study_network(&sites);
@@ -34,42 +57,86 @@ SweepResult run_policy(const coherence::CoherencePolicy& policy,
   core::Framework fw(std::move(network), options);
   auto config = std::make_shared<mail::MailServiceConfig>();
   config->view_policy = policy;
+  config->directory_tuning = tuning;
   PSF_CHECK(
       mail::register_mail_factories(fw.runtime().factories(), config).is_ok());
   PSF_CHECK(fw.register_service(mail::mail_registration(sites.mail_home),
                                 mail::mail_translator())
                 .is_ok());
 
-  // Bind one proxy per client at the San Diego site.
-  planner::PlanRequest defaults;
-  defaults.interface_name = "ClientInterface";
-  defaults.required_properties.emplace_back("TrustLevel",
-                                            spec::PropertyValue::integer(4));
-  defaults.request_rate_rps = 50.0;
+  runtime::SmockRuntime& rt = fw.runtime();
+  const spec::ServiceSpec* spec = fw.server().service_spec("SecureMail");
+  PSF_CHECK(spec != nullptr);
+  const auto& existing = fw.server().existing_instances("SecureMail");
+  PSF_CHECK(existing.size() == 1);
+  const runtime::RuntimeInstanceId mail_server = existing[0].runtime_id;
 
-  std::vector<std::unique_ptr<runtime::GenericProxy>> proxies;
+  auto install = [&](const std::string& component, net::NodeId node,
+                     planner::FactorBindings factors =
+                         {}) -> runtime::RuntimeInstanceId {
+    const spec::ComponentDef* def = spec->find_component(component);
+    PSF_CHECK(def != nullptr);
+    runtime::RuntimeInstanceId out = 0;
+    rt.install(*def, node, std::move(factors), node,
+               [&out](util::Expected<runtime::RuntimeInstanceId> id) {
+                 PSF_CHECK_MSG(id.has_value(), id.status().to_string());
+                 out = *id;
+               });
+    fw.run_until_condition([&out]() { return out != 0; },
+                           sim::Duration::from_seconds(60));
+    PSF_CHECK(out != 0);
+    return out;
+  };
+
+  // Server-side chain + the two view replicas.
+  const runtime::RuntimeInstanceId decryptor =
+      install("Decryptor", sites.mail_home);
+  const runtime::RuntimeInstanceId encryptor =
+      install("Encryptor", sites.sd_client);
+  planner::FactorBindings sd_factors;
+  sd_factors.values["TrustLevel"] = spec::PropertyValue::integer(4);
+  const runtime::RuntimeInstanceId view_sd =
+      install("ViewMailServer", sites.sd_client, sd_factors);
+  planner::FactorBindings sea_factors;
+  sea_factors.values["TrustLevel"] = spec::PropertyValue::integer(2);
+  const runtime::RuntimeInstanceId view_sea =
+      install("ViewMailServer", sites.sea_client, sea_factors);
+
+  PSF_CHECK(rt.wire(decryptor, "ServerInterface", mail_server).is_ok());
+  PSF_CHECK(rt.wire(encryptor, "DecryptorInterface", decryptor).is_ok());
+  PSF_CHECK(rt.wire(view_sd, "ServerInterface", encryptor).is_ok());
+  PSF_CHECK(rt.wire(view_sea, "ServerInterface", view_sd).is_ok());
+  PSF_CHECK(rt.start(decryptor).is_ok());
+  PSF_CHECK(rt.start(encryptor).is_ok());
+  PSF_CHECK(rt.start(view_sd).is_ok());
+  PSF_CHECK(rt.start(view_sea).is_ok());
+  // Let both replica registrations round-trip (Seattle's relays through the
+  // San Diego view to the home).
+  fw.run_for(sim::Duration::from_seconds(5));
+
+  std::vector<runtime::RuntimeInstanceId> entries;
   for (std::size_t c = 0; c < clients; ++c) {
-    auto proxy = fw.make_proxy(sites.sd_client, "SecureMail", defaults);
-    bool done = false;
-    util::Status status = util::internal_error("");
-    proxy->bind([&](util::Status st) {
-      status = st;
-      done = true;
-    });
-    fw.run_until_condition([&done]() { return done; },
-                           sim::Duration::from_seconds(300));
-    PSF_CHECK_MSG(status.is_ok(), status.to_string());
-    proxies.push_back(std::move(proxy));
+    const runtime::RuntimeInstanceId mc =
+        install("MailClient", sites.sd_client);
+    PSF_CHECK(rt.wire(mc, "ServerInterface", view_sd).is_ok());
+    PSF_CHECK(rt.start(mc).is_ok());
+    entries.push_back(mc);
   }
+  fw.run_for(sim::Duration::from_seconds(1));
 
-  std::vector<std::unique_ptr<core::WorkloadClient>> workers;
   core::WorkloadParams params;
+  params.high_send_every = 5;  // 20% of sends forwarded to the home
+  std::vector<std::unique_ptr<core::WorkloadClient>> workers;
   for (std::size_t c = 0; c < clients; ++c) {
-    runtime::GenericProxy* proxy = proxies[c].get();
+    const runtime::RuntimeInstanceId entry = entries[c];
+    runtime::SmockRuntime* rtp = &rt;
+    const net::NodeId from = sites.sd_client;
     workers.push_back(std::make_unique<core::WorkloadClient>(
-        fw.runtime(), "sweep-user-" + std::to_string(c), config,
-        [proxy](runtime::Request request, runtime::ResponseCallback done) {
-          proxy->invoke(std::move(request), std::move(done));
+        rt, "sweep-user-" + std::to_string(c), config,
+        [rtp, from, entry](runtime::Request request,
+                           runtime::ResponseCallback done) {
+          rtp->invoke_from_node(from, entry, std::move(request),
+                                std::move(done));
         },
         params));
   }
@@ -94,17 +161,7 @@ SweepResult run_policy(const coherence::CoherencePolicy& policy,
   }
   result.mean_send_ms = weighted / static_cast<double>(total);
   result.p95_send_ms = p95 / static_cast<double>(workers.size());
-
-  // Find the San Diego view and read its coherence stats.
-  for (const auto& inst : fw.server().existing_instances("SecureMail")) {
-    if (inst.component->name != "ViewMailServer") continue;
-    auto* view = dynamic_cast<mail::ViewMailServerComponent*>(
-        fw.runtime().instance(inst.runtime_id).component.get());
-    if (view == nullptr || view->replica_coherence() == nullptr) continue;
-    result.flushes += view->replica_coherence()->stats().flushes;
-    result.bytes_flushed += view->replica_coherence()->stats().bytes_flushed;
-    result.residual_pending += view->replica_coherence()->pending();
-  }
+  result.coherence = core::collect_coherence_summary(rt);
   return result;
 }
 
@@ -114,36 +171,116 @@ int main() {
   struct Row {
     const char* label;
     coherence::CoherencePolicy policy;
+    coherence::DirectoryTuning tuning;
   };
+  coherence::DirectoryTuning batched;  // default: batch_fanout = true
+  coherence::DirectoryTuning legacy;
+  legacy.batch_fanout = false;
+
   const Row rows[] = {
-      {"none", coherence::CoherencePolicy::none()},
-      {"write-through", coherence::CoherencePolicy::write_through()},
-      {"count-25", coherence::CoherencePolicy::count_based(25)},
-      {"count-100", coherence::CoherencePolicy::count_based(100)},
-      {"time-250ms",
-       coherence::CoherencePolicy::time_based(sim::Duration::from_millis(250))},
-      {"time-500ms",
-       coherence::CoherencePolicy::time_based(sim::Duration::from_millis(500))},
-      {"time-1000ms", coherence::CoherencePolicy::time_based(
-                          sim::Duration::from_millis(1000))},
-      {"time-2000ms", coherence::CoherencePolicy::time_based(
-                          sim::Duration::from_millis(2000))},
+      {"none", coherence::CoherencePolicy::none(), batched},
+      {"wt/legacy", coherence::CoherencePolicy::write_through(), legacy},
+      {"wt/batched", coherence::CoherencePolicy::write_through(), batched},
+      {"count-25", coherence::CoherencePolicy::count_based(25), batched},
+      {"count-25+w4",
+       coherence::CoherencePolicy::count_based(25).windowed(4), batched},
+      {"count-100", coherence::CoherencePolicy::count_based(100), batched},
+      {"t500/legacy",
+       coherence::CoherencePolicy::time_based(sim::Duration::from_millis(500)),
+       legacy},
+      {"t500/batched",
+       coherence::CoherencePolicy::time_based(sim::Duration::from_millis(500)),
+       batched},
+      {"t500+coalesce",
+       coherence::CoherencePolicy::time_based(sim::Duration::from_millis(500))
+           .coalescing(),
+       batched},
+      {"t1000/legacy",
+       coherence::CoherencePolicy::time_based(sim::Duration::from_millis(1000)),
+       legacy},
+      {"t1000/batched",
+       coherence::CoherencePolicy::time_based(sim::Duration::from_millis(1000)),
+       batched},
+      {"t2000/batched",
+       coherence::CoherencePolicy::time_based(sim::Duration::from_millis(2000)),
+       batched},
   };
 
-  std::printf("=== Coherence policy sweep (San Diego deployment, 3 clients, "
-              "300 sends) ===\n");
-  std::printf("%-14s %12s %12s %9s %12s %10s\n", "policy", "mean send",
-              "p95 send", "flushes", "sync bytes", "stale left");
+  std::printf("=== Coherence data-path sweep (SD deployment + Seattle "
+              "replica, 3 clients, 300 sends, 20%% high-sensitivity) ===\n");
+  std::printf("%-14s %11s %11s %8s %11s %6s %8s %10s %10s %9s\n", "policy",
+              "mean send", "p95 send", "flushes", "sync bytes", "stale",
+              "pushRPCs", "rpcsSaved", "blockedMs", "coalesced");
+  std::map<std::string, SweepResult> results;
+  bench::JsonResult json("coherence_sweep");
+  json.add("clients", 3);
+  json.add("sends_per_client", std::uint64_t{100});
   for (const Row& row : rows) {
-    const SweepResult r = run_policy(row.policy, 3);
-    std::printf("%-14s %10.3fms %10.3fms %9llu %12llu %10zu\n", row.label,
-                r.mean_send_ms, r.p95_send_ms,
-                static_cast<unsigned long long>(r.flushes),
-                static_cast<unsigned long long>(r.bytes_flushed),
-                r.residual_pending);
+    const SweepResult r = run_config(row.policy, row.tuning, 3);
+    results[row.label] = r;
+    const auto& co = r.coherence;
+    std::printf("%-14s %9.3fms %9.3fms %8llu %11llu %6zu %8llu %10llu %9.1f "
+                "%9llu\n",
+                row.label, r.mean_send_ms, r.p95_send_ms,
+                static_cast<unsigned long long>(co.flushes),
+                static_cast<unsigned long long>(co.bytes_flushed),
+                co.residual_pending,
+                static_cast<unsigned long long>(co.push_rpcs),
+                static_cast<unsigned long long>(co.push_rpcs_saved),
+                co.blocked_on_flush_ms,
+                static_cast<unsigned long long>(co.updates_coalesced));
+    std::fflush(stdout);
+    std::string key = row.label;
+    for (char& ch : key) {
+      if (ch == '-' || ch == '/' || ch == '+') ch = '_';
+    }
+    json.add(key + "_mean_ms", r.mean_send_ms);
+    json.add(key + "_p95_ms", r.p95_send_ms);
+    json.add(key + "_flushes", co.flushes);
+    json.add(key + "_bytes_flushed", co.bytes_flushed);
+    json.add(key + "_push_rpcs", co.push_rpcs);
+    json.add(key + "_push_rpcs_saved", co.push_rpcs_saved);
+    json.add(key + "_blocked_ms", co.blocked_on_flush_ms);
+    json.add(key + "_updates_coalesced", co.updates_coalesced);
   }
+
+  // ---- acceptance gates ---------------------------------------------------
+  bool ok = true;
+  auto gate = [&ok](const char* name, bool held) {
+    std::printf("gate %-44s %s\n", name, held ? "HOLDS" : "VIOLATED");
+    ok &= held;
+  };
+  std::printf("\n");
+  const auto& t500l = results["t500/legacy"].coherence;
+  const auto& t500b = results["t500/batched"].coherence;
+  const auto& t1000l = results["t1000/legacy"].coherence;
+  const auto& t1000b = results["t1000/batched"].coherence;
+  gate("batching >= 2x fewer push RPCs (time-500ms)",
+       t500b.push_rpcs * 2 <= t500l.push_rpcs);
+  gate("batching >= 2x fewer push RPCs (time-1000ms)",
+       t1000b.push_rpcs * 2 <= t1000l.push_rpcs);
+  gate("window 4 lowers p95 send latency (count-25)",
+       results["count-25+w4"].p95_send_ms < results["count-25"].p95_send_ms);
+  const auto& wtl = results["wt/legacy"].coherence;
+  const auto& wtb = results["wt/batched"].coherence;
+  gate("write-through w1 flush counts/bytes bit-identical",
+       wtl.flushes == wtb.flushes && wtl.bytes_flushed == wtb.bytes_flushed &&
+           wtl.updates_flushed == wtb.updates_flushed);
+  json.add("gate_batching_t500", t500b.push_rpcs * 2 <= t500l.push_rpcs);
+  json.add("gate_batching_t1000", t1000b.push_rpcs * 2 <= t1000l.push_rpcs);
+  json.add("gate_window_p95",
+           results["count-25+w4"].p95_send_ms < results["count-25"].p95_send_ms);
+  json.add("gate_wt_equivalence",
+           wtl.flushes == wtb.flushes && wtl.bytes_flushed == wtb.bytes_flushed);
+  json.add("gates_ok", ok);
+  json.write();
+
   std::printf("\nreading: tighter consistency (write-through, short periods) "
               "raises send latency; looser policies leave more unpropagated "
-              "state at the replica.\n");
-  return 0;
+              "state at the replica. Fan-out batching collapses the home's "
+              "per-update re-push storm into one RPC per epoch; a flush "
+              "window > 1 removes the stop-and-wait stall from count/write-"
+              "through policies; coalescing trades staleness-bytes for "
+              "lost intermediate writes (LWW).\n");
+  return ok ? 0 : 1;
 }

@@ -7,6 +7,15 @@
 // in a replica's flush batch), it asks the directory which other replicas
 // conflict — per the service's conflict map — and the directory pushes the
 // update to them.
+//
+// Fan-out data path (DESIGN.md §coherence data path): with the default
+// DirectoryTuning, conflicting updates are staged in per-replica outbound
+// queues and shipped as one multi-update push request per replica per flush
+// epoch; replicas whose staged sets are identical share one immutable
+// UpdateBatch body. `DirectoryTuning{.batch_fanout = false}` restores the
+// naive one-request-per-replica-per-update path for equivalence checks.
+// Replicas whose runtime instance no longer exists are pruned lazily when
+// an update would fan out to them.
 #pragma once
 
 #include <cstdint>
@@ -16,15 +25,28 @@
 #include <string>
 #include <vector>
 
+#include "coherence/policy.hpp"
 #include "coherence/types.hpp"
+#include "runtime/coherence_telemetry.hpp"
 #include "runtime/smock.hpp"
 
 namespace psf::coherence {
 
 struct DirectoryStats {
   std::uint64_t updates_seen = 0;
-  std::uint64_t pushes = 0;
+  std::uint64_t pushes = 0;  // push requests issued (RPCs)
+  std::uint64_t push_updates = 0;
   std::uint64_t push_bytes = 0;
+  // Savings versus the naive fan-out (one RPC per conflicting replica per
+  // update): RPCs avoided by epoch aggregation and the envelope bytes those
+  // avoided requests would have cost.
+  std::uint64_t push_rpcs_saved = 0;
+  std::uint64_t push_bytes_saved = 0;
+  // Replicas beyond the first that reused an identical immutable batch.
+  std::uint64_t batches_shared = 0;
+  // Dead replicas pruned lazily on push (instance no longer exists()).
+  std::uint64_t replicas_evicted = 0;
+  std::uint64_t epochs = 0;  // batched flush rounds
 };
 
 class CoherenceDirectory {
@@ -32,7 +54,12 @@ class CoherenceDirectory {
   // `push_op`: request op under which replicas apply pushed updates.
   CoherenceDirectory(runtime::SmockRuntime& runtime,
                      runtime::RuntimeInstanceId home, std::string push_op,
-                     std::unique_ptr<ConflictMap> conflict_map = nullptr);
+                     std::unique_ptr<ConflictMap> conflict_map = nullptr,
+                     DirectoryTuning tuning = {});
+  ~CoherenceDirectory();
+
+  CoherenceDirectory(const CoherenceDirectory&) = delete;
+  CoherenceDirectory& operator=(const CoherenceDirectory&) = delete;
 
   // Registers/updates a replica's subscription.
   void register_replica(runtime::RuntimeInstanceId replica,
@@ -46,18 +73,47 @@ class CoherenceDirectory {
 
   // Called by the home component for every applied update. Pushes the
   // update to each conflicting replica except `origin` (0 = home-local
-  // update, push to all conflicting replicas).
+  // update, push to all conflicting replicas). Under batched fan-out the
+  // push is staged and ships at the end of the current flush epoch.
   void on_update(const Update& update, runtime::RuntimeInstanceId origin = 0);
 
+  // Ships every staged update now (no-op when nothing is staged). The
+  // pending epoch timer, if any, is cancelled.
+  void flush_staged();
+
   const DirectoryStats& stats() const { return stats_; }
+  const DirectoryTuning& tuning() const { return tuning_; }
+  std::size_t staged_updates() const { return staged_.size(); }
+
+  // Shared coherence counters/histograms (optional; must outlive this).
+  void attach_telemetry(runtime::CoherenceTelemetry* telemetry) {
+    telemetry_ = telemetry;
+  }
 
  private:
+  // True when the replica is live; otherwise evicts it (lazy pruning).
+  bool validate_replica(runtime::RuntimeInstanceId replica);
+  void push_single(runtime::RuntimeInstanceId replica, const Update& update);
+  void send_push(runtime::RuntimeInstanceId replica,
+                 std::shared_ptr<UpdateBatch> batch);
+  void schedule_epoch_flush();
+
   runtime::SmockRuntime& runtime_;
   runtime::RuntimeInstanceId home_;
   std::string push_op_;
   std::unique_ptr<ConflictMap> conflict_map_;
+  DirectoryTuning tuning_;
   std::map<runtime::RuntimeInstanceId, ViewSubscription> replicas_;
+
+  // Batched fan-out state: updates staged during the open epoch, and the
+  // indices each replica is due to receive.
+  std::vector<Update> staged_;
+  std::map<runtime::RuntimeInstanceId, std::vector<std::size_t>> pending_;
+  bool epoch_scheduled_ = false;
+  sim::EventId epoch_event_ = 0;
+
   DirectoryStats stats_;
+  runtime::CoherenceTelemetry* telemetry_ = nullptr;
 };
 
 }  // namespace psf::coherence

@@ -6,6 +6,8 @@
 #include "core/framework.hpp"
 #include "mail/mail_spec.hpp"
 #include "mail/registration.hpp"
+#include "mail/server.hpp"
+#include "mail/view_server.hpp"
 #include "util/logging.hpp"
 
 namespace psf::core {
@@ -128,6 +130,38 @@ std::vector<runtime::RuntimeInstanceId> deploy_static(
 }
 
 }  // namespace
+
+CoherenceSummary collect_coherence_summary(runtime::SmockRuntime& rt) {
+  CoherenceSummary out;
+  auto add_directory = [&out](const coherence::CoherenceDirectory* dir) {
+    if (dir == nullptr) return;
+    const coherence::DirectoryStats& d = dir->stats();
+    out.push_rpcs += d.pushes;
+    out.push_updates += d.push_updates;
+    out.push_rpcs_saved += d.push_rpcs_saved;
+    out.push_bytes += d.push_bytes;
+    out.replicas_evicted += d.replicas_evicted;
+  };
+  for (runtime::RuntimeInstanceId id : rt.instance_ids()) {
+    runtime::Component* component = rt.instance(id).component.get();
+    if (auto* view = dynamic_cast<mail::ViewMailServerComponent*>(component)) {
+      if (const coherence::ReplicaCoherence* rc = view->replica_coherence()) {
+        const coherence::ReplicaStats& s = rc->stats();
+        out.flushes += s.flushes;
+        out.updates_flushed += s.updates_flushed;
+        out.bytes_flushed += s.bytes_flushed;
+        out.updates_coalesced += s.updates_coalesced;
+        out.coalesced_bytes_saved += s.coalesced_bytes_saved;
+        out.blocked_on_flush_ms += s.blocked_on_flush_ms;
+        out.residual_pending += rc->pending();
+      }
+      add_directory(view->directory());
+    } else if (auto* home = dynamic_cast<mail::MailServerComponent*>(component)) {
+      add_directory(home->directory());
+    }
+  }
+  return out;
+}
 
 ScenarioResult run_scenario(Scenario scenario, std::size_t num_clients,
                             const WorkloadParams& params) {
@@ -258,6 +292,7 @@ ScenarioResult run_scenario(Scenario scenario, std::size_t num_clients,
   result.p50_send_ms = p50_sum / static_cast<double>(clients.size());
   result.p95_send_ms = p95_sum / static_cast<double>(clients.size());
   result.max_send_ms = max_ms;
+  result.coherence = collect_coherence_summary(fw.runtime());
   return result;
 }
 

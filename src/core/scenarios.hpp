@@ -41,6 +41,23 @@ inline constexpr Scenario kAllScenarios[] = {
 const char* scenario_name(Scenario s);
 bool scenario_is_dynamic(Scenario s);
 
+// Coherence data-path cost of a finished run, aggregated over every view
+// replica module and directory in the deployment (home + views).
+struct CoherenceSummary {
+  std::uint64_t flushes = 0;
+  std::uint64_t updates_flushed = 0;
+  std::uint64_t bytes_flushed = 0;
+  std::uint64_t updates_coalesced = 0;
+  std::uint64_t coalesced_bytes_saved = 0;
+  std::uint64_t push_rpcs = 0;
+  std::uint64_t push_updates = 0;
+  std::uint64_t push_rpcs_saved = 0;
+  std::uint64_t push_bytes = 0;
+  std::uint64_t replicas_evicted = 0;
+  std::size_t residual_pending = 0;  // staleness left at the replicas
+  double blocked_on_flush_ms = 0.0;  // total time views deferred requests
+};
+
 struct ScenarioResult {
   Scenario scenario = Scenario::kDF;
   std::size_t clients = 1;
@@ -51,6 +68,7 @@ struct ScenarioResult {
   double max_send_ms = 0.0;
 
   WorkloadStats workload;  // aggregated across clients
+  CoherenceSummary coherence;
 
   // Dynamic scenarios: the first client's one-time costs and plan summary.
   runtime::AccessCosts one_time;
@@ -61,5 +79,9 @@ struct ScenarioResult {
 // `num_clients` workload clients to completion, and reports latencies.
 ScenarioResult run_scenario(Scenario scenario, std::size_t num_clients,
                             const WorkloadParams& params = {});
+
+// Sums the coherence stats of every mail component alive in `rt` (each
+// ViewMailServer's replica module + directory, the home's directory).
+CoherenceSummary collect_coherence_summary(runtime::SmockRuntime& rt);
 
 }  // namespace psf::core

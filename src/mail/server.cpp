@@ -8,7 +8,10 @@ namespace psf::mail {
 
 void MailServerComponent::on_start() {
   directory_ = std::make_unique<coherence::CoherenceDirectory>(
-      runtime(), self(), ops::kPush);
+      runtime(), self(), ops::kPush, nullptr, config_->directory_tuning);
+  if (config_->coherence_telemetry) {
+    directory_->attach_telemetry(config_->coherence_telemetry.get());
+  }
 }
 
 void MailServerComponent::handle_request(const runtime::Request& request,

@@ -26,8 +26,11 @@ void ViewMailServerComponent::on_start() {
       },
       ops::kSync, config_->view_policy);
   replica_->set_flush_listener([this]() {
-    // Serve everything that arrived while the batch was in flight.
-    if (draining_) return;
+    // Serve everything that arrived while the window was full. With a flush
+    // window > 1 the listener fires per completed batch; drain only once
+    // the window has room again, else the drained requests would just
+    // re-defer.
+    if (draining_ || replica_->flushing()) return;
     draining_ = true;
     std::vector<std::pair<runtime::Request, runtime::ResponseCallback>> work;
     work.swap(deferred_);
@@ -37,7 +40,11 @@ void ViewMailServerComponent::on_start() {
     draining_ = false;
   });
   directory_ = std::make_unique<coherence::CoherenceDirectory>(
-      runtime(), self(), ops::kPush);
+      runtime(), self(), ops::kPush, nullptr, config_->directory_tuning);
+  if (config_->coherence_telemetry) {
+    replica_->attach_telemetry(config_->coherence_telemetry.get());
+    directory_->attach_telemetry(config_->coherence_telemetry.get());
+  }
 
   // Announce ourselves to the home (relayed through any intermediate views,
   // each of which also records us in its own directory).
@@ -58,6 +65,7 @@ void ViewMailServerComponent::on_start() {
 
 void ViewMailServerComponent::on_stop() {
   if (replica_) replica_->flush();
+  if (directory_) directory_->flush_staged();
 }
 
 void ViewMailServerComponent::handle_request(const runtime::Request& request,

@@ -59,6 +59,7 @@ class ViewMailServerComponent : public runtime::Component {
   const ViewServerStats& view_stats() const { return stats_; }
   std::size_t cached_inbox_size(const std::string& user) const;
   coherence::ReplicaCoherence* replica_coherence() { return replica_.get(); }
+  coherence::CoherenceDirectory* directory() { return directory_.get(); }
 
  private:
   void handle_send(const runtime::Request& request,

@@ -1,0 +1,43 @@
+#include "runtime/coherence_telemetry.hpp"
+
+#include <sstream>
+
+namespace psf::runtime {
+
+namespace {
+
+void sample_line(std::ostringstream& oss, const char* label,
+                 const util::SampleSet& set) {
+  util::SampleSet copy = set;  // percentile() sorts in place
+  oss << "  " << label << ": n=" << copy.count();
+  if (copy.count() > 0) {
+    oss << " mean " << copy.mean() << " p50 " << copy.percentile(50.0)
+        << " p99 " << copy.percentile(99.0) << " max " << copy.max();
+  }
+  oss << "\n";
+}
+
+}  // namespace
+
+std::string CoherenceTelemetry::report() const {
+  std::ostringstream oss;
+  oss << "coherence data path\n"
+      << "  write-back: recorded " << updates_recorded << " coalesced "
+      << updates_coalesced << " (saved " << coalesced_bytes_saved
+      << " B) flushes " << flushes << " updates " << updates_flushed
+      << " bytes " << bytes_flushed << "\n"
+      << "  failure path: rejected " << flushes_rejected << " requeued "
+      << flushes_requeued << " dropped " << updates_dropped << "\n"
+      << "  fan-out: seen " << updates_seen << " push rpcs " << push_rpcs
+      << " (saved " << push_rpcs_saved << ") updates " << push_updates
+      << " bytes " << push_bytes << " (saved " << push_bytes_saved
+      << ") shared batches " << batches_shared << " evicted replicas "
+      << replicas_evicted << "\n";
+  sample_line(oss, "flush batch size [updates]", flush_batch_updates);
+  sample_line(oss, "flush rtt [ms]", flush_rtt_ms);
+  sample_line(oss, "flush window depth [batches]", flush_window_depth);
+  sample_line(oss, "push batch size [updates]", push_batch_updates);
+  return oss.str();
+}
+
+}  // namespace psf::runtime

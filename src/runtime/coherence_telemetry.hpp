@@ -1,0 +1,53 @@
+// Shared counters/histograms for the coherence data path (replica
+// write-back + home directory fan-out), aggregated across every replica and
+// directory that attaches — the coherence analogue of PlanCacheTelemetry.
+//
+// Lives in runtime (not coherence) so Telemetry::report can render it
+// without a dependency cycle: coherence already depends on runtime, and
+// this header needs only util. The coherence classes bump these on the hot
+// path when attached; benches and views read them through
+// Telemetry::attach_coherence.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/stats.hpp"
+
+namespace psf::runtime {
+
+struct CoherenceTelemetry {
+  // ---- replica write-back ------------------------------------------------
+  std::uint64_t updates_recorded = 0;
+  std::uint64_t updates_coalesced = 0;
+  std::uint64_t coalesced_bytes_saved = 0;
+  std::uint64_t flushes = 0;
+  std::uint64_t updates_flushed = 0;
+  std::uint64_t bytes_flushed = 0;
+  std::uint64_t flushes_rejected = 0;
+  std::uint64_t flushes_requeued = 0;
+  std::uint64_t updates_dropped = 0;
+
+  // Batch size of each shipped flush, and its home-acknowledgement round
+  // trip; the window histogram samples unacked batches at ship time.
+  util::SampleSet flush_batch_updates;
+  util::SampleSet flush_rtt_ms;
+  util::SampleSet flush_window_depth;
+
+  // ---- directory fan-out -------------------------------------------------
+  std::uint64_t updates_seen = 0;
+  std::uint64_t push_rpcs = 0;
+  std::uint64_t push_updates = 0;
+  std::uint64_t push_bytes = 0;
+  // Versus the naive one-request-per-replica-per-update fan-out.
+  std::uint64_t push_rpcs_saved = 0;
+  std::uint64_t push_bytes_saved = 0;
+  std::uint64_t batches_shared = 0;
+  std::uint64_t replicas_evicted = 0;
+
+  util::SampleSet push_batch_updates;
+
+  std::string report() const;
+};
+
+}  // namespace psf::runtime

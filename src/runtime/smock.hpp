@@ -117,6 +117,15 @@ class SmockRuntime {
   Instance& instance(RuntimeInstanceId id);
   const Instance& instance(RuntimeInstanceId id) const;
   std::vector<RuntimeInstanceId> instances_on(net::NodeId node) const;
+  // Every live (non-tombstoned) instance id, ascending — for diagnostics
+  // that scan components regardless of which node or service owns them.
+  std::vector<RuntimeInstanceId> instance_ids() const {
+    std::vector<RuntimeInstanceId> out;
+    for (const auto& [id, inst] : instances_) {
+      if (!inst.crashed) out.push_back(id);
+    }
+    return out;
+  }
   std::size_t instance_count() const { return instances_.size(); }
 
   // ---- request routing ---------------------------------------------------

@@ -86,6 +86,7 @@ std::string Telemetry::report(std::size_t top_n) const {
   std::string out = format("node cpu utilization", node_usage()) +
                     format("link utilization", link_usage());
   if (plan_cache_ != nullptr) out += plan_cache_->report();
+  if (coherence_ != nullptr) out += coherence_->report();
   return out;
 }
 

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/coherence_telemetry.hpp"
 #include "runtime/plan_cache.hpp"
 #include "runtime/smock.hpp"
 #include "sim/simulator.hpp"
@@ -51,6 +52,13 @@ class Telemetry {
     plan_cache_ = cache;
   }
 
+  // Attaches the coherence data-path counters (replica write-back +
+  // directory fan-out) so report() includes flush/push batching rates and
+  // histograms. The pointer must outlive this Telemetry.
+  void attach_coherence(const CoherenceTelemetry* coherence) {
+    coherence_ = coherence;
+  }
+
   // Human-readable table of the busiest resources (plus the plan-cache
   // block when attached).
   std::string report(std::size_t top_n = 8) const;
@@ -69,6 +77,7 @@ class Telemetry {
   std::vector<util::RunningStats> node_util_;
   std::vector<util::RunningStats> link_util_;
   const PlanCacheTelemetry* plan_cache_ = nullptr;
+  const CoherenceTelemetry* coherence_ = nullptr;
 };
 
 }  // namespace psf::runtime

@@ -7,6 +7,9 @@
 #   tools/check.sh --asan     # also: AddressSanitizer build running the
 #                             # plan-cache / generic-server suites
 #   tools/check.sh --stress   # also: long-running suites (ctest -L stress)
+#   tools/check.sh --coherence # only: the coherence smoke suite
+#                             # (build + ctest -L coherence, via the
+#                             # coherence_smoke target)
 #
 # Tests are labeled in tests/CMakeLists.txt: "tier1" is the fast default
 # suite; "stress" marks the randomized/fuzz soak tests.
@@ -21,14 +24,24 @@ JOBS="${JOBS:-$(nproc)}"
 RUN_TSAN=1
 RUN_ASAN=0
 RUN_STRESS=0
+COHERENCE_ONLY=0
 for arg in "$@"; do
   case "${arg}" in
     --no-tsan) RUN_TSAN=0 ;;
     --asan) RUN_ASAN=1 ;;
     --stress) RUN_STRESS=1 ;;
+    --coherence) COHERENCE_ONLY=1 ;;
     *) echo "unknown option: ${arg}" >&2; exit 2 ;;
   esac
 done
+
+if [[ "${COHERENCE_ONLY}" == 1 ]]; then
+  echo "== coherence smoke =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "${JOBS}" --target coherence_smoke
+  echo "== coherence smoke passed =="
+  exit 0
+fi
 
 echo "== standard build =="
 cmake -B build -S . >/dev/null
