@@ -1,0 +1,734 @@
+#include "analysis/analyzer.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "spec/parser.hpp"
+
+namespace psf::analysis {
+namespace {
+
+using spec::Behaviors;
+using spec::ComponentDef;
+using spec::Condition;
+using spec::InterfaceDef;
+using spec::LinkageDecl;
+using spec::PropertyAssignment;
+using spec::PropertyDef;
+using spec::PropertyModificationRule;
+using spec::PropertyType;
+using spec::PropertyValue;
+using spec::RuleRow;
+using spec::ServiceSpec;
+using spec::SourceLoc;
+using spec::ValueExpr;
+
+std::string quoted(const std::string& s) { return "'" + s + "'"; }
+
+const char* type_name(PropertyType t) {
+  switch (t) {
+    case PropertyType::kBoolean: return "boolean";
+    case PropertyType::kInterval: return "interval";
+    case PropertyType::kString: return "string";
+  }
+  return "?";
+}
+
+bool kind_compatible(PropertyType t, const PropertyValue& v) {
+  switch (t) {
+    case PropertyType::kBoolean: return v.is_bool();
+    case PropertyType::kInterval: return v.is_int();
+    case PropertyType::kString: return v.is_string();
+  }
+  return false;
+}
+
+// Representative values of a property's domain for rule analysis. Booleans
+// and small intervals enumerate fully; large intervals keep their bounds
+// plus every literal the rule table mentions (±1, the boundary cases a
+// wrong pattern typically misses); strings keep the table's literals plus
+// one value no literal can match.
+std::vector<PropertyValue> sample_domain(const PropertyDef& def,
+                                         const PropertyModificationRule* rule) {
+  std::vector<PropertyValue> out;
+  auto push_unique = [&](PropertyValue v) {
+    if (std::find(out.begin(), out.end(), v) == out.end()) {
+      out.push_back(std::move(v));
+    }
+  };
+  auto rule_literals = [&](auto&& take) {
+    if (rule == nullptr) return;
+    for (const RuleRow& row : rule->rows) {
+      take(row.in.value);
+      take(row.env.value);
+      take(row.out);
+    }
+  };
+  switch (def.type) {
+    case PropertyType::kBoolean:
+      push_unique(PropertyValue::boolean(false));
+      push_unique(PropertyValue::boolean(true));
+      break;
+    case PropertyType::kInterval: {
+      const std::int64_t lo = def.interval_lo, hi = def.interval_hi;
+      if (hi < lo) break;  // empty domain — PSF011 reports it
+      const std::uint64_t width =
+          static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo);
+      if (width <= 63) {
+        for (std::int64_t v = lo;; ++v) {
+          push_unique(PropertyValue::integer(v));
+          if (v == hi) break;
+        }
+      } else {
+        push_unique(PropertyValue::integer(lo));
+        push_unique(PropertyValue::integer(hi));
+        rule_literals([&](const PropertyValue& v) {
+          if (!v.is_int()) return;
+          const std::int64_t i = v.as_int();
+          for (const std::int64_t cand : {i - 1, i, i + 1}) {
+            if (cand >= lo && cand <= hi) {
+              push_unique(PropertyValue::integer(cand));
+            }
+          }
+        });
+      }
+      break;
+    }
+    case PropertyType::kString:
+      rule_literals([&](const PropertyValue& v) {
+        if (v.is_string()) push_unique(v);
+      });
+      // A value distinct from every literal, so non-wildcard string tables
+      // show up as non-total.
+      push_unique(PropertyValue::string("\x01<other>"));
+      break;
+  }
+  return out;
+}
+
+class Analyzer {
+ public:
+  explicit Analyzer(const ServiceSpec& spec) : spec_(spec) {}
+
+  DiagnosticList run() {
+    pass_references();
+    pass_types();
+    pass_rules();
+    pass_satisfiability();
+    pass_behaviors();
+    diags_.sort_by_location();
+    return std::move(diags_);
+  }
+
+ private:
+  // ---- pass 1: reference resolution ----------------------------------------
+
+  void use_property(const std::string& name) { used_properties_.insert(name); }
+
+  void check_assignment_refs(const ComponentDef& c,
+                             const PropertyAssignment& pa, const char* where) {
+    if (spec_.find_property(pa.property) == nullptr) {
+      diags_.add("PSF002", pa.loc,
+                 "component " + quoted(c.name) + " " + where +
+                     " references undeclared property " + quoted(pa.property));
+    }
+    use_property(pa.property);
+    if (pa.value.kind == ValueExpr::Kind::kEnvRef) {
+      if (spec_.find_property(pa.value.ref_name) == nullptr) {
+        diags_.add("PSF002", pa.loc,
+                   "component " + quoted(c.name) + " " + where +
+                       " references undeclared environment property " +
+                       quoted(pa.value.ref_name));
+      }
+      use_property(pa.value.ref_name);
+    } else if (pa.value.kind == ValueExpr::Kind::kFactorRef) {
+      const bool declared =
+          std::any_of(c.factors.begin(), c.factors.end(),
+                      [&](const PropertyAssignment& f) {
+                        return f.property == pa.value.ref_name;
+                      });
+      if (!declared) {
+        diags_.add("PSF005", pa.loc,
+                   "component " + quoted(c.name) + " " + where +
+                       " references undeclared factor " +
+                       quoted(pa.value.ref_name));
+      }
+    }
+  }
+
+  void check_linkage_refs(const ComponentDef& c, const LinkageDecl& decl,
+                          const char* where) {
+    if (spec_.find_interface(decl.interface_name) == nullptr) {
+      diags_.add("PSF003", decl.loc,
+                 "component " + quoted(c.name) + " " + where +
+                     " undeclared interface " + quoted(decl.interface_name));
+    }
+    std::set<std::string> assigned;
+    for (const PropertyAssignment& pa : decl.properties) {
+      if (!assigned.insert(pa.property).second) {
+        diags_.add("PSF001", pa.loc,
+                   "component " + quoted(c.name) + " " + where + " " +
+                       quoted(decl.interface_name) + " sets property " +
+                       quoted(pa.property) + " more than once");
+      }
+      check_assignment_refs(c, pa, where);
+    }
+  }
+
+  void pass_references() {
+    std::map<std::string, SourceLoc> seen;
+    auto dedupe = [&](const std::string& key, const std::string& what,
+                      const std::string& name, SourceLoc loc) {
+      auto [it, fresh] = seen.emplace(key, loc);
+      if (!fresh) {
+        std::string msg = "duplicate " + what + " " + quoted(name);
+        if (it->second.valid()) {
+          msg += " (first declared at " + it->second.to_string() + ")";
+        }
+        diags_.add("PSF001", loc, std::move(msg));
+      }
+    };
+
+    for (const PropertyDef& p : spec_.properties) {
+      dedupe("p:" + p.name, "property", p.name, p.loc);
+    }
+    for (const InterfaceDef& i : spec_.interfaces) {
+      dedupe("i:" + i.name, "interface", i.name, i.loc);
+      std::set<std::string> listed;
+      for (const std::string& pname : i.properties) {
+        if (!listed.insert(pname).second) {
+          diags_.add("PSF001", i.loc,
+                     "interface " + quoted(i.name) + " lists property " +
+                         quoted(pname) + " more than once");
+        }
+        if (spec_.find_property(pname) == nullptr) {
+          diags_.add("PSF002", i.loc,
+                     "interface " + quoted(i.name) +
+                         " references undeclared property " + quoted(pname));
+        }
+        use_property(pname);
+      }
+    }
+
+    for (const ComponentDef& c : spec_.components) {
+      dedupe("c:" + c.name, "component", c.name, c.loc);
+      if (c.implements.empty()) {
+        diags_.add("PSF008", c.loc,
+                   "component " + quoted(c.name) + " implements no interface");
+      }
+      if (c.is_view()) {
+        const ComponentDef* rep = spec_.find_component(c.represents);
+        if (rep == nullptr) {
+          diags_.add("PSF004", c.loc,
+                     "view " + quoted(c.name) +
+                         " represents unknown component " +
+                         quoted(c.represents));
+        } else if (rep->is_view()) {
+          diags_.add("PSF004", c.loc,
+                     "view " + quoted(c.name) + " represents another view " +
+                         quoted(c.represents) + " (must be a component)");
+        }
+      } else if (!c.represents.empty()) {
+        diags_.add("PSF004", c.loc,
+                   "component " + quoted(c.name) +
+                       " has a Represents target but is not a view");
+      }
+
+      std::set<std::string> factor_names;
+      for (const PropertyAssignment& f : c.factors) {
+        if (!factor_names.insert(f.property).second) {
+          diags_.add("PSF001", f.loc,
+                     "component " + quoted(c.name) + " declares factor " +
+                         quoted(f.property) + " more than once");
+        }
+        check_assignment_refs(c, f, "factors");
+        if (f.value.kind == ValueExpr::Kind::kFactorRef) {
+          diags_.add("PSF005", f.loc,
+                     "factor " + quoted(f.property) + " of component " +
+                         quoted(c.name) +
+                         " may not reference another factor");
+        }
+      }
+      for (const LinkageDecl& decl : c.implements) {
+        check_linkage_refs(c, decl, "implements");
+      }
+      for (const LinkageDecl& decl : c.requires_) {
+        check_linkage_refs(c, decl, "requires");
+      }
+      for (const Condition& cond : c.conditions) {
+        if (spec_.find_property(cond.property) == nullptr) {
+          diags_.add("PSF002", cond.loc,
+                     "component " + quoted(c.name) +
+                         " has a condition on undeclared property " +
+                         quoted(cond.property));
+        }
+        use_property(cond.property);
+      }
+    }
+
+    std::map<std::string, SourceLoc> rule_seen;
+    for (const PropertyModificationRule& rule : spec_.rules.all()) {
+      auto [it, fresh] = rule_seen.emplace(rule.property, rule.loc);
+      if (!fresh) {
+        diags_.add("PSF001", rule.loc,
+                   "duplicate modification rule for property " +
+                       quoted(rule.property));
+      }
+      if (spec_.find_property(rule.property) == nullptr) {
+        diags_.add("PSF002", rule.loc,
+                   "modification rule on undeclared property " +
+                       quoted(rule.property));
+      }
+      use_property(rule.property);
+    }
+
+    for (const PropertyDef& p : spec_.properties) {
+      if (used_properties_.count(p.name) == 0) {
+        diags_.add("PSF006", p.loc,
+                   "property " + quoted(p.name) +
+                       " is declared but never used");
+      }
+    }
+    std::set<std::string> ifaces_touched;
+    for (const ComponentDef& c : spec_.components) {
+      for (const LinkageDecl& d : c.implements) {
+        ifaces_touched.insert(d.interface_name);
+      }
+      for (const LinkageDecl& d : c.requires_) {
+        ifaces_touched.insert(d.interface_name);
+      }
+    }
+    for (const InterfaceDef& i : spec_.interfaces) {
+      if (ifaces_touched.count(i.name) == 0) {
+        diags_.add("PSF007", i.loc,
+                   "interface " + quoted(i.name) +
+                       " is neither implemented nor required");
+      }
+    }
+  }
+
+  // ---- pass 2: type / value checks -----------------------------------------
+
+  void check_linkage_types(const ComponentDef& c, const LinkageDecl& decl,
+                           const char* where) {
+    const InterfaceDef* iface = spec_.find_interface(decl.interface_name);
+    for (const PropertyAssignment& pa : decl.properties) {
+      const PropertyDef* prop = spec_.find_property(pa.property);
+      if (prop == nullptr) continue;  // PSF002 already reported
+      if (iface != nullptr && !iface->has_property(pa.property)) {
+        diags_.add("PSF012", pa.loc,
+                   "component " + quoted(c.name) + " " + where +
+                       " sets property " + quoted(pa.property) +
+                       " not declared on interface " +
+                       quoted(decl.interface_name));
+      }
+      if (pa.value.kind == ValueExpr::Kind::kLiteral &&
+          pa.value.literal.is_set() && !prop->admits(pa.value.literal)) {
+        diags_.add("PSF010", pa.loc,
+                   "component " + quoted(c.name) + " " + where + ": value " +
+                       pa.value.literal.to_string() +
+                       " is incompatible with " + type_name(prop->type) +
+                       " property " + quoted(pa.property) +
+                       property_domain_suffix(*prop));
+      }
+    }
+  }
+
+  static std::string property_domain_suffix(const PropertyDef& p) {
+    if (p.type != PropertyType::kInterval) return "";
+    return " (domain [" + std::to_string(p.interval_lo) + ", " +
+           std::to_string(p.interval_hi) + "])";
+  }
+
+  void pass_types() {
+    for (const PropertyDef& p : spec_.properties) {
+      if (p.type == PropertyType::kInterval && p.interval_lo > p.interval_hi) {
+        diags_.add("PSF011", p.loc,
+                   "property " + quoted(p.name) + " has an empty interval (" +
+                       std::to_string(p.interval_lo) + " > " +
+                       std::to_string(p.interval_hi) + ")");
+      }
+    }
+
+    for (const ComponentDef& c : spec_.components) {
+      for (const LinkageDecl& decl : c.implements) {
+        check_linkage_types(c, decl, "implements");
+      }
+      for (const LinkageDecl& decl : c.requires_) {
+        check_linkage_types(c, decl, "requires");
+      }
+      for (const PropertyAssignment& f : c.factors) {
+        const PropertyDef* prop = spec_.find_property(f.property);
+        if (prop != nullptr && f.value.kind == ValueExpr::Kind::kLiteral &&
+            f.value.literal.is_set() && !prop->admits(f.value.literal)) {
+          diags_.add("PSF010", f.loc,
+                     "component " + quoted(c.name) + " factors: value " +
+                         f.value.literal.to_string() +
+                         " is incompatible with " + type_name(prop->type) +
+                         " property " + quoted(f.property) +
+                         property_domain_suffix(*prop));
+        }
+      }
+      for (const Condition& cond : c.conditions) {
+        const PropertyDef* prop = spec_.find_property(cond.property);
+        if (prop == nullptr) continue;
+        if (cond.op == Condition::Op::kInRange) {
+          if (prop->type != PropertyType::kInterval) {
+            diags_.add("PSF014", cond.loc,
+                       "component " + quoted(c.name) +
+                           " uses an in-range condition on " +
+                           type_name(prop->type) + " property " +
+                           quoted(cond.property));
+          }
+        } else if (cond.value.is_set() &&
+                   !kind_compatible(prop->type, cond.value)) {
+          diags_.add("PSF014", cond.loc,
+                     "component " + quoted(c.name) + " condition compares " +
+                         type_name(prop->type) + " property " +
+                         quoted(cond.property) + " with " +
+                         cond.value.to_string());
+        }
+      }
+    }
+
+    for (const PropertyModificationRule& rule : spec_.rules.all()) {
+      const PropertyDef* prop = spec_.find_property(rule.property);
+      if (prop == nullptr) continue;
+      for (std::size_t r = 0; r < rule.rows.size(); ++r) {
+        const RuleRow& row = rule.rows[r];
+        auto check_lit = [&](const PropertyValue& v, const char* what) {
+          if (v.is_set() && !prop->admits(v)) {
+            diags_.add("PSF013", row.loc,
+                       "rule " + quoted(rule.property) + " row " +
+                           std::to_string(r + 1) + ": " + what + " " +
+                           v.to_string() + " is incompatible with the " +
+                           type_name(prop->type) + " property" +
+                           property_domain_suffix(*prop));
+          }
+        };
+        if (!row.in.any) check_lit(row.in.value, "input pattern");
+        if (!row.env.any) check_lit(row.env.value, "environment pattern");
+        if (row.out_kind == RuleRow::OutKind::kLiteral) {
+          check_lit(row.out, "output value");
+        }
+      }
+    }
+  }
+
+  // ---- pass 3: modification-rule analysis ----------------------------------
+
+  void pass_rules() {
+    for (const PropertyModificationRule& rule : spec_.rules.all()) {
+      const PropertyDef* prop = spec_.find_property(rule.property);
+      if (prop == nullptr) continue;  // PSF002 already reported
+      const std::vector<PropertyValue> domain = sample_domain(*prop, &rule);
+      if (domain.empty()) continue;
+
+      std::vector<bool> first_match(rule.rows.size(), false);
+      std::size_t missing = 0, total = 0;
+      std::string example;
+      for (const PropertyValue& in : domain) {
+        for (const PropertyValue& env : domain) {
+          ++total;
+          int match = -1;
+          for (std::size_t r = 0; r < rule.rows.size(); ++r) {
+            if (rule.rows[r].in.matches(in) && rule.rows[r].env.matches(env)) {
+              match = static_cast<int>(r);
+              break;
+            }
+          }
+          if (match < 0) {
+            ++missing;
+            if (example.empty()) {
+              example = "(" + in.to_string() + ", " + env.to_string() + ")";
+            }
+          } else {
+            first_match[static_cast<std::size_t>(match)] = true;
+          }
+        }
+      }
+      if (missing > 0) {
+        diags_.add("PSF020", rule.loc,
+                   "rule table for " + quoted(rule.property) +
+                       " is not total: input pair " + example +
+                       " matches no row (" + std::to_string(missing) + " of " +
+                       std::to_string(total) +
+                       " sampled pairs uncovered; unmatched values pass "
+                       "through unchanged)");
+      }
+      for (std::size_t r = 0; r < rule.rows.size(); ++r) {
+        if (!first_match[r]) {
+          diags_.add("PSF021", rule.rows[r].loc,
+                     "row " + std::to_string(r + 1) + " of rule " +
+                         quoted(rule.property) +
+                         " is unreachable: every input pair it matches is "
+                         "claimed by an earlier row");
+        }
+      }
+    }
+  }
+
+  // ---- pass 4: topology-independent linkage satisfiability -----------------
+
+  // Every value `start` can become after any number of rule applications
+  // with any environment value — the pessimistic closure: if no member
+  // satisfies a requirement, no topology can either.
+  std::vector<PropertyValue> reachable_values(const PropertyValue& start,
+                                              const PropertyDef& prop) const {
+    std::vector<PropertyValue> all{start};
+    const PropertyModificationRule* rule = spec_.rules.find(prop.name);
+    if (rule == nullptr) return all;  // identity: value crosses unchanged
+    const std::vector<PropertyValue> envs = sample_domain(prop, rule);
+    std::vector<PropertyValue> frontier{start};
+    while (!frontier.empty() && all.size() < 128) {
+      std::vector<PropertyValue> next;
+      for (const PropertyValue& v : frontier) {
+        for (const PropertyValue& env : envs) {
+          PropertyValue out = rule->apply(v, env);
+          if (!out.is_set()) continue;
+          if (std::find(all.begin(), all.end(), out) == all.end()) {
+            all.push_back(out);
+            next.push_back(std::move(out));
+          }
+        }
+      }
+      frontier = std::move(next);
+    }
+    return all;
+  }
+
+  // Can `impl`'s Implements of `iface` ever deliver `required` for
+  // `prop`, across any environment? Unknowable (env/factor/any exprs,
+  // transparent pass-through) counts as yes — only a provable never is
+  // reported.
+  bool implementer_can_satisfy(const ComponentDef& impl,
+                               const std::string& iface,
+                               const PropertyDef& prop,
+                               const PropertyValue& required) const {
+    const LinkageDecl* decl = impl.find_implements(iface);
+    if (decl == nullptr) return false;
+    const std::optional<ValueExpr> offered = decl->value_of(prop.name);
+    if (!offered.has_value()) {
+      // Not declared: transparent components inherit the value from their
+      // downstream chain (unknowable here); opaque ones offer nothing.
+      return impl.transparent;
+    }
+    if (offered->kind != ValueExpr::Kind::kLiteral) return true;
+    if (!offered->literal.is_set()) return impl.transparent;
+    for (const PropertyValue& v : reachable_values(offered->literal, prop)) {
+      if (v.satisfies(required)) return true;
+    }
+    return false;
+  }
+
+  void check_conditions(const ComponentDef& c) {
+    std::map<std::string, std::vector<const Condition*>> by_prop;
+    for (const Condition& cond : c.conditions) {
+      by_prop[cond.property].push_back(&cond);
+    }
+    for (const auto& [name, conds] : by_prop) {
+      const PropertyDef* prop = spec_.find_property(name);
+      if (prop == nullptr) continue;
+      std::string why;
+      switch (prop->type) {
+        case PropertyType::kInterval: {
+          std::int64_t lo = prop->interval_lo, hi = prop->interval_hi;
+          for (const Condition* cond : conds) {
+            switch (cond->op) {
+              case Condition::Op::kEq:
+                if (!cond->value.is_int()) continue;  // PSF014 already
+                lo = std::max(lo, cond->value.as_int());
+                hi = std::min(hi, cond->value.as_int());
+                break;
+              case Condition::Op::kGe:
+                if (!cond->value.is_int()) continue;
+                lo = std::max(lo, cond->value.as_int());
+                break;
+              case Condition::Op::kLe:
+                if (!cond->value.is_int()) continue;
+                hi = std::min(hi, cond->value.as_int());
+                break;
+              case Condition::Op::kInRange:
+                lo = std::max(lo, cond->range_lo);
+                hi = std::min(hi, cond->range_hi);
+                break;
+            }
+          }
+          if (lo > hi) {
+            why = "no value in the declared domain [" +
+                  std::to_string(prop->interval_lo) + ", " +
+                  std::to_string(prop->interval_hi) +
+                  "] satisfies them all (effective range [" +
+                  std::to_string(lo) + ", " + std::to_string(hi) + "])";
+          }
+          break;
+        }
+        case PropertyType::kBoolean: {
+          bool allow_false = true, allow_true = true;
+          for (const Condition* cond : conds) {
+            if (!cond->value.is_bool()) continue;  // PSF014 already
+            const bool v = cond->value.as_bool();
+            switch (cond->op) {
+              case Condition::Op::kEq:
+                allow_false = allow_false && !v;
+                allow_true = allow_true && v;
+                break;
+              case Condition::Op::kGe:  // actual >= v
+                if (v) allow_false = false;
+                break;
+              case Condition::Op::kLe:  // actual <= v
+                if (!v) allow_true = false;
+                break;
+              case Condition::Op::kInRange:
+                break;  // PSF014 already
+            }
+          }
+          if (!allow_false && !allow_true) {
+            why = "they demand both T and F";
+          }
+          break;
+        }
+        case PropertyType::kString: {
+          const std::string* wanted = nullptr;
+          for (const Condition* cond : conds) {
+            if (cond->op == Condition::Op::kInRange ||
+                !cond->value.is_string()) {
+              continue;  // PSF014 already
+            }
+            // For strings every operator degenerates to equality.
+            const std::string& s = cond->value.as_string();
+            if (wanted == nullptr) {
+              wanted = &s;
+            } else if (*wanted != s) {
+              why = "they demand both \"" + *wanted + "\" and \"" + s + "\"";
+            }
+          }
+          break;
+        }
+      }
+      if (!why.empty()) {
+        diags_.add("PSF031", conds.back()->loc,
+                   "conditions on node." + name + " of component " +
+                       quoted(c.name) + " can never hold simultaneously: " +
+                       why);
+      }
+    }
+  }
+
+  void pass_satisfiability() {
+    for (const ComponentDef& c : spec_.components) {
+      for (const LinkageDecl& decl : c.requires_) {
+        if (spec_.find_interface(decl.interface_name) == nullptr) {
+          continue;  // PSF003 already reported
+        }
+        const std::vector<const ComponentDef*> impls =
+            spec_.implementers_of(decl.interface_name);
+        if (impls.empty()) {
+          diags_.add("PSF032", decl.loc,
+                     "component " + quoted(c.name) + " requires interface " +
+                         quoted(decl.interface_name) +
+                         ", which no component implements");
+          continue;
+        }
+        for (const PropertyAssignment& pa : decl.properties) {
+          if (pa.value.kind != ValueExpr::Kind::kLiteral ||
+              !pa.value.literal.is_set()) {
+            continue;  // bound at plan time; unknowable here
+          }
+          const PropertyDef* prop = spec_.find_property(pa.property);
+          if (prop == nullptr || !prop->admits(pa.value.literal)) {
+            continue;  // PSF002 / PSF010 already reported
+          }
+          const bool satisfiable = std::any_of(
+              impls.begin(), impls.end(), [&](const ComponentDef* impl) {
+                return implementer_can_satisfy(*impl, decl.interface_name,
+                                               *prop, pa.value.literal);
+              });
+          if (!satisfiable) {
+            diags_.add(
+                "PSF030", pa.loc,
+                "component " + quoted(c.name) + " requires " +
+                    decl.interface_name + "." + pa.property + " = " +
+                    pa.value.literal.to_string() + ", but no implements of " +
+                    quoted(decl.interface_name) +
+                    " in the spec can ever provide it in any environment "
+                    "(modification-rule closure)");
+          }
+        }
+      }
+      check_conditions(c);
+    }
+  }
+
+  // ---- pass 5: behavior sanity ---------------------------------------------
+
+  void pass_behaviors() {
+    for (const ComponentDef& c : spec_.components) {
+      const Behaviors& b = c.behaviors;
+      const SourceLoc loc = b.loc.valid() ? b.loc : c.loc;
+      if (b.capacity_rps < 0.0) {
+        diags_.add("PSF040", loc,
+                   "component " + quoted(c.name) + " has negative capacity " +
+                       std::to_string(b.capacity_rps));
+      }
+      if (b.cpu_per_request < 0.0) {
+        diags_.add("PSF040", loc,
+                   "component " + quoted(c.name) +
+                       " has negative cpu_per_request " +
+                       std::to_string(b.cpu_per_request));
+      }
+      if (b.rrf < 0.0 || b.rrf > 1.0) {
+        diags_.add("PSF040", loc,
+                   "component " + quoted(c.name) + " has rrf " +
+                       std::to_string(b.rrf) + " outside [0, 1]");
+      }
+      if (b.capacity_set && b.capacity_rps == 0.0) {
+        diags_.add("PSF041", loc,
+                   "component " + quoted(c.name) +
+                       " sets capacity 0, which means *unbounded*; omit the "
+                       "key if that is intended");
+      }
+      if (b.rrf_set && b.rrf == 0.0 && !c.requires_.empty()) {
+        diags_.add("PSF041", loc,
+                   "component " + quoted(c.name) +
+                       " sets rrf 0 — it forwards no requests to the "
+                       "interfaces it requires");
+      }
+      if (!c.static_placement && !b.code_size_set) {
+        diags_.add("PSF042", c.loc,
+                   "component " + quoted(c.name) +
+                       " can be instantiated on demand but declares no "
+                       "code_size; deployment will charge the 64 KB default");
+      }
+    }
+  }
+
+  const ServiceSpec& spec_;
+  DiagnosticList diags_;
+  std::set<std::string> used_properties_;
+};
+
+}  // namespace
+
+DiagnosticList analyze(const spec::ServiceSpec& spec) {
+  return Analyzer(spec).run();
+}
+
+LintResult lint_source(std::string_view source) {
+  LintResult result;
+  spec::ParseResult parsed = spec::parse_spec_recover(source);
+  for (const spec::ParseError& e : parsed.errors) {
+    result.diagnostics.add("PSF100", e.loc, e.message);
+  }
+  result.spec = std::move(parsed.spec);
+  result.parsed = !result.spec.name.empty();
+  result.diagnostics.merge(analyze(result.spec));
+  result.diagnostics.sort_by_location();
+  return result;
+}
+
+}  // namespace psf::analysis

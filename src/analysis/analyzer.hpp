@@ -1,0 +1,47 @@
+// psflint's core: a multi-pass semantic analyzer over parsed PSDL specs.
+//
+// Where ServiceSpec::validate() stops at the first structural problem, the
+// analyzer reports *every* finding in one run, each under a stable catalog
+// ID (see diagnostics.hpp) with the source span the parser plumbed through
+// from the lexer. Passes, in order:
+//
+//   1. reference resolution — undefined/unused properties, interfaces,
+//      components; dangling Represents/Factors targets; duplicates;
+//   2. type/value checks — Implements/Requires/Factors literals vs declared
+//      property types, interval bounds, condition operand types;
+//   3. modification-rule analysis — non-total rule tables (input pairs with
+//      no matching row, Fig. 4), unreachable/shadowed rows;
+//   4. topology-independent linkage satisfiability — a Requires no
+//      Implements in the spec can ever satisfy under any environment
+//      (closure of the property's modification rule over its value domain),
+//      and contradictory installation conditions;
+//   5. behavior sanity — negative capacities, rrf outside [0,1], explicit
+//      zero capacity/rrf, installable components without a code_size.
+//
+// The error-severity subset is a superset of validate()'s checks, so a spec
+// with no error diagnostics also passes validate().
+#pragma once
+
+#include <string_view>
+
+#include "analysis/diagnostics.hpp"
+#include "spec/model.hpp"
+
+namespace psf::analysis {
+
+// Runs every pass over an already-parsed (possibly partial) spec. Findings
+// are ordered by source location; programmatically built specs (SpecBuilder)
+// analyze fine but carry no locations.
+DiagnosticList analyze(const spec::ServiceSpec& spec);
+
+// Parse (recovering — all syntax errors, not just the first, reported as
+// PSF100) + analyze, the one-call form used by psflint and tests.
+struct LintResult {
+  spec::ServiceSpec spec;      // partial when parse errors were found
+  bool parsed = false;         // false = nothing usable was recovered
+  DiagnosticList diagnostics;  // parse + analysis findings, in source order
+};
+
+LintResult lint_source(std::string_view source);
+
+}  // namespace psf::analysis

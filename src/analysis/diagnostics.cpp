@@ -1,0 +1,161 @@
+#include "analysis/diagnostics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace psf::analysis {
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+const std::vector<DiagnosticInfo>& diagnostic_catalog() {
+  // Severity here is the contract psflint ships; `docs/PSDL.md` appendix
+  // documents each entry with an example and a fix. IDs are never reused.
+  static const std::vector<DiagnosticInfo> kCatalog = {
+      {"PSF001", Severity::kError, "duplicate definition"},
+      {"PSF002", Severity::kError, "reference to undeclared property"},
+      {"PSF003", Severity::kError, "reference to undeclared interface"},
+      {"PSF004", Severity::kError, "invalid Represents target"},
+      {"PSF005", Severity::kError, "invalid factor reference"},
+      {"PSF006", Severity::kWarning, "unused property"},
+      {"PSF007", Severity::kWarning, "unused interface"},
+      {"PSF008", Severity::kError, "component implements no interface"},
+      {"PSF010", Severity::kError, "value incompatible with property type"},
+      {"PSF011", Severity::kError, "empty property interval"},
+      {"PSF012", Severity::kError, "property not declared on interface"},
+      {"PSF013", Severity::kError, "rule value incompatible with property"},
+      {"PSF014", Severity::kWarning, "condition incompatible with property"},
+      {"PSF020", Severity::kWarning, "modification rule table is not total"},
+      {"PSF021", Severity::kWarning, "unreachable (shadowed) rule row"},
+      {"PSF030", Severity::kError, "requirement no implementer can satisfy"},
+      {"PSF031", Severity::kError, "contradictory installation conditions"},
+      {"PSF032", Severity::kError, "required interface has no implementer"},
+      {"PSF040", Severity::kError, "behavior value out of range"},
+      {"PSF041", Severity::kWarning, "suspicious zero behavior value"},
+      {"PSF042", Severity::kNote, "installable component without code_size"},
+      {"PSF100", Severity::kError, "PSDL parse error"},
+  };
+  return kCatalog;
+}
+
+const DiagnosticInfo* find_diagnostic(std::string_view id) {
+  for (const DiagnosticInfo& info : diagnostic_catalog()) {
+    if (id == info.id) return &info;
+  }
+  return nullptr;
+}
+
+std::string Diagnostic::to_string(const std::string& file) const {
+  std::ostringstream oss;
+  if (!file.empty()) oss << file << ":";
+  if (loc.valid()) oss << loc.to_string() << ":";
+  if (!file.empty() || loc.valid()) oss << " ";
+  oss << severity_name(severity) << "[" << id << "]: " << message;
+  return oss.str();
+}
+
+void DiagnosticList::add(std::string_view id, spec::SourceLoc loc,
+                         std::string message) {
+  const DiagnosticInfo* info = find_diagnostic(id);
+  PSF_CHECK_MSG(info != nullptr, "unknown diagnostic ID");
+  Diagnostic d;
+  d.id = std::string(id);
+  d.severity = info->severity;
+  d.loc = loc;
+  d.message = std::move(message);
+  diags_.push_back(std::move(d));
+}
+
+void DiagnosticList::sort_by_location() {
+  std::stable_sort(diags_.begin(), diags_.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return a.loc < b.loc;
+                   });
+}
+
+std::size_t DiagnosticList::count(Severity s) const {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diags_) {
+    if (d.severity == s) ++n;
+  }
+  return n;
+}
+
+bool DiagnosticList::has(std::string_view id) const {
+  for (const Diagnostic& d : diags_) {
+    if (d.id == id) return true;
+  }
+  return false;
+}
+
+std::string DiagnosticList::render_text(const std::string& file) const {
+  std::ostringstream oss;
+  for (const Diagnostic& d : diags_) oss << d.to_string(file) << "\n";
+  oss << (file.empty() ? std::string() : file + ": ") << count(Severity::kError)
+      << " error(s), " << count(Severity::kWarning) << " warning(s), "
+      << count(Severity::kNote) << " note(s)\n";
+  return oss.str();
+}
+
+namespace {
+
+void append_json_string(std::ostringstream& oss, std::string_view s) {
+  oss << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': oss << "\\\""; break;
+      case '\\': oss << "\\\\"; break;
+      case '\n': oss << "\\n"; break;
+      case '\t': oss << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          oss << buf;
+        } else {
+          oss << c;
+        }
+    }
+  }
+  oss << '"';
+}
+
+}  // namespace
+
+std::string DiagnosticList::render_json(const std::string& file) const {
+  std::ostringstream oss;
+  oss << "{\"file\": ";
+  append_json_string(oss, file);
+  oss << ", \"diagnostics\": [";
+  for (std::size_t i = 0; i < diags_.size(); ++i) {
+    const Diagnostic& d = diags_[i];
+    if (i) oss << ", ";
+    oss << "{\"id\": ";
+    append_json_string(oss, d.id);
+    oss << ", \"severity\": ";
+    append_json_string(oss, severity_name(d.severity));
+    oss << ", \"line\": " << d.loc.line << ", \"column\": " << d.loc.column
+        << ", \"message\": ";
+    append_json_string(oss, d.message);
+    oss << "}";
+  }
+  oss << "], \"counts\": {\"error\": " << count(Severity::kError)
+      << ", \"warning\": " << count(Severity::kWarning)
+      << ", \"note\": " << count(Severity::kNote) << "}}";
+  return oss.str();
+}
+
+void DiagnosticList::merge(DiagnosticList other) {
+  for (Diagnostic& d : other.diags_) diags_.push_back(std::move(d));
+}
+
+}  // namespace psf::analysis

@@ -1,0 +1,85 @@
+// Reusable diagnostics engine for spec tooling.
+//
+// A Diagnostic is one finding: a stable catalog ID (PSF001..), a severity,
+// a source location plumbed from the PSDL lexer, and a message. The
+// DiagnosticList collects findings across analysis passes (all of them — no
+// fail-fast), orders them by source position, and renders them as
+// compiler-style text or as JSON for machine consumers (psflint --json, CI
+// annotations).
+//
+// The catalog (diagnostic_catalog) is the single source of truth for IDs,
+// default severities, and one-line titles; docs/PSDL.md carries the
+// user-facing appendix with examples and fixes.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "spec/source.hpp"
+
+namespace psf::analysis {
+
+enum class Severity { kNote = 0, kWarning = 1, kError = 2 };
+
+const char* severity_name(Severity s);
+
+struct Diagnostic {
+  std::string id;        // catalog ID, e.g. "PSF002"
+  Severity severity = Severity::kError;
+  spec::SourceLoc loc;   // invalid for spec-level findings
+  std::string message;
+
+  // `file:line:col: severity[ID]: message` (file omitted when empty).
+  std::string to_string(const std::string& file = "") const;
+};
+
+// Catalog entry: the stable contract for one diagnostic ID.
+struct DiagnosticInfo {
+  const char* id;
+  Severity severity;
+  const char* title;  // one-line summary for --explain / docs
+};
+
+// All known IDs, ascending. Stable across releases: IDs are never reused.
+const std::vector<DiagnosticInfo>& diagnostic_catalog();
+
+// nullptr for an unknown ID.
+const DiagnosticInfo* find_diagnostic(std::string_view id);
+
+class DiagnosticList {
+ public:
+  // Adds a finding under a catalog ID; severity comes from the catalog.
+  // Aborts (debug check) on an unknown ID — every emitted ID must be
+  // documented.
+  void add(std::string_view id, spec::SourceLoc loc, std::string message);
+
+  // Escape hatch for callers outside the catalog's severity (e.g. a
+  // lint driver promoting warnings with --werror).
+  void add(Diagnostic d) { diags_.push_back(std::move(d)); }
+
+  void sort_by_location();
+
+  bool empty() const { return diags_.empty(); }
+  std::size_t size() const { return diags_.size(); }
+  std::size_t count(Severity s) const;
+  bool has_errors() const { return count(Severity::kError) > 0; }
+  // True when any finding carries `id`.
+  bool has(std::string_view id) const;
+
+  const std::vector<Diagnostic>& all() const { return diags_; }
+
+  // Compiler-style listing, one finding per line, plus a summary line.
+  std::string render_text(const std::string& file = "") const;
+  // {"file": ..., "diagnostics": [...], "counts": {...}} (one JSON object).
+  std::string render_json(const std::string& file = "") const;
+
+  // Appends another list's findings (e.g. parse diagnostics + analysis).
+  void merge(DiagnosticList other);
+
+ private:
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace psf::analysis

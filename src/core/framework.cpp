@@ -1,5 +1,6 @@
 #include "core/framework.hpp"
 
+#include "analysis/analyzer.hpp"
 #include "util/logging.hpp"
 
 namespace psf::core {
@@ -22,6 +23,17 @@ Framework::Framework(net::Network network, FrameworkOptions options)
 util::Status Framework::register_service(
     runtime::ServiceRegistration registration,
     std::shared_ptr<const planner::PropertyTranslator> translator) {
+  // Pre-flight: run the static analyzer before anything touches the planner
+  // or runtime. A spec with error-level findings would fail in confusing
+  // ways mid-plan (or worse, plan wrongly); reject it here with the full
+  // diagnostic list so the author can fix every problem in one round.
+  analysis::DiagnosticList diags = analysis::analyze(registration.spec);
+  if (diags.has_errors()) {
+    return util::failed_precondition(
+        "service spec '" + registration.spec.name +
+        "' failed static analysis:\n" + diags.render_text());
+  }
+
   util::Status result = util::internal_error("registration did not complete");
   bool completed = false;
   server_.register_service(std::move(registration), std::move(translator),

@@ -98,10 +98,12 @@ class ComponentBuilder {
   }
   ComponentBuilder& capacity(double rps) {
     def_.behaviors.capacity_rps = rps;
+    def_.behaviors.capacity_set = true;
     return *this;
   }
   ComponentBuilder& rrf(double value) {
     def_.behaviors.rrf = value;
+    def_.behaviors.rrf_set = true;
     return *this;
   }
   ComponentBuilder& cpu_per_request(double units) {
@@ -116,6 +118,7 @@ class ComponentBuilder {
   }
   ComponentBuilder& code_size(std::uint64_t bytes) {
     def_.behaviors.code_size_bytes = bytes;
+    def_.behaviors.code_size_set = true;
     return *this;
   }
 

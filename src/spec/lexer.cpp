@@ -73,9 +73,21 @@ std::string Token::describe() const {
   return "?";
 }
 
-util::Expected<std::vector<Token>> tokenize(std::string_view source) {
-  std::vector<Token> tokens;
+namespace {
+
+// Shared lexer loop. With `errors == nullptr` the first malformed token
+// aborts the scan (strict mode); otherwise it is recorded and skipped.
+util::Status run_lexer(std::string_view source, std::vector<Token>& tokens,
+                       std::vector<ParseError>* errors) {
   Cursor cur(source);
+
+  auto fail = [&](std::string message, int line, int column) {
+    if (errors != nullptr) {
+      errors->push_back({std::move(message), SourceLoc{line, column}});
+      return util::Status::ok();  // keep scanning
+    }
+    return util::parse_error(message + " at " + location(line, column));
+  };
 
   auto push = [&](TokenKind kind, int line, int column) -> Token& {
     Token t;
@@ -154,8 +166,10 @@ util::Expected<std::vector<Token>> tokenize(std::string_view source) {
         text += ch;
       }
       if (!closed) {
-        return util::parse_error("unterminated string at " +
-                                 location(line, column));
+        if (auto st = fail("unterminated string", line, column); !st) {
+          return st;
+        }
+        continue;  // recover mode: input is exhausted, loop will terminate
       }
       push(TokenKind::kString, line, column).text = std::move(text);
       continue;
@@ -184,8 +198,7 @@ util::Expected<std::vector<Token>> tokenize(std::string_view source) {
           cur.advance();
           push(TokenKind::kGe, line, column);
         } else {
-          return util::parse_error("unexpected '>' at " +
-                                   location(line, column));
+          if (auto st = fail("unexpected '>'", line, column); !st) return st;
         }
         break;
       case '<':
@@ -193,8 +206,7 @@ util::Expected<std::vector<Token>> tokenize(std::string_view source) {
           cur.advance();
           push(TokenKind::kLe, line, column);
         } else {
-          return util::parse_error("unexpected '<' at " +
-                                   location(line, column));
+          if (auto st = fail("unexpected '<'", line, column); !st) return st;
         }
         break;
       case '-':
@@ -202,17 +214,35 @@ util::Expected<std::vector<Token>> tokenize(std::string_view source) {
           cur.advance();
           push(TokenKind::kArrow, line, column);
         } else {
-          return util::parse_error("unexpected '-' at " +
-                                   location(line, column));
+          if (auto st = fail("unexpected '-'", line, column); !st) return st;
         }
         break;
       default:
-        return util::parse_error(std::string("unexpected character '") + c +
-                                 "' at " + location(line, column));
+        if (auto st = fail(std::string("unexpected character '") + c + "'",
+                           line, column);
+            !st) {
+          return st;
+        }
+        break;
     }
   }
 
   push(TokenKind::kEnd, cur.line(), cur.column());
+  return util::Status::ok();
+}
+
+}  // namespace
+
+util::Expected<std::vector<Token>> tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  if (auto st = run_lexer(source, tokens, nullptr); !st) return st;
+  return tokens;
+}
+
+std::vector<Token> tokenize_recover(std::string_view source,
+                                    std::vector<ParseError>& errors) {
+  std::vector<Token> tokens;
+  run_lexer(source, tokens, &errors);  // cannot fail in recover mode
   return tokens;
 }
 

@@ -10,6 +10,7 @@
 #include <string_view>
 #include <vector>
 
+#include "spec/source.hpp"
 #include "util/status.hpp"
 
 namespace psf::spec {
@@ -43,11 +44,18 @@ struct Token {
   int line = 0;
   int column = 0;
 
+  SourceLoc loc() const { return SourceLoc{line, column}; }
   std::string describe() const;
 };
 
 // Tokenizes the whole input; returns a parse error with line/column on any
 // malformed token.
 util::Expected<std::vector<Token>> tokenize(std::string_view source);
+
+// Recovering variant: malformed tokens are recorded in `errors` (in source
+// order) and skipped, so the parser can still see everything after the first
+// lexical error. Always returns a token stream terminated by kEnd.
+std::vector<Token> tokenize_recover(std::string_view source,
+                                    std::vector<ParseError>& errors);
 
 }  // namespace psf::spec

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "spec/rules.hpp"
+#include "spec/source.hpp"
 #include "spec/value.hpp"
 #include "util/status.hpp"
 
@@ -26,6 +27,7 @@ struct PropertyDef {
   // For kInterval: inclusive bounds.
   std::int64_t interval_lo = 0;
   std::int64_t interval_hi = 0;
+  SourceLoc loc;  // of the declaration's name; invalid when built in code
 
   // Checks a literal against the declared type/range.
   bool admits(const PropertyValue& v) const;
@@ -35,6 +37,7 @@ struct PropertyDef {
 struct InterfaceDef {
   std::string name;
   std::vector<std::string> properties;  // names of PropertyDefs
+  SourceLoc loc;
 
   bool has_property(const std::string& p) const;
   std::string to_string() const;
@@ -44,6 +47,7 @@ struct InterfaceDef {
 struct PropertyAssignment {
   std::string property;
   ValueExpr value;
+  SourceLoc loc;
 
   std::string to_string() const;
 };
@@ -52,6 +56,7 @@ struct PropertyAssignment {
 struct LinkageDecl {
   std::string interface_name;
   std::vector<PropertyAssignment> properties;
+  SourceLoc loc;
 
   std::optional<ValueExpr> value_of(const std::string& property) const;
   std::string to_string(const char* keyword) const;
@@ -67,6 +72,7 @@ struct Condition {
   PropertyValue value;            // kEq / kGe / kLe
   std::int64_t range_lo = 0;      // kInRange (inclusive)
   std::int64_t range_hi = 0;
+  SourceLoc loc;
 
   // Evaluates against a node environment. A missing environment property
   // fails the condition (fail closed — this is a security check).
@@ -90,6 +96,13 @@ struct Behaviors {
   std::uint64_t bytes_per_response = 1024;
   std::uint64_t code_size_bytes = 64 * 1024;
 
+  // Which keys the spec text set explicitly (vs the defaults above) — the
+  // static analyzer distinguishes "omitted" from "deliberately zero".
+  bool capacity_set = false;
+  bool rrf_set = false;
+  bool code_size_set = false;
+  SourceLoc loc;  // of the `behaviors` keyword
+
   std::string to_string() const;
 };
 
@@ -109,6 +122,7 @@ struct ComponentDef {
   std::vector<LinkageDecl> requires_;
   std::vector<Condition> conditions;
   Behaviors behaviors;
+  SourceLoc loc;
 
   // Transparent components (e.g. Encryptor/Decryptor) pass through interface
   // properties they do not explicitly set: the effective implemented value is
@@ -149,6 +163,7 @@ class ServiceSpec {
   std::vector<InterfaceDef> interfaces;
   std::vector<ComponentDef> components;
   RuleSet rules;
+  SourceLoc loc;  // of the `service` keyword
 
   const PropertyDef* find_property(const std::string& n) const;
   const InterfaceDef* find_interface(const std::string& n) const;

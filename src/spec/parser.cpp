@@ -1,5 +1,6 @@
 #include "spec/parser.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "spec/lexer.hpp"
@@ -14,41 +15,10 @@ class Parser {
 
   util::Expected<ServiceSpec> parse() {
     ServiceSpec spec;
-    if (auto st = expect_keyword("service"); !st) return st;
-    if (auto name = expect_ident(); !name) {
-      return name.status();
-    } else {
-      spec.name = *name;
-    }
-    if (auto st = expect(TokenKind::kLBrace); !st) return st;
+    if (auto st = parse_header(spec); !st) return st;
     while (!at(TokenKind::kRBrace)) {
       if (at(TokenKind::kEnd)) return error("unexpected end of input");
-      const Token& t = peek();
-      if (t.kind != TokenKind::kIdent) {
-        return error("expected a declaration, got " + t.describe());
-      }
-      util::Status st = util::Status::ok();
-      if (t.text == "property") {
-        st = parse_property(spec);
-      } else if (t.text == "interface") {
-        st = parse_interface(spec);
-      } else if (t.text == "rule") {
-        st = parse_rule(spec);
-      } else if (t.text == "component") {
-        st = parse_component(spec, ComponentKind::kComponent);
-      } else if (t.text == "view") {
-        st = parse_component(spec, ComponentKind::kDataView);
-      } else if (t.text == "object" || t.text == "data") {
-        const ComponentKind kind = t.text == "object"
-                                       ? ComponentKind::kObjectView
-                                       : ComponentKind::kDataView;
-        advance();
-        if (auto kw = expect_keyword("view"); !kw) return kw;
-        st = parse_component(spec, kind, /*consumed_view_keyword=*/true);
-      } else {
-        return error("unknown declaration '" + t.text + "'");
-      }
-      if (!st) return st;
+      if (auto st = parse_item(spec); !st) return st;
     }
     advance();  // consume '}'
     if (!at(TokenKind::kEnd)) {
@@ -58,16 +28,114 @@ class Parser {
     return spec;
   }
 
+  // Recovering parse: on an item error, record it and skip to the next item
+  // boundary (`}` closing the service body, or the next top-level keyword)
+  // instead of stopping. Does NOT run validate() — the analyzer subsumes it.
+  ParseResult parse_recover() && {
+    ParseResult result;
+    ServiceSpec& spec = result.spec;
+    auto record = [&] { result.errors.push_back(pending_error_); };
+    if (auto st = parse_header(spec); !st) {
+      record();
+      return result;  // no service body to resynchronize into
+    }
+    for (;;) {
+      if (at(TokenKind::kEnd)) {
+        (void)error("unexpected end of input");
+        record();
+        return result;
+      }
+      if (at(TokenKind::kRBrace)) {
+        advance();
+        break;
+      }
+      if (auto st = parse_item(spec); !st) {
+        record();
+        synchronize();
+      }
+    }
+    if (!at(TokenKind::kEnd)) {
+      (void)error("trailing input after service body");
+      record();
+    }
+    return result;
+  }
+
  private:
+  // `service IDENT {`
+  util::Status parse_header(ServiceSpec& spec) {
+    spec.loc = peek().loc();
+    if (auto st = expect_keyword("service"); !st) return st;
+    if (auto name = expect_ident(); !name) {
+      return name.status();
+    } else {
+      spec.name = *name;
+    }
+    return expect(TokenKind::kLBrace);
+  }
+
+  static bool is_item_keyword(std::string_view word) {
+    return word == "property" || word == "interface" || word == "rule" ||
+           word == "component" || word == "view" || word == "object" ||
+           word == "data";
+  }
+
+  // One top-level declaration, dispatched on the leading keyword.
+  util::Status parse_item(ServiceSpec& spec) {
+    const Token& t = peek();
+    if (t.kind != TokenKind::kIdent) {
+      return error("expected a declaration, got " + t.describe());
+    }
+    if (t.text == "property") return parse_property(spec);
+    if (t.text == "interface") return parse_interface(spec);
+    if (t.text == "rule") return parse_rule(spec);
+    if (t.text == "component") {
+      return parse_component(spec, ComponentKind::kComponent);
+    }
+    if (t.text == "view") return parse_component(spec, ComponentKind::kDataView);
+    if (t.text == "object" || t.text == "data") {
+      const ComponentKind kind = t.text == "object"
+                                     ? ComponentKind::kObjectView
+                                     : ComponentKind::kDataView;
+      const SourceLoc loc = t.loc();
+      advance();
+      if (auto kw = expect_keyword("view"); !kw) return kw;
+      return parse_component(spec, kind, /*consumed_view_keyword=*/true, loc);
+    }
+    return error("unknown declaration '" + t.text + "'");
+  }
+
+  // Skips tokens until the next plausible top-level item: a `}` that would
+  // close the service body, or an item keyword at service-body depth.
+  void synchronize() {
+    while (!at(TokenKind::kEnd)) {
+      if (depth_ <= 1) {
+        if (at(TokenKind::kRBrace)) return;
+        const Token& t = peek();
+        if (t.kind == TokenKind::kIdent && is_item_keyword(t.text)) return;
+      }
+      advance();
+    }
+  }
+
   const Token& peek() const { return tokens_[pos_]; }
-  const Token& advance() { return tokens_[pos_++]; }
+  const Token& advance() {
+    const Token& t = tokens_[pos_++];
+    if (t.kind == TokenKind::kLBrace) {
+      ++depth_;
+    } else if (t.kind == TokenKind::kRBrace) {
+      --depth_;
+    }
+    return t;
+  }
   bool at(TokenKind kind) const { return peek().kind == kind; }
   bool at_ident(std::string_view text) const {
     return peek().kind == TokenKind::kIdent && peek().text == text;
   }
 
-  util::Status error(const std::string& message) const {
+  util::Status error(const std::string& message) {
     const Token& t = peek();
+    pending_error_ = ParseError{message, t.loc()};
     return util::parse_error(message + " (line " + std::to_string(t.line) +
                              ", column " + std::to_string(t.column) + ")");
   }
@@ -155,8 +223,9 @@ class Parser {
   }
 
   util::Status parse_property(ServiceSpec& spec) {
-    advance();  // 'property'
     PropertyDef def;
+    def.loc = peek().loc();
+    advance();  // 'property'
     if (auto name = expect_ident(); !name) {
       return name.status();
     } else {
@@ -192,8 +261,9 @@ class Parser {
   }
 
   util::Status parse_interface(ServiceSpec& spec) {
-    advance();  // 'interface'
     InterfaceDef def;
+    def.loc = peek().loc();
+    advance();  // 'interface'
     if (auto name = expect_ident(); !name) {
       return name.status();
     } else {
@@ -232,8 +302,9 @@ class Parser {
   }
 
   util::Status parse_rule(ServiceSpec& spec) {
-    advance();  // 'rule'
     PropertyModificationRule rule;
+    rule.loc = peek().loc();
+    advance();  // 'rule'
     if (auto name = expect_ident(); !name) {
       return name.status();
     } else {
@@ -243,6 +314,7 @@ class Parser {
     while (!at(TokenKind::kRBrace)) {
       if (at(TokenKind::kEnd)) return error("unexpected end of input in rule");
       RuleRow row;
+      row.loc = peek().loc();
       if (auto st = expect(TokenKind::kLParen); !st) return st;
       auto in = parse_pattern();
       if (!in) return in.status();
@@ -284,6 +356,7 @@ class Parser {
         return error("unexpected end of input in assignment block");
       }
       PropertyAssignment pa;
+      pa.loc = peek().loc();
       auto name = expect_ident();
       if (!name) return name.status();
       pa.property = *name;
@@ -305,6 +378,7 @@ class Parser {
         return error("unexpected end of input in conditions");
       }
       Condition cond;
+      cond.loc = peek().loc();
       // Optional `node.` prefix; conditions always evaluate on the node env.
       if (at_ident("node")) {
         advance();
@@ -378,8 +452,10 @@ class Parser {
       }
       if (*key == "capacity") {
         comp.behaviors.capacity_rps = value;
+        comp.behaviors.capacity_set = true;
       } else if (*key == "rrf") {
         comp.behaviors.rrf = value;
+        comp.behaviors.rrf_set = true;
       } else if (*key == "cpu_per_request") {
         comp.behaviors.cpu_per_request = value;
       } else if (*key == "bytes_per_request") {
@@ -388,6 +464,7 @@ class Parser {
         comp.behaviors.bytes_per_response = static_cast<std::uint64_t>(value);
       } else if (*key == "code_size") {
         comp.behaviors.code_size_bytes = static_cast<std::uint64_t>(value);
+        comp.behaviors.code_size_set = true;
       } else {
         return error("unknown behavior '" + *key + "'");
       }
@@ -398,9 +475,11 @@ class Parser {
   }
 
   util::Status parse_component(ServiceSpec& spec, ComponentKind kind,
-                               bool consumed_view_keyword = false) {
-    if (!consumed_view_keyword) advance();  // 'component' or 'view'
+                               bool consumed_view_keyword = false,
+                               SourceLoc loc = {}) {
     ComponentDef comp;
+    comp.loc = consumed_view_keyword ? loc : peek().loc();
+    if (!consumed_view_keyword) advance();  // 'component' or 'view'
     comp.kind = kind;
     if (auto name = expect_ident(); !name) {
       return name.status();
@@ -436,8 +515,9 @@ class Parser {
         if (!assigns) return assigns.status();
         comp.factors = std::move(*assigns);
       } else if (member == "implements" || member == "requires") {
-        advance();
         LinkageDecl decl;
+        decl.loc = peek().loc();
+        advance();
         auto iface = expect_ident();
         if (!iface) return iface.status();
         decl.interface_name = *iface;
@@ -453,6 +533,7 @@ class Parser {
         advance();
         if (auto st = parse_conditions(comp); !st) return st;
       } else if (member == "behaviors") {
+        comp.behaviors.loc = peek().loc();
         advance();
         if (auto st = parse_behaviors(comp); !st) return st;
       } else {
@@ -466,6 +547,8 @@ class Parser {
 
   std::vector<Token> tokens_;
   std::size_t pos_ = 0;
+  int depth_ = 0;  // brace depth of consumed tokens (service body = 1)
+  ParseError pending_error_;  // innermost error of the current item
 };
 
 }  // namespace
@@ -475,6 +558,21 @@ util::Expected<ServiceSpec> parse_spec(std::string_view source) {
   if (!tokens) return tokens.status();
   Parser parser(std::move(*tokens));
   return parser.parse();
+}
+
+ParseResult parse_spec_recover(std::string_view source) {
+  std::vector<ParseError> lex_errors;
+  std::vector<Token> tokens = tokenize_recover(source, lex_errors);
+  ParseResult result = Parser(std::move(tokens)).parse_recover();
+  // Lexical errors come first positionally only per-error; merge by source
+  // order so callers see one stream.
+  result.errors.insert(result.errors.end(), lex_errors.begin(),
+                       lex_errors.end());
+  std::stable_sort(result.errors.begin(), result.errors.end(),
+                   [](const ParseError& a, const ParseError& b) {
+                     return a.loc < b.loc;
+                   });
+  return result;
 }
 
 }  // namespace psf::spec

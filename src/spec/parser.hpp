@@ -28,17 +28,33 @@
 //   value      := "T" | "F" | "true" | "false" | INT | STRING
 //   unit       := "KB" | "MB"   (behaviors byte quantities)
 //
-// The parser returns the first error with source location; a successfully
+// parse_spec returns the first error with source location; a successfully
 // parsed spec is additionally run through ServiceSpec::validate().
+//
+// parse_spec_recover instead collects *every* lexical and syntax error it
+// can attribute (re-synchronizing on `}` / the next top-level keyword after
+// each one) and returns the partial spec alongside them — the entry point
+// for tooling (psflint) that wants all findings in one run. It does not run
+// validate(); the static analyzer in src/analysis subsumes it.
 #pragma once
 
 #include <string_view>
+#include <vector>
 
 #include "spec/model.hpp"
+#include "spec/source.hpp"
 #include "util/status.hpp"
 
 namespace psf::spec {
 
 util::Expected<ServiceSpec> parse_spec(std::string_view source);
+
+struct ParseResult {
+  ServiceSpec spec;               // partial when errors is non-empty
+  std::vector<ParseError> errors; // lexical + syntax errors, in source order
+  bool ok() const { return errors.empty(); }
+};
+
+ParseResult parse_spec_recover(std::string_view source);
 
 }  // namespace psf::spec

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "spec/source.hpp"
 #include "spec/value.hpp"
 
 namespace psf::spec {
@@ -40,6 +41,7 @@ struct RuleRow {
   enum class OutKind { kLiteral, kInput, kEnvValue, kMin };
   OutKind out_kind = OutKind::kLiteral;
   PropertyValue out;
+  SourceLoc loc;
 
   std::string to_string() const;
 };
@@ -48,6 +50,7 @@ class PropertyModificationRule {
  public:
   std::string property;
   std::vector<RuleRow> rows;
+  SourceLoc loc;
 
   // Applies the table: returns the transformed value, or the input unchanged
   // when no row matches (identity default — a property with no rule is

@@ -1,0 +1,42 @@
+// Source locations for PSDL text.
+//
+// The lexer stamps every token with line/column; the parser copies those
+// positions onto the object-model nodes it builds so downstream consumers
+// (the static analyzer, error messages) can point at real spec text.
+// Programmatically built specs (SpecBuilder) leave locations invalid, and
+// every consumer must tolerate that.
+#pragma once
+
+#include <string>
+
+namespace psf::spec {
+
+struct SourceLoc {
+  int line = 0;    // 1-based; 0 = unknown (built programmatically)
+  int column = 0;  // 1-based
+
+  bool valid() const { return line > 0; }
+  std::string to_string() const {
+    if (!valid()) return "<unknown>";
+    return std::to_string(line) + ":" + std::to_string(column);
+  }
+
+  // Source order; invalid locations sort first.
+  friend bool operator<(const SourceLoc& a, const SourceLoc& b) {
+    if (a.line != b.line) return a.line < b.line;
+    return a.column < b.column;
+  }
+  friend bool operator==(const SourceLoc& a, const SourceLoc& b) {
+    return a.line == b.line && a.column == b.column;
+  }
+};
+
+// One recoverable parse error: the bare message (no embedded location) plus
+// where it happened. parse_spec_recover and tokenize_recover accumulate
+// these instead of stopping at the first failure.
+struct ParseError {
+  std::string message;
+  SourceLoc loc;
+};
+
+}  // namespace psf::spec

@@ -128,5 +128,34 @@ TEST(ParserFuzzEdge, VeryLongIdentifiersAndNumbers) {
   EXPECT_EQ(s2->properties[0].interval_hi, INT64_MAX);
 }
 
+// The recovering parser must agree with the strict one on every mutated
+// input: strict success implies zero recovered errors, and any recovered
+// error implies strict failure. (Recovery additionally keeps going, so it
+// may report more than the one error strict stops at.)
+TEST(ParserFuzzTest, RecoveringParserAgreesWithStrictParser) {
+  util::Rng rng(20260805);
+  const std::string base = mail::mail_spec_source();
+  for (int i = 0; i < 300; ++i) {
+    std::string mutated = base;
+    const int mutations = 1 + static_cast<int>(rng.uniform_u64(0, 2));
+    for (int m = 0; m < mutations; ++m) mutated = mutate(mutated, rng);
+
+    ParseResult recovered = parse_spec_recover(mutated);
+    auto strict = parse_spec(mutated);
+    if (strict.has_value()) {
+      EXPECT_TRUE(recovered.ok())
+          << "strict parsed but recovery reported "
+          << recovered.errors.size() << " error(s); input:\n"
+          << mutated;
+    }
+    if (!recovered.ok()) {
+      EXPECT_FALSE(strict.has_value()) << mutated;
+      for (const ParseError& e : recovered.errors) {
+        EXPECT_FALSE(e.message.empty());
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace psf::spec

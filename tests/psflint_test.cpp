@@ -1,0 +1,195 @@
+// Golden-file suite for the psflint static analyzer.
+//
+// For every catalog ID there are two fixtures under tests/fixtures/lint/:
+// `<ID>_bad.psdl` must fire the ID and `<ID>_clean.psdl` — the same shape
+// of spec with the defect repaired — must not. `multi_defect.psdl` checks
+// the no-fail-fast contract: every planted defect is reported in one run.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "analysis/analyzer.hpp"
+#include "core/framework.hpp"
+#include "mail/mail_spec.hpp"
+#include "planner/environment.hpp"
+#include "spec/parser.hpp"
+
+namespace psf::analysis {
+namespace {
+
+std::filesystem::path fixture_dir() { return PSF_LINT_FIXTURE_DIR; }
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream file(path);
+  EXPECT_TRUE(file.is_open()) << "cannot open " << path;
+  std::ostringstream oss;
+  oss << file.rdbuf();
+  return oss.str();
+}
+
+TEST(PsflintGolden, EveryCatalogIdHasBadAndCleanFixture) {
+  for (const DiagnosticInfo& info : diagnostic_catalog()) {
+    const auto bad = fixture_dir() / (std::string(info.id) + "_bad.psdl");
+    const auto clean = fixture_dir() / (std::string(info.id) + "_clean.psdl");
+    EXPECT_TRUE(std::filesystem::exists(bad)) << bad;
+    EXPECT_TRUE(std::filesystem::exists(clean)) << clean;
+  }
+}
+
+TEST(PsflintGolden, BadFixtureFiresItsId) {
+  for (const DiagnosticInfo& info : diagnostic_catalog()) {
+    const auto path = fixture_dir() / (std::string(info.id) + "_bad.psdl");
+    const LintResult result = lint_source(read_file(path));
+    EXPECT_TRUE(result.diagnostics.has(info.id))
+        << path << " does not fire " << info.id << ":\n"
+        << result.diagnostics.render_text();
+  }
+}
+
+TEST(PsflintGolden, CleanFixtureDoesNotFireItsId) {
+  for (const DiagnosticInfo& info : diagnostic_catalog()) {
+    const auto path = fixture_dir() / (std::string(info.id) + "_clean.psdl");
+    const LintResult result = lint_source(read_file(path));
+    EXPECT_FALSE(result.diagnostics.has(info.id))
+        << path << " unexpectedly fires " << info.id << ":\n"
+        << result.diagnostics.render_text();
+    // Repaired fixtures are also free of *other* error-level findings —
+    // only the pair's own warning/note IDs may remain.
+    EXPECT_FALSE(result.diagnostics.has_errors())
+        << path << ":\n"
+        << result.diagnostics.render_text();
+  }
+}
+
+TEST(PsflintGolden, MultiDefectSpecReportsEveryPlantedId) {
+  const LintResult result =
+      lint_source(read_file(fixture_dir() / "multi_defect.psdl"));
+  for (const char* id :
+       {"PSF002", "PSF008", "PSF010", "PSF020", "PSF032", "PSF040"}) {
+    EXPECT_TRUE(result.diagnostics.has(id))
+        << id << " missing:\n"
+        << result.diagnostics.render_text();
+  }
+  EXPECT_TRUE(result.diagnostics.has_errors());
+}
+
+TEST(PsflintGolden, FindingsAreOrderedBySourceLocation) {
+  const LintResult result =
+      lint_source(read_file(fixture_dir() / "multi_defect.psdl"));
+  ASSERT_GT(result.diagnostics.size(), 1u);
+  const auto& all = result.diagnostics.all();
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_FALSE(all[i].loc < all[i - 1].loc);
+  }
+}
+
+// The analyzer's error set subsumes ServiceSpec::validate(): a spec with no
+// error-level findings must also pass validate().
+TEST(PsflintGolden, ErrorFreeSpecsPassValidate) {
+  for (const auto& entry : std::filesystem::directory_iterator(fixture_dir())) {
+    if (entry.path().extension() != ".psdl") continue;
+    const LintResult result = lint_source(read_file(entry.path()));
+    if (result.diagnostics.has_errors()) continue;
+    spec::ParseResult reparsed = spec::parse_spec_recover(read_file(entry.path()));
+    EXPECT_TRUE(reparsed.spec.validate().is_ok())
+        << entry.path() << " lints error-free but fails validate()";
+  }
+}
+
+TEST(PsflintAnalyze, BuiltInSpecsAreErrorClean) {
+  // These flow through Framework::register_service and must survive the
+  // pre-flight. SecureMail keeps one deliberate warning (PSF006: the 'User'
+  // property is declared for credential translation but unused in linkages).
+  const LintResult mail = lint_source(mail::mail_spec_source());
+  EXPECT_FALSE(mail.diagnostics.has_errors())
+      << mail.diagnostics.render_text();
+  EXPECT_TRUE(mail.diagnostics.has("PSF006"));
+}
+
+TEST(PsflintAnalyze, CatalogIdsAreUniqueAndAscending) {
+  std::set<std::string> seen;
+  for (const DiagnosticInfo& info : diagnostic_catalog()) {
+    EXPECT_TRUE(seen.insert(info.id).second) << "duplicate " << info.id;
+  }
+}
+
+// The Framework rejects error-level specs before any planner or runtime
+// work, with the full diagnostic list attached to the status message.
+TEST(PsflintPreflight, FrameworkRejectsErrorSpecWithDiagnostics) {
+  net::Network network;
+  network.add_node("home");
+  core::Framework fw(std::move(network));
+
+  // Contradictory conditions pass validate() (so psdl_check would accept
+  // this spec) but are a planner dead-end the analyzer proves statically.
+  const char* source = R"(
+service Doomed {
+  property P { type: interval(1, 10); }
+  interface I { properties: P; }
+  component A {
+    implements I { P = 5; }
+    conditions { node.P >= 5; node.P <= 3; }
+    behaviors { code_size: 10 KB; }
+  }
+}
+)";
+  auto parsed = spec::parse_spec(source);
+  ASSERT_TRUE(parsed.has_value()) << parsed.status().to_string();
+  ASSERT_TRUE(parsed->validate().is_ok());
+
+  runtime::ServiceRegistration registration;
+  registration.spec = std::move(parsed).value();
+  registration.code_origin = net::NodeId{0};
+  auto st = fw.register_service(
+      std::move(registration),
+      std::make_shared<planner::CredentialMapTranslator>());
+  ASSERT_FALSE(st.is_ok());
+  EXPECT_EQ(st.code(), util::ErrorCode::kFailedPrecondition);
+  EXPECT_NE(st.to_string().find("PSF031"), std::string::npos)
+      << st.to_string();
+}
+
+TEST(PsflintPreflight, FrameworkAcceptsWarningOnlySpec) {
+  net::Network network;
+  network.add_node("home");
+  core::Framework fw(std::move(network));
+
+  // An unused property is a warning (PSF006), not an error: registration
+  // must go through.
+  const char* source = R"(
+service Fine {
+  property P { type: interval(1, 10); }
+  property Unused { type: boolean; }
+  interface I { properties: P; }
+  component A {
+    implements I { P = 5; }
+    behaviors { code_size: 10 KB; }
+  }
+}
+)";
+  auto parsed = spec::parse_spec(source);
+  ASSERT_TRUE(parsed.has_value()) << parsed.status().to_string();
+  runtime::ServiceRegistration registration;
+  registration.spec = std::move(parsed).value();
+  registration.code_origin = net::NodeId{0};
+  auto st = fw.register_service(
+      std::move(registration),
+      std::make_shared<planner::CredentialMapTranslator>());
+  EXPECT_TRUE(st.is_ok()) << st.to_string();
+}
+
+TEST(PsflintJson, RendersWellFormedSummary) {
+  const LintResult result =
+      lint_source(read_file(fixture_dir() / "PSF010_bad.psdl"));
+  const std::string json = result.diagnostics.render_json("x.psdl");
+  EXPECT_NE(json.find("\"file\": \"x.psdl\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"id\": \"PSF010\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"counts\""), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace psf::analysis

@@ -253,5 +253,82 @@ TEST(ValidateTest, InterfacePropertyMustBeDeclared) {
   EXPECT_NE(st.message().find("Ghost"), std::string::npos);
 }
 
+// ---- recovering parser ------------------------------------------------------
+
+TEST(ParseRecoverTest, CleanSpecParsesWithoutErrors) {
+  ParseResult result = parse_spec_recover(mail::mail_spec_source());
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.spec.name, "SecureMail");
+  auto strict = parse_spec(mail::mail_spec_source());
+  ASSERT_TRUE(strict.has_value());
+  EXPECT_EQ(result.spec.components.size(), strict->components.size());
+}
+
+TEST(ParseRecoverTest, CollectsMultipleErrorsInOneRun) {
+  // Three independent defects: an unknown property type, a stray '-' (a
+  // lexical error), and the parse error it leaves behind in the rule row.
+  const char* source = R"(
+service S {
+  property P { type: wibble; }
+  property Q { type: boolean; }
+  rule Q { (T, T) - T; }
+  component B {
+    implements J { }
+  }
+}
+)";
+  ParseResult result = parse_spec_recover(source);
+  EXPECT_GE(result.errors.size(), 2u) << "got " << result.errors.size();
+  // Errors arrive in source order, each with a location.
+  for (std::size_t i = 0; i < result.errors.size(); ++i) {
+    EXPECT_TRUE(result.errors[i].loc.valid());
+    if (i > 0) {
+      EXPECT_FALSE(result.errors[i].loc < result.errors[i - 1].loc);
+    }
+  }
+  // Recovery kept the healthy declarations around the defects.
+  EXPECT_NE(result.spec.find_property("Q"), nullptr);
+  EXPECT_NE(result.spec.find_component("B"), nullptr);
+}
+
+TEST(ParseRecoverTest, ResyncsAtNextTopLevelKeyword) {
+  const char* source = R"(
+service S {
+  component A {
+    implements I { P = ; }
+  }
+  component B {
+    implements I { }
+  }
+}
+)";
+  ParseResult result = parse_spec_recover(source);
+  EXPECT_FALSE(result.ok());
+  // A is abandoned at the defect; B after the sync point still parses.
+  EXPECT_NE(result.spec.find_component("B"), nullptr);
+}
+
+TEST(ParseRecoverTest, LexicalErrorsCarryLocations) {
+  ParseResult result = parse_spec_recover("service S {\n  \"unterminated\n}\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.errors.front().loc.line, 2);
+}
+
+TEST(ParseRecoverTest, StrictParserAcceptsWhatRecoveryCallsClean) {
+  // parse_spec adds validate() on top, so it may still reject; but it must
+  // never fail with a *parse* error when recovery found none.
+  const char* source = R"(
+service S {
+  property P { type: interval(1, 10); }
+  interface I { properties: P; }
+  component A { implements I { P = 5; } }
+}
+)";
+  ParseResult recovered = parse_spec_recover(source);
+  EXPECT_TRUE(recovered.ok());
+  auto strict = parse_spec(source);
+  EXPECT_TRUE(strict.has_value()) << strict.status().to_string();
+}
+
 }  // namespace
 }  // namespace psf::spec

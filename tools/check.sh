@@ -10,9 +10,15 @@
 #   tools/check.sh --coherence # only: the coherence smoke suite
 #                             # (build + ctest -L coherence, via the
 #                             # coherence_smoke target)
+#   tools/check.sh --lint     # only: build psflint + run the lint-labeled
+#                             # tests (examples + fixtures stay clean)
+#   tools/check.sh --tidy     # also: clang-tidy (see .clang-tidy) over the
+#                             # analysis layer and tools; skipped with a
+#                             # notice when clang-tidy is not installed
 #
 # Tests are labeled in tests/CMakeLists.txt: "tier1" is the fast default
-# suite; "stress" marks the randomized/fuzz soak tests.
+# suite; "stress" marks the randomized/fuzz soak tests; "lint" marks the
+# psflint gate over in-tree PSDL specs.
 #
 # Run from the repo root. Build trees: build/ (standard), build-tsan/,
 # build-asan/.
@@ -24,16 +30,29 @@ JOBS="${JOBS:-$(nproc)}"
 RUN_TSAN=1
 RUN_ASAN=0
 RUN_STRESS=0
+RUN_TIDY=0
 COHERENCE_ONLY=0
+LINT_ONLY=0
 for arg in "$@"; do
   case "${arg}" in
     --no-tsan) RUN_TSAN=0 ;;
     --asan) RUN_ASAN=1 ;;
     --stress) RUN_STRESS=1 ;;
+    --tidy) RUN_TIDY=1 ;;
     --coherence) COHERENCE_ONLY=1 ;;
+    --lint) LINT_ONLY=1 ;;
     *) echo "unknown option: ${arg}" >&2; exit 2 ;;
   esac
 done
+
+if [[ "${LINT_ONLY}" == 1 ]]; then
+  echo "== psflint (spec lint) =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "${JOBS}" --target psflint psflint_test
+  (cd build && ctest --output-on-failure -L lint)
+  echo "== lint passed =="
+  exit 0
+fi
 
 if [[ "${COHERENCE_ONLY}" == 1 ]]; then
   echo "== coherence smoke =="
@@ -60,6 +79,20 @@ if [[ "${RUN_TSAN}" == 1 ]]; then
   cmake -B build-tsan -S . -DPSF_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "${JOBS}" --target planner_parallel_test
   ./build-tsan/tests/planner_parallel_test
+fi
+
+if [[ "${RUN_TIDY}" == 1 ]]; then
+  echo "== clang-tidy =="
+  if command -v clang-tidy >/dev/null 2>&1; then
+    cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    # The new-code surface this repo holds to the .clang-tidy profile; the
+    # older layers migrate as they are touched.
+    clang-tidy -p build --quiet \
+      src/analysis/*.cpp src/spec/lexer.cpp src/spec/parser.cpp \
+      tools/psflint.cpp
+  else
+    echo "clang-tidy not installed; skipping (config: .clang-tidy)"
+  fi
 fi
 
 if [[ "${RUN_ASAN}" == 1 ]]; then

@@ -1,0 +1,136 @@
+// psflint — static analyzer for PSDL service descriptions.
+//
+//   psflint service.psdl            # lint one file (repeatable)
+//   psflint --mail                  # lint the built-in mail spec
+//   cat spec.psdl | psflint -       # read from stdin
+//   psflint --json file.psdl        # machine-readable findings
+//   psflint --explain PSF030        # describe one diagnostic ID
+//   psflint --list                  # print the whole catalog
+//   psflint --allow-warnings ...    # exit 0 unless errors are present
+//
+// Unlike psdl_check (first error only), psflint recovers from parse errors
+// and reports every finding of every analysis pass in one run. Exit status
+// is keyed to the worst severity across all inputs: 0 clean (or notes
+// only), 1 warnings, 2 errors.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+#include "mail/mail_spec.hpp"
+
+namespace {
+
+constexpr char kUsage[] =
+    "usage: psflint [options] [file.psdl | - | --mail]...\n"
+    "  --json             emit findings as JSON (one object per input)\n"
+    "  --allow-warnings   exit 0 when only warnings/notes were found\n"
+    "  --explain <ID>     describe a diagnostic ID and exit\n"
+    "  --list             print the diagnostic catalog and exit\n";
+
+struct Input {
+  std::string label;
+  std::string source;
+};
+
+int explain(const std::string& id) {
+  const psf::analysis::DiagnosticInfo* info =
+      psf::analysis::find_diagnostic(id);
+  if (info == nullptr) {
+    std::fprintf(stderr, "psflint: unknown diagnostic ID '%s'\n", id.c_str());
+    return 2;
+  }
+  std::printf("%s (%s): %s\n", info->id,
+              psf::analysis::severity_name(info->severity), info->title);
+  std::printf("See docs/PSDL.md, \"Diagnostic catalog\", for an example and "
+              "a fix.\n");
+  return 0;
+}
+
+void list_catalog() {
+  for (const psf::analysis::DiagnosticInfo& info :
+       psf::analysis::diagnostic_catalog()) {
+    std::printf("%s  %-7s  %s\n", info.id,
+                psf::analysis::severity_name(info.severity), info.title);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<Input> inputs;
+  bool json = false;
+  bool allow_warnings = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--allow-warnings") {
+      allow_warnings = true;
+    } else if (arg == "--list") {
+      list_catalog();
+      return 0;
+    } else if (arg == "--explain" && i + 1 < argc) {
+      return explain(argv[++i]);
+    } else if (arg == "--mail") {
+      inputs.push_back({"<built-in mail spec>", psf::mail::mail_spec_source()});
+    } else if (arg == "-") {
+      std::ostringstream oss;
+      oss << std::cin.rdbuf();
+      inputs.push_back({"<stdin>", oss.str()});
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("%s", kUsage);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "psflint: unknown option '%s'\n%s", arg.c_str(),
+                   kUsage);
+      return 2;
+    } else {
+      std::ifstream file(arg);
+      if (!file) {
+        std::fprintf(stderr, "psflint: cannot open '%s'\n", arg.c_str());
+        return 2;
+      }
+      std::ostringstream oss;
+      oss << file.rdbuf();
+      inputs.push_back({arg, oss.str()});
+    }
+  }
+
+  if (inputs.empty()) {
+    std::fprintf(stderr, "psflint: no input\n%s", kUsage);
+    return 2;
+  }
+
+  psf::analysis::Severity worst = psf::analysis::Severity::kNote;
+  bool any_findings = false;
+  for (const Input& input : inputs) {
+    psf::analysis::LintResult result =
+        psf::analysis::lint_source(input.source);
+    if (json) {
+      std::printf("%s\n",
+                  result.diagnostics.render_json(input.label).c_str());
+    } else if (result.diagnostics.empty()) {
+      std::printf("%s: clean\n", input.label.c_str());
+    } else {
+      std::printf("%s", result.diagnostics.render_text(input.label).c_str());
+    }
+    for (const psf::analysis::Diagnostic& d : result.diagnostics.all()) {
+      any_findings = true;
+      if (static_cast<int>(d.severity) > static_cast<int>(worst)) {
+        worst = d.severity;
+      }
+    }
+  }
+
+  if (worst == psf::analysis::Severity::kError) return 2;
+  if (any_findings && worst == psf::analysis::Severity::kWarning) {
+    return allow_warnings ? 0 : 1;
+  }
+  return 0;
+}
