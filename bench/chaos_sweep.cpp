@@ -1,0 +1,288 @@
+// E9 (robustness) — the mail workload under the reference fault plan: two
+// full San Diego partition windows (1.2 s each) plus a silent crash of the
+// node hosting the shared San Diego view, with lease-based detection and
+// the client retry/rebind policy either on or off.
+//
+// Deployment under test: a seed bind from sd_client places the shared
+// ViewMailServer + Encryptor there; workload clients on the two surviving
+// San Diego nodes and in Seattle then bind and reuse that view, so the
+// crash at t=8 s strands every client on a dead wire. Recovery is entirely
+// detection + rebind: nobody calls report_node_failure.
+//
+// Acceptance gates (exit nonzero on failure):
+//   1. delivered-request ratio with retries >= 0.95;
+//   2. delivered-request ratio without retries <= 0.85 (the faults really
+//      bite when nothing bridges them);
+//   3. crash detection latency <= 2 x (heartbeat + grace);
+//   4. the with-retries run is bit-identical across two executions with the
+//      same fault-plan seed (every counter compared).
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "core/case_study.hpp"
+#include "core/fault_plan.hpp"
+#include "core/framework.hpp"
+#include "core/workload.hpp"
+#include "mail/mail_spec.hpp"
+#include "mail/registration.hpp"
+
+using namespace psf;
+
+namespace {
+
+constexpr std::uint64_t kPlanSeed = 0xC0A05EEDULL;
+
+struct VariantResult {
+  std::uint64_t ops_ok = 0;
+  std::uint64_t ops_failed = 0;
+  // Counters compared for bit-identity between same-seed runs.
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t messages_unroutable = 0;
+  std::uint64_t invoke_timeouts = 0;
+  std::uint64_t attempts = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t rebinds = 0;
+  std::uint64_t expirations = 0;
+  double detection_max_ms = 0.0;
+  double lease_duration_ms = 0.0;
+  bool all_finished = false;
+
+  double delivered_ratio() const {
+    const std::uint64_t total = ops_ok + ops_failed;
+    return total == 0 ? 0.0 : static_cast<double>(ops_ok) /
+                                  static_cast<double>(total);
+  }
+  bool identical_to(const VariantResult& o) const {
+    return ops_ok == o.ops_ok && ops_failed == o.ops_failed &&
+           messages_sent == o.messages_sent &&
+           messages_dropped == o.messages_dropped &&
+           messages_unroutable == o.messages_unroutable &&
+           invoke_timeouts == o.invoke_timeouts && attempts == o.attempts &&
+           retries == o.retries && rebinds == o.rebinds &&
+           expirations == o.expirations &&
+           detection_max_ms == o.detection_max_ms;
+  }
+};
+
+struct Client {
+  std::unique_ptr<runtime::GenericProxy> proxy;
+  std::unique_ptr<core::WorkloadClient> workload;
+};
+
+VariantResult run_variant(bool retries, std::uint64_t seed) {
+  core::CaseStudySites sites;
+  net::Network network = core::case_study_network(&sites);
+  core::FrameworkOptions options;
+  options.lookup_node = sites.new_york[0];
+  options.server_node = sites.new_york[0];
+  core::Framework fw(std::move(network), options);
+  auto config = std::make_shared<mail::MailServiceConfig>();
+  if (!mail::register_mail_factories(fw.runtime().factories(), config)
+           .is_ok() ||
+      !fw.register_service(mail::mail_registration(sites.mail_home),
+                           mail::mail_translator())
+           .is_ok()) {
+    std::fprintf(stderr, "chaos_sweep: service registration failed\n");
+    return {};
+  }
+  fw.enable_adaptation("SecureMail");
+
+  auto bind_proxy = [&fw](net::NodeId node, std::int64_t trust) {
+    planner::PlanRequest request;
+    request.interface_name = "ClientInterface";
+    request.required_properties.emplace_back(
+        "TrustLevel", spec::PropertyValue::integer(trust));
+    request.request_rate_rps = 25.0;
+    auto proxy = fw.make_proxy(node, "SecureMail", request);
+    bool done = false;
+    bool ok = false;
+    proxy->bind([&](util::Status st) {
+      ok = st.is_ok();
+      done = true;
+    });
+    fw.run_until_condition([&done]() { return done; },
+                           sim::Duration::from_seconds(300));
+    if (!ok) proxy.reset();
+    return proxy;
+  };
+
+  // Seed bind: places the shared SD view + encryptor on sd_client.
+  auto seed_proxy = bind_proxy(sites.sd_client, 4);
+  if (!seed_proxy) {
+    std::fprintf(stderr, "chaos_sweep: seed bind failed\n");
+    return {};
+  }
+
+  struct Spec {
+    net::NodeId node;
+    std::int64_t trust;
+    const char* user;
+  };
+  const Spec specs[] = {
+      {sites.san_diego[0], 4, "u-sd0"},
+      {sites.san_diego[1], 4, "u-sd1"},
+      {sites.sea_client, 2, "u-sea"},
+  };
+
+  std::vector<Client> clients;
+  for (const Spec& spec : specs) {
+    Client client;
+    client.proxy = bind_proxy(spec.node, spec.trust);
+    if (!client.proxy) {
+      std::fprintf(stderr, "chaos_sweep: bind for %s failed\n", spec.user);
+      return {};
+    }
+    clients.push_back(std::move(client));
+  }
+
+  // Detection after all binds (register_service/binds drain the simulator;
+  // the lease timers keep the queue non-empty forever afterwards).
+  auto& lease = fw.enable_failure_detection();
+
+  runtime::RetryPolicy policy;
+  policy.attempt_timeout = sim::Duration::from_seconds(1);
+  policy.backoff_base = sim::Duration::from_millis(200);
+  policy.backoff_cap = sim::Duration::from_seconds(1);
+  policy.max_attempts = 8;
+  policy.rebind_on_unreachable = true;
+  if (retries) {
+    for (Client& client : clients) {
+      client.proxy->enable_retries(policy, &fw.retry_telemetry());
+    }
+  }
+
+  core::WorkloadParams params;
+  params.sends = 50;
+  params.receives = 10;
+  params.think = sim::Duration::from_millis(150);
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    const Spec& spec = specs[i];
+    config->keys->provision_user(spec.user, mail::kMaxSensitivity);
+    runtime::GenericProxy* proxy = clients[i].proxy.get();
+    clients[i].workload = std::make_unique<core::WorkloadClient>(
+        fw.runtime(), spec.user, config,
+        [proxy](runtime::Request request, runtime::ResponseCallback done) {
+          proxy->invoke(std::move(request), std::move(done));
+        },
+        params);
+  }
+
+  // Reference fault plan: two 1.2 s San Diego partitions, then the silent
+  // crash of the shared view's host.
+  std::vector<net::NodeId> others = sites.new_york;
+  others.insert(others.end(), sites.seattle.begin(), sites.seattle.end());
+  core::FaultPlan plan(seed);
+  plan.partition_window(sim::Duration::from_seconds(2),
+                        sim::Duration::from_millis(1200), sites.san_diego,
+                        others);
+  plan.partition_window(sim::Duration::from_seconds(5),
+                        sim::Duration::from_millis(1200), sites.san_diego,
+                        others);
+  plan.crash_node_at(sim::Duration::from_millis(6500), sites.sd_client);
+  plan.arm(fw);
+
+  for (Client& client : clients) client.workload->start();
+  const bool all_finished = fw.run_until_condition(
+      [&clients]() {
+        for (const Client& client : clients) {
+          if (!client.workload->finished()) return false;
+        }
+        return true;
+      },
+      sim::Duration::from_seconds(300));
+
+  VariantResult result;
+  for (const Client& client : clients) {
+    const core::WorkloadStats& wl = client.workload->stats();
+    result.ops_ok += wl.sends_ok + wl.receives_ok;
+    result.ops_failed += wl.sends_failed + wl.receives_failed;
+  }
+  const runtime::RuntimeStats& stats = fw.runtime().stats();
+  result.messages_sent = stats.messages_sent;
+  result.messages_dropped = stats.messages_dropped;
+  result.messages_unroutable = stats.messages_unroutable;
+  result.invoke_timeouts = stats.invoke_timeouts;
+  result.attempts = fw.retry_telemetry().attempts;
+  result.retries = fw.retry_telemetry().retries;
+  result.rebinds = fw.retry_telemetry().rebinds;
+  result.expirations = lease.expirations().size();
+  util::SampleSet detection = lease.detection_latency_ms();
+  result.detection_max_ms = detection.count() == 0 ? 0.0 : detection.max();
+  result.lease_duration_ms = lease.lease_duration().millis();
+  result.all_finished = all_finished;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Chaos sweep (2 SD partition windows + view-host crash, "
+              "3 clients, seed %llu) ===\n",
+              static_cast<unsigned long long>(kPlanSeed));
+
+  const VariantResult with_retries = run_variant(true, kPlanSeed);
+  const VariantResult replay = run_variant(true, kPlanSeed);
+  const VariantResult without = run_variant(false, kPlanSeed);
+
+  auto print = [](const char* label, const VariantResult& r) {
+    std::printf(
+        "%-12s ok %5llu fail %4llu ratio %.3f | drops %llu unroutable %llu "
+        "timeouts %llu attempts %llu retries %llu rebinds %llu | "
+        "expirations %llu detect %.0fms\n",
+        label, static_cast<unsigned long long>(r.ops_ok),
+        static_cast<unsigned long long>(r.ops_failed), r.delivered_ratio(),
+        static_cast<unsigned long long>(r.messages_dropped),
+        static_cast<unsigned long long>(r.messages_unroutable),
+        static_cast<unsigned long long>(r.invoke_timeouts),
+        static_cast<unsigned long long>(r.attempts),
+        static_cast<unsigned long long>(r.retries),
+        static_cast<unsigned long long>(r.rebinds),
+        static_cast<unsigned long long>(r.expirations), r.detection_max_ms);
+  };
+  print("retries", with_retries);
+  print("no-retries", without);
+
+  const bool deterministic = with_retries.identical_to(replay);
+  const double detection_bound_ms = 2.0 * with_retries.lease_duration_ms;
+
+  bool pass = true;
+  auto gate = [&pass](bool ok, const char* what) {
+    std::printf("gate %-34s %s\n", what, ok ? "PASS" : "FAIL");
+    pass = pass && ok;
+  };
+  gate(with_retries.all_finished && without.all_finished,
+       "all workloads ran to completion");
+  gate(with_retries.delivered_ratio() >= 0.95, "retry delivered ratio >= 0.95");
+  gate(without.delivered_ratio() <= 0.85, "no-retry delivered ratio <= 0.85");
+  gate(with_retries.detection_max_ms > 0.0 &&
+           with_retries.detection_max_ms <= detection_bound_ms,
+       "detection latency <= 2x lease duration");
+  gate(deterministic, "same seed is bit-identical");
+
+  bench::JsonResult json("chaos_sweep");
+  json.add("plan_seed", static_cast<std::uint64_t>(kPlanSeed));
+  json.add("ops_ok_retries", with_retries.ops_ok);
+  json.add("ops_failed_retries", with_retries.ops_failed);
+  json.add("delivered_ratio_retries", with_retries.delivered_ratio());
+  json.add("ops_ok_noretries", without.ops_ok);
+  json.add("ops_failed_noretries", without.ops_failed);
+  json.add("delivered_ratio_noretries", without.delivered_ratio());
+  json.add("messages_dropped", with_retries.messages_dropped);
+  json.add("messages_unroutable", with_retries.messages_unroutable);
+  json.add("invoke_timeouts", with_retries.invoke_timeouts);
+  json.add("attempts", with_retries.attempts);
+  json.add("retries", with_retries.retries);
+  json.add("rebinds", with_retries.rebinds);
+  json.add("lease_expirations", with_retries.expirations);
+  json.add("detection_max_ms", with_retries.detection_max_ms);
+  json.add("detection_bound_ms", detection_bound_ms);
+  json.add("deterministic", deterministic);
+  json.add("gates_pass", pass);
+  json.write();
+
+  return pass ? 0 : 1;
+}

@@ -1,0 +1,235 @@
+#include "core/fault_plan.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace psf::core {
+
+FaultPlan& FaultPlan::fail_link_at(sim::Duration at, net::LinkId link) {
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kFailLink;
+  e.at = at;
+  e.link = link;
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::heal_link_at(sim::Duration at, net::LinkId link) {
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kHealLink;
+  e.at = at;
+  e.link = link;
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::flap_link(net::LinkId link, sim::Duration at,
+                                sim::Duration down_for) {
+  fail_link_at(at, link);
+  return heal_link_at(at + down_for, link);
+}
+
+FaultPlan& FaultPlan::set_link_loss_at(sim::Duration at, net::LinkId link,
+                                       double loss) {
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kSetLinkLoss;
+  e.at = at;
+  e.link = link;
+  e.loss = loss;
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::loss_burst(net::LinkId link, sim::Duration at,
+                                 sim::Duration duration, double loss) {
+  set_link_loss_at(at, link, loss);
+  return set_link_loss_at(at + duration, link, 0.0);
+}
+
+FaultPlan& FaultPlan::crash_node_at(sim::Duration at, net::NodeId node) {
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kCrashNode;
+  e.at = at;
+  e.node = node;
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::revive_node_at(sim::Duration at, net::NodeId node) {
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kReviveNode;
+  e.at = at;
+  e.node = node;
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::partition_at(sim::Duration at,
+                                   std::vector<net::NodeId> side_a,
+                                   std::vector<net::NodeId> side_b) {
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kPartition;
+  e.at = at;
+  e.side_a = std::move(side_a);
+  e.side_b = std::move(side_b);
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::heal_partition_at(sim::Duration at,
+                                        std::vector<net::NodeId> side_a,
+                                        std::vector<net::NodeId> side_b) {
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kHealPartition;
+  e.at = at;
+  e.side_a = std::move(side_a);
+  e.side_b = std::move(side_b);
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::partition_window(sim::Duration at, sim::Duration down_for,
+                                       std::vector<net::NodeId> side_a,
+                                       std::vector<net::NodeId> side_b) {
+  partition_at(at, side_a, side_b);
+  return heal_partition_at(at + down_for, std::move(side_a),
+                           std::move(side_b));
+}
+
+FaultPlan& FaultPlan::random_link_flaps(const net::Network& network,
+                                        std::size_t count,
+                                        sim::Duration window_start,
+                                        sim::Duration window_end,
+                                        sim::Duration min_down,
+                                        sim::Duration max_down) {
+  PSF_CHECK(network.link_count() > 0);
+  PSF_CHECK(window_end.nanos() > window_start.nanos());
+  PSF_CHECK(max_down.nanos() >= min_down.nanos());
+  util::Rng rng(seed_ ^ 0xF1A95EEDULL);
+  for (std::size_t i = 0; i < count; ++i) {
+    const net::LinkId link{static_cast<std::uint32_t>(
+        rng.uniform_u64(0, network.link_count() - 1))};
+    const sim::Duration at = sim::Duration::from_nanos(
+        rng.uniform_i64(window_start.nanos(), window_end.nanos() - 1));
+    const sim::Duration down = sim::Duration::from_nanos(
+        rng.uniform_i64(min_down.nanos(), max_down.nanos()));
+    flap_link(link, at, down);
+  }
+  return *this;
+}
+
+void FaultPlan::arm(Framework& fw) const {
+  fw.runtime().set_fault_seed(seed_ ^ 0x10555EEDULL);
+  // Stable-sort by time so same-time events fire in insertion order — the
+  // simulator breaks timestamp ties by schedule order, so sorting here makes
+  // the fire order independent of how the plan was built up.
+  std::vector<const FaultEvent*> ordered;
+  ordered.reserve(events_.size());
+  for (const FaultEvent& e : events_) ordered.push_back(&e);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const FaultEvent* a, const FaultEvent* b) {
+                     return a->at.nanos() < b->at.nanos();
+                   });
+  for (const FaultEvent* ep : ordered) {
+    const FaultEvent e = *ep;  // schedule an owned copy
+    fw.simulator().schedule(e.at, [&fw, e] {
+      runtime::NetworkMonitor& monitor = fw.monitor();
+      switch (e.kind) {
+        case FaultEvent::Kind::kFailLink:
+          monitor.fail_link(e.link);
+          break;
+        case FaultEvent::Kind::kHealLink:
+          monitor.heal_link(e.link);
+          break;
+        case FaultEvent::Kind::kSetLinkLoss:
+          monitor.set_link_loss(e.link, e.loss);
+          break;
+        case FaultEvent::Kind::kCrashNode:
+          fw.crash_node(e.node);
+          break;
+        case FaultEvent::Kind::kReviveNode:
+          fw.revive_node(e.node);
+          break;
+        case FaultEvent::Kind::kPartition:
+          monitor.partition(e.side_a, e.side_b);
+          break;
+        case FaultEvent::Kind::kHealPartition: {
+          // Restore the cut: heal every down link crossing it. heal_link is
+          // idempotent, so links failed by other events and already healed
+          // are untouched; a link failed both by this partition and a
+          // concurrent fail_link is healed here (document in DESIGN.md).
+          auto in = [](const std::vector<net::NodeId>& set, net::NodeId n) {
+            return std::find(set.begin(), set.end(), n) != set.end();
+          };
+          for (net::LinkId lid : fw.network().all_links()) {
+            const net::Link& l = fw.network().link(lid);
+            if (l.up) continue;
+            const bool crosses = (in(e.side_a, l.a) && in(e.side_b, l.b)) ||
+                                 (in(e.side_a, l.b) && in(e.side_b, l.a));
+            if (crosses) monitor.heal_link(lid);
+          }
+          break;
+        }
+      }
+    });
+  }
+}
+
+std::string FaultPlan::to_string(const net::Network& network) const {
+  auto link_name = [&network](net::LinkId lid) {
+    const net::Link& l = network.link(lid);
+    return network.node(l.a).name + "<->" + network.node(l.b).name;
+  };
+  auto side_name = [&network](const std::vector<net::NodeId>& side) {
+    std::string out = "[";
+    for (std::size_t i = 0; i < side.size(); ++i) {
+      if (i > 0) out += " ";
+      out += network.node(side[i]).name;
+    }
+    return out + "]";
+  };
+  std::vector<const FaultEvent*> ordered;
+  ordered.reserve(events_.size());
+  for (const FaultEvent& e : events_) ordered.push_back(&e);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const FaultEvent* a, const FaultEvent* b) {
+                     return a->at.nanos() < b->at.nanos();
+                   });
+  std::ostringstream oss;
+  oss << "FaultPlan(seed=" << seed_ << ", " << events_.size() << " events)\n";
+  for (const FaultEvent* ep : ordered) {
+    const FaultEvent& e = *ep;
+    oss << "  @" << e.at.millis() << "ms ";
+    switch (e.kind) {
+      case FaultEvent::Kind::kFailLink:
+        oss << "fail-link " << link_name(e.link);
+        break;
+      case FaultEvent::Kind::kHealLink:
+        oss << "heal-link " << link_name(e.link);
+        break;
+      case FaultEvent::Kind::kSetLinkLoss:
+        oss << "set-loss " << link_name(e.link) << " " << e.loss;
+        break;
+      case FaultEvent::Kind::kCrashNode:
+        oss << "crash-node " << network.node(e.node).name;
+        break;
+      case FaultEvent::Kind::kReviveNode:
+        oss << "revive-node " << network.node(e.node).name;
+        break;
+      case FaultEvent::Kind::kPartition:
+        oss << "partition " << side_name(e.side_a) << " | "
+            << side_name(e.side_b);
+        break;
+      case FaultEvent::Kind::kHealPartition:
+        oss << "heal-partition " << side_name(e.side_a) << " | "
+            << side_name(e.side_b);
+        break;
+    }
+    oss << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace psf::core

@@ -1,0 +1,101 @@
+// Deterministic fault schedules for chaos experiments.
+//
+// A FaultPlan is a list of timed fault events — link failures/heals, loss
+// bursts, partitions, node crashes/revivals — built either by explicit
+// scripting (fail_link_at, crash_node_at, ...) or by seeded randomization
+// (random_link_flaps). arm() schedules every event on the framework's
+// simulator and seeds the runtime's loss RNG from the plan seed, so the same
+// plan + seed replays a bit-identical trace: identical event times, identical
+// loss draws, identical counters.
+//
+// Grammar (one entry per line of to_string()):
+//   @<t>ms fail-link <link>         | heal-link <link>
+//   @<t>ms set-loss <link> <p>
+//   @<t>ms crash-node <node>        | revive-node <node>
+//   @<t>ms partition [<nodes>] | [<nodes>]   (heal-partition undoes it)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/framework.hpp"
+#include "net/network.hpp"
+#include "sim/time.hpp"
+#include "util/rng.hpp"
+
+namespace psf::core {
+
+struct FaultEvent {
+  enum class Kind {
+    kFailLink,
+    kHealLink,
+    kSetLinkLoss,
+    kCrashNode,
+    kReviveNode,
+    kPartition,
+    kHealPartition,
+  };
+
+  Kind kind;
+  sim::Duration at = sim::Duration::zero();  // offset from arm() time
+  net::LinkId link;                          // link events
+  double loss = 0.0;                         // kSetLinkLoss
+  net::NodeId node;                          // node events
+  std::vector<net::NodeId> side_a;           // partition events
+  std::vector<net::NodeId> side_b;
+};
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(std::uint64_t seed = 0) : seed_(seed) {}
+
+  std::uint64_t seed() const { return seed_; }
+  const std::vector<FaultEvent>& events() const { return events_; }
+
+  // ---- scripted schedule --------------------------------------------------
+  FaultPlan& fail_link_at(sim::Duration at, net::LinkId link);
+  FaultPlan& heal_link_at(sim::Duration at, net::LinkId link);
+  // Convenience: fail at `at`, heal at `at + down_for`.
+  FaultPlan& flap_link(net::LinkId link, sim::Duration at,
+                       sim::Duration down_for);
+  FaultPlan& set_link_loss_at(sim::Duration at, net::LinkId link, double loss);
+  // Convenience: loss `p` during [at, at + duration), then back to 0.
+  FaultPlan& loss_burst(net::LinkId link, sim::Duration at,
+                        sim::Duration duration, double loss);
+  FaultPlan& crash_node_at(sim::Duration at, net::NodeId node);
+  FaultPlan& revive_node_at(sim::Duration at, net::NodeId node);
+  // Severs every link crossing the cut at `at`; heal_partition_at restores
+  // exactly the links the partition severed (computed at fire time).
+  FaultPlan& partition_at(sim::Duration at, std::vector<net::NodeId> side_a,
+                          std::vector<net::NodeId> side_b);
+  FaultPlan& heal_partition_at(sim::Duration at,
+                               std::vector<net::NodeId> side_a,
+                               std::vector<net::NodeId> side_b);
+  // Convenience: partition at `at`, heal at `at + down_for`.
+  FaultPlan& partition_window(sim::Duration at, sim::Duration down_for,
+                              std::vector<net::NodeId> side_a,
+                              std::vector<net::NodeId> side_b);
+
+  // ---- randomized schedule ------------------------------------------------
+  // Draws `count` link flaps from the plan seed: uniformly random link,
+  // start uniform in [window_start, window_end), downtime uniform in
+  // [min_down, max_down]. Deterministic for a fixed seed and network.
+  FaultPlan& random_link_flaps(const net::Network& network, std::size_t count,
+                               sim::Duration window_start,
+                               sim::Duration window_end,
+                               sim::Duration min_down, sim::Duration max_down);
+
+  // Schedules every event on fw's simulator (offsets relative to now) and
+  // seeds the runtime's loss RNG from the plan seed. Call once.
+  void arm(Framework& fw) const;
+
+  // Human-readable schedule; node/link ids resolved against `network`.
+  std::string to_string(const net::Network& network) const;
+
+ private:
+  std::uint64_t seed_;
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace psf::core

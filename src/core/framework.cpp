@@ -59,9 +59,32 @@ std::unique_ptr<runtime::GenericProxy> Framework::make_proxy(
 
 std::vector<runtime::RuntimeInstanceId> Framework::fail_node(
     net::NodeId node) {
-  auto lost = runtime_.crash_node(node);
+  auto lost = crash_node(node);
   monitor_.report_node_failure(node);
   return lost;
+}
+
+std::vector<runtime::RuntimeInstanceId> Framework::crash_node(
+    net::NodeId node) {
+  auto lost = runtime_.crash_node(node);
+  network_.set_node_up(node, false);
+  if (lease_) lease_->note_crash(node, sim_.now());
+  return lost;
+}
+
+void Framework::revive_node(net::NodeId node) {
+  network_.set_node_up(node, true);
+}
+
+runtime::LeaseManager& Framework::enable_failure_detection(
+    runtime::LeaseParams params) {
+  PSF_CHECK_MSG(lease_ == nullptr, "failure detection already enabled");
+  lease_ = std::make_unique<runtime::LeaseManager>(runtime_, monitor_,
+                                                   lookup_.host(), params);
+  lease_->set_telemetry(&retry_telemetry_);
+  lease_->watch_all();
+  lease_->start();
+  return *lease_;
 }
 
 void Framework::enable_adaptation(const std::string& service) {

@@ -18,8 +18,10 @@
 
 #include "net/network.hpp"
 #include "runtime/generic.hpp"
+#include "runtime/lease.hpp"
 #include "runtime/lookup.hpp"
 #include "runtime/monitor.hpp"
+#include "runtime/retry.hpp"
 #include "runtime/smock.hpp"
 #include "sim/simulator.hpp"
 
@@ -56,10 +58,35 @@ class Framework {
   // change, so later planning sees current properties.
   void enable_adaptation(const std::string& service);
 
-  // Fault injection: crashes every instance on `node` and fires a
-  // kNodeFailure monitor event (which a RedeploymentManager turns into
-  // recovery). Returns the lost instance ids.
+  // Fault injection, oracle flavor: crashes every instance on `node`, marks
+  // the node down, and immediately fires a kNodeFailure monitor event (the
+  // system is *told* about the failure). Returns the lost instance ids.
   std::vector<runtime::RuntimeInstanceId> fail_node(net::NodeId node);
+
+  // Fault injection, silent flavor: crashes the instances and marks the
+  // node down, but reports nothing — the failure must be *detected* (lease
+  // expiry via enable_failure_detection) before the adaptation chain runs.
+  std::vector<runtime::RuntimeInstanceId> crash_node(net::NodeId node);
+
+  // Brings a crashed node back up (its instances stay dead — recovery
+  // redeploys). With failure detection running, the node's next heartbeat
+  // renews its lease and reactivates it.
+  void revive_node(net::NodeId node);
+
+  // Starts Jini-style lease-based failure detection: every current node
+  // holds a lease with the lookup service, renewed by heartbeats on the
+  // simulated fabric, and expiries fire the monitor's observer chain. Call
+  // AFTER register_service (the heartbeat timers keep the event queue
+  // non-empty, so use run_for/run_until_condition afterwards, never run()).
+  runtime::LeaseManager& enable_failure_detection(
+      runtime::LeaseParams params = {});
+
+  // Non-null once enable_failure_detection has run.
+  runtime::LeaseManager* lease_manager() { return lease_.get(); }
+
+  // Shared client-resilience counters; pass to GenericProxy::enable_retries
+  // so every proxy in this world accumulates into one place.
+  runtime::RetryTelemetry& retry_telemetry() { return retry_telemetry_; }
 
   // Simulation drivers.
   std::size_t run() { return sim_.run(); }
@@ -87,6 +114,8 @@ class Framework {
   runtime::LookupService lookup_;
   runtime::GenericServer server_;
   runtime::NetworkMonitor monitor_;
+  std::unique_ptr<runtime::LeaseManager> lease_;
+  runtime::RetryTelemetry retry_telemetry_;
 };
 
 }  // namespace psf::core

@@ -64,6 +64,7 @@ void EncryptorComponent::handle_request(const runtime::Request& request,
            runtime::Response plain;
            plain.ok = response.ok;
            plain.error = response.error;
+           plain.transport = response.transport;
            plain.body = envelope->inner;
            plain.wire_bytes = envelope->inner_wire_bytes;
            const double resp_units =
@@ -109,6 +110,12 @@ void DecryptorComponent::handle_request(const runtime::Request& request,
                      done = std::move(done)]() mutable {
     call("ServerInterface", std::move(plain),
          [this, key, done = std::move(done)](runtime::Response response) {
+           if (!response.ok) {
+             // Failures (including transport errors from a dead upstream
+             // wire) travel back plain; the encryptor forwards them verbatim.
+             done(std::move(response));
+             return;
+           }
            // Seal the response for the trip back across the insecure link.
            const std::uint64_t nonce = (nonce_ += 2);
            auto envelope = std::make_shared<TunnelBody>();

@@ -86,6 +86,7 @@ std::optional<LinkId> Network::link_between(NodeId a, NodeId b) const {
 std::optional<Route> Network::route(NodeId from, NodeId to) const {
   PSF_CHECK(from.valid() && from.value < nodes_.size());
   PSF_CHECK(to.valid() && to.value < nodes_.size());
+  if (!nodes_[from.value].up || !nodes_[to.value].up) return std::nullopt;
   if (from == to) return Route{};
 
   struct State {
@@ -120,7 +121,9 @@ std::optional<Route> Network::route(NodeId from, NodeId to) const {
     if (s.node == to) break;
     for (LinkId lid : adjacency_[s.node.value]) {
       const Link& l = links_[lid.value];
+      if (!l.up) continue;
       const NodeId next = l.other(s.node);
+      if (!nodes_[next.value].up) continue;
       const std::int64_t cand = s.latency_ns + l.latency.nanos();
       const std::uint32_t cand_hops = s.hops + 1;
       if (cand < best[next.value] ||
@@ -180,6 +183,41 @@ void Network::precompute_routes() const {
   }
 }
 
+void Network::set_node_up(NodeId id, bool up) {
+  Node& n = node(id);
+  if (n.up == up) return;
+  n.up = up;
+  invalidate_cache();
+}
+
+void Network::set_link_up(LinkId id, bool up) {
+  Link& l = link(id);
+  if (l.up == up) return;
+  l.up = up;
+  invalidate_cache();
+}
+
+void Network::set_link_loss(LinkId id, double loss) {
+  PSF_CHECK_MSG(loss >= 0.0 && loss <= 1.0, "loss probability out of [0,1]");
+  link(id).loss = loss;
+  // Loss does not change route selection, but cached Route pointers are the
+  // public contract for "topology snapshot"; refresh them anyway so readers
+  // re-observe the link.
+  invalidate_cache();
+}
+
+void Network::set_link_bandwidth(LinkId id, double bandwidth_bps) {
+  PSF_CHECK_MSG(bandwidth_bps > 0.0, "link bandwidth must be positive");
+  link(id).bandwidth_bps = bandwidth_bps;
+  invalidate_cache();
+}
+
+void Network::set_link_latency(LinkId id, sim::Duration latency) {
+  PSF_CHECK_MSG(latency.nanos() >= 0, "negative link latency");
+  link(id).latency = latency;
+  invalidate_cache();
+}
+
 std::vector<NodeId> Network::all_nodes() const {
   std::vector<NodeId> out;
   out.reserve(nodes_.size());
@@ -201,13 +239,15 @@ std::string Network::to_string() const {
   for (const Node& n : nodes_) {
     oss << "  node " << n.id.value << " '" << n.name
         << "' cpu=" << n.cpu_capacity << " " << n.credentials.to_string()
-        << "\n";
+        << (n.up ? "" : " DOWN") << "\n";
   }
   for (const Link& l : links_) {
     oss << "  link " << l.id.value << " " << nodes_[l.a.value].name << " <-> "
         << nodes_[l.b.value].name << " bw=" << l.bandwidth_bps / 1e6
         << "Mbps lat=" << l.latency.millis() << "ms "
-        << l.credentials.to_string() << "\n";
+        << l.credentials.to_string() << (l.up ? "" : " DOWN");
+    if (l.loss > 0.0) oss << " loss=" << l.loss;
+    oss << "\n";
   }
   return oss.str();
 }

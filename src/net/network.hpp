@@ -47,6 +47,9 @@ struct Node {
   // distances), zero for hand-built topologies.
   double x = 0.0;
   double y = 0.0;
+  // Fault state: a down node is skipped by routing and unusable for
+  // placement. Mutate through Network::set_node_up so route caches refresh.
+  bool up = true;
 
   double cpu_available() const { return cpu_capacity - cpu_reserved; }
 };
@@ -59,6 +62,11 @@ struct Link {
   sim::Duration latency = sim::Duration::zero();
   double bandwidth_reserved_bps = 0.0;  // planner reservations
   Credentials credentials;
+  // Fault state: a down link carries no traffic and is skipped by routing;
+  // `loss` is the per-message drop probability applied at each hop. Mutate
+  // through Network::set_link_up / set_link_loss so route caches refresh.
+  bool up = true;
+  double loss = 0.0;
 
   double bandwidth_available_bps() const {
     return bandwidth_bps - bandwidth_reserved_bps;
@@ -112,8 +120,25 @@ class Network {
 
   // Shortest path from `from` to `to` minimizing total latency; ties broken
   // by hop count then link id for determinism. Empty route if from == to;
-  // nullopt if disconnected.
+  // nullopt if disconnected. Down links and down intermediate nodes are
+  // skipped; a down endpoint makes every pair involving it unreachable.
   std::optional<Route> route(NodeId from, NodeId to) const;
+
+  // Fault-state mutators. Every one of these (and the property setters
+  // below) invalidates the route cache, so pointers from cached_route() /
+  // precompute_routes() must not be held across a call.
+  void set_node_up(NodeId id, bool up);
+  void set_link_up(LinkId id, bool up);
+  void set_link_loss(LinkId id, double loss);  // drop probability in [0, 1]
+  void set_link_bandwidth(LinkId id, double bandwidth_bps);
+  void set_link_latency(LinkId id, sim::Duration latency);
+
+  bool node_up(NodeId id) const { return node(id).up; }
+  bool link_up(LinkId id) const { return link(id).up; }
+
+  // Explicit cache invalidation for callers that mutate node/link fields
+  // in place through the non-const accessors (credentials, capacity, ...).
+  void invalidate_routes() { invalidate_cache(); }
 
   // All-pairs convenience built on route(); used by the planner's
   // environment view. Results are cached; the cache resets on mutation.

@@ -295,6 +295,10 @@ class Search {
                     const Sink& sink) {
     const ExistingInstance& inst = existing_[index];
     ++stats_.candidates_examined;
+    if (!network_.node_up(inst.node)) {
+      ++stats_.rejected_node_down;
+      return;
+    }
     auto eff_it = inst.effective.find(iface);
     if (eff_it == inst.effective.end()) return;
     if (duplicates_parent(parent, inst.component, inst.factors) ||
@@ -424,6 +428,12 @@ class Search {
                std::size_t depth, InstanceId parent, double discount,
                double committed, const Sink& sink) {
     ++stats_.candidates_examined;
+
+    // A crashed/down node hosts nothing new.
+    if (!network_.node_up(node)) {
+      ++stats_.rejected_node_down;
+      return;
+    }
 
     // Static components only participate through pre-placed instances.
     if (comp.static_placement) {
@@ -874,6 +884,7 @@ SearchStats& SearchStats::operator+=(const SearchStats& other) {
   rejected_link_capacity += other.rejected_link_capacity;
   rejected_instance_capacity += other.rejected_instance_capacity;
   rejected_unroutable += other.rejected_unroutable;
+  rejected_node_down += other.rejected_node_down;
   return *this;
 }
 
@@ -894,6 +905,7 @@ std::string SearchStats::to_string() const {
       {"link-capacity", rejected_link_capacity},
       {"instance-capacity", rejected_instance_capacity},
       {"unroutable", rejected_unroutable},
+      {"node-down", rejected_node_down},
   };
   bool any = false;
   for (const auto& [label, count] : rows) {

@@ -115,6 +115,7 @@ struct SearchStats {
   std::uint64_t rejected_link_capacity = 0; // §3.3 condition 3 (bandwidth)
   std::uint64_t rejected_instance_capacity = 0;
   std::uint64_t rejected_unroutable = 0;
+  std::uint64_t rejected_node_down = 0;     // candidate node is down/crashed
 
   // Merges another worker's stats into this one: counters add,
   // workers_used keeps the maximum (the coordinator overwrites it with the

@@ -79,32 +79,40 @@ void DeploymentEngine::deploy(
                   std::vector<RuntimeInstanceId>(plan.placements.size(), 0),
                   0, false, util::Status::ok()});
 
-  // Count installs first so completions cannot race past a partial count.
-  for (const planner::Placement& p : plan.placements) {
-    if (!p.reuse_existing) ++state->pending_installs;
+  // Count installs first so completions cannot race past a partial count,
+  // and validate every reuse up front: a vanished reuse is the root-cause
+  // failure and must not be masked by an install that dies in transit.
+  for (std::size_t i = 0; i < plan.placements.size(); ++i) {
+    const planner::Placement& p = plan.placements[i];
+    if (!p.reuse_existing) {
+      ++state->pending_installs;
+    } else if (!runtime_.exists(p.existing_runtime_id)) {
+      if (!state->failed) {
+        state->failed = true;
+        state->failure = util::not_found(
+            "plan reuses instance " + std::to_string(p.existing_runtime_id) +
+            " which no longer exists");
+      }
+    } else {
+      state->instances[i] = p.existing_runtime_id;
+    }
   }
 
   bool any_new = state->pending_installs != 0;
   for (std::size_t i = 0; i < plan.placements.size(); ++i) {
     const planner::Placement& p = plan.placements[i];
-    if (p.reuse_existing) {
-      if (!runtime_.exists(p.existing_runtime_id)) {
-        state->failed = true;
-        state->failure = util::not_found(
-            "plan reuses instance " + std::to_string(p.existing_runtime_id) +
-            " which no longer exists");
-        continue;
-      }
-      state->instances[i] = p.existing_runtime_id;
-      continue;
-    }
+    if (p.reuse_existing) continue;
     runtime_.install(
         *p.component, p.node, p.factors, code_origin,
         [state, i](util::Expected<RuntimeInstanceId> id) {
           --state->pending_installs;
           if (!id) {
-            state->failed = true;
-            state->failure = id.status();
+            // First failure wins: later transport drops must not mask the
+            // root cause (e.g. a vanished-reuse rejection).
+            if (!state->failed) {
+              state->failed = true;
+              state->failure = id.status();
+            }
           } else {
             state->instances[i] = *id;
           }

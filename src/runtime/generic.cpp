@@ -172,6 +172,21 @@ void GenericServer::request_access(
   flight->epoch_at_start = state->epoch;
   state->inflight.emplace(fingerprint, flight);
 
+  // Lazily retire pooled instances stranded by a crash upstream: alive but
+  // wired (transitively) to a dead instance. Without detection enabled no
+  // monitor event fires, so this hit-time sweep is what keeps replans from
+  // rebuilding the same broken chain.
+  for (auto it = state->existing.begin(); it != state->existing.end();) {
+    if (runtime_.has_dangling_wires(it->runtime_id)) {
+      PSF_INFO() << "retiring pooled instance " << it->runtime_id << " ("
+                 << it->component->name << "): dangling wire downstream";
+      state->cache.evict_referencing(it->runtime_id, cache_telemetry_);
+      it = state->existing.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
   // Cold path: run the planner (host wall-clock measured for the benches),
   // then charge the equivalent CPU at this server's host before deploying.
   const auto wall_start = std::chrono::steady_clock::now();
@@ -255,7 +270,9 @@ bool GenericServer::try_cached_access(
   enum class Evict { kNone, kLiveness, kCapacity };
   Evict evict = Evict::kNone;
   for (RuntimeInstanceId id : entry->access.instances) {
-    if (!runtime_.exists(id)) {
+    // Dead, or alive but wired (transitively) to a dead instance: either way
+    // the cached path cannot serve and must be replanned.
+    if (runtime_.has_dangling_wires(id)) {
       evict = Evict::kLiveness;
       break;
     }
@@ -509,9 +526,27 @@ const std::vector<planner::ExistingInstance>& GenericServer::existing_instances(
 }
 
 void GenericServer::attach_monitor(NetworkMonitor& monitor) {
-  monitor.subscribe([this](const NetworkMonitor::ChangeEvent&) {
+  monitor.subscribe([this](const NetworkMonitor::ChangeEvent& event) {
     for (auto& [name, state] : services_) ++state->epoch;
     ++cache_telemetry_.epoch_bumps;
+    if (event.kind != NetworkMonitor::ChangeKind::kNodeFailure) return;
+    // A reported node failure eagerly retires every pooled instance hosted
+    // there and evicts cached plans that hand out bindings to them. The
+    // epoch bump above already makes those entries stale; eager eviction
+    // means no replay window exists even for requests racing the refresh.
+    for (auto& [name, state] : services_) {
+      for (auto it = state->existing.begin(); it != state->existing.end();) {
+        if (it->node == event.node) {
+          const RuntimeInstanceId dead = it->runtime_id;
+          PSF_INFO() << "node-failure report retires pooled instance " << dead
+                     << " (" << it->component->name << ")";
+          it = state->existing.erase(it);
+          state->cache.evict_referencing(dead, cache_telemetry_);
+        } else {
+          ++it;
+        }
+      }
+    }
   });
 }
 
@@ -625,6 +660,17 @@ void GenericProxy::finish_bind(util::Status status) {
 }
 
 void GenericProxy::invoke(Request request, ResponseCallback done) {
+  if (retry_) {
+    auto call = std::make_shared<PendingInvoke>();
+    call->request = std::move(request);
+    call->done = std::move(done);
+    call->deadline = policy_.overall_deadline.nanos() > 0
+                         ? runtime_.simulator().now() + policy_.overall_deadline
+                         : sim::Time::max();
+    if (telemetry_ != nullptr) ++telemetry_->invokes;
+    start_attempt(call);
+    return;
+  }
   if (!bound_) {
     bind([this, request = std::move(request),
           done = std::move(done)](util::Status st) mutable {
@@ -639,6 +685,132 @@ void GenericProxy::invoke(Request request, ResponseCallback done) {
   }
   runtime_.invoke_from_node(client_node_, outcome_.entry, std::move(request),
                             std::move(done));
+}
+
+void GenericProxy::enable_retries(RetryPolicy policy,
+                                  RetryTelemetry* telemetry) {
+  PSF_CHECK(policy.max_attempts >= 1);
+  PSF_CHECK(policy.jitter >= 0.0 && policy.jitter < 1.0);
+  retry_ = true;
+  policy_ = policy;
+  telemetry_ = telemetry;
+  retry_rng_ = util::Rng(policy.seed ^
+                         (static_cast<std::uint64_t>(client_node_.value) *
+                          0x9E3779B97F4A7C15ULL));
+}
+
+void GenericProxy::start_attempt(const std::shared_ptr<PendingInvoke>& call) {
+  ++call->attempts;
+  if (telemetry_ != nullptr) {
+    ++telemetry_->attempts;
+    if (call->attempts > 1) ++telemetry_->retries;
+  }
+  if (bound_) {
+    send_attempt(call);
+    return;
+  }
+  // (Re)bind first. The bind handshake rides the same fabric as everything
+  // else, so it is guarded by the attempt timeout: an unreachable registry
+  // or server must fail the attempt, not hang the call forever.
+  auto settled = std::make_shared<bool>(false);
+  auto timer = std::make_shared<sim::EventId>(0);
+  if (policy_.attempt_timeout.nanos() > 0) {
+    *timer =
+        runtime_.simulator().schedule(policy_.attempt_timeout, [this, call,
+                                                                settled] {
+          if (*settled) return;
+          *settled = true;
+          complete_attempt(call,
+                           Response::transport_failure(
+                               TransportError::kTimeout,
+                               "bind did not complete within the attempt "
+                               "timeout"));
+        });
+  }
+  bind([this, call, settled, timer](util::Status st) {
+    if (*settled) return;
+    *settled = true;
+    runtime_.simulator().cancel(*timer);
+    if (!st) {
+      // Application-level bind failure (unknown service, unsatisfiable
+      // plan): final, not retryable.
+      complete_attempt(call,
+                       Response::failure("bind failed: " + st.to_string()));
+      return;
+    }
+    send_attempt(call);
+  });
+}
+
+void GenericProxy::send_attempt(const std::shared_ptr<PendingInvoke>& call) {
+  runtime_.invoke_from_node(
+      client_node_, outcome_.entry, call->request,
+      [this, call](Response response) {
+        complete_attempt(call, std::move(response));
+      },
+      policy_.attempt_timeout);
+}
+
+void GenericProxy::complete_attempt(
+    const std::shared_ptr<PendingInvoke>& call, Response response) {
+  if (response.ok || response.transport == TransportError::kNone) {
+    // Success, or an application-level error — both final.
+    if (telemetry_ != nullptr) {
+      if (response.ok) {
+        ++telemetry_->successes;
+      } else {
+        ++telemetry_->failures;
+      }
+    }
+    call->done(std::move(response));
+    return;
+  }
+  if (telemetry_ != nullptr) {
+    switch (response.transport) {
+      case TransportError::kTimeout: ++telemetry_->timeouts; break;
+      case TransportError::kDropped: ++telemetry_->drops; break;
+      case TransportError::kUnreachable: ++telemetry_->unreachable; break;
+      case TransportError::kDeadTarget: ++telemetry_->dead_targets; break;
+      case TransportError::kNone: break;
+    }
+  }
+
+  // Capped exponential backoff with seeded jitter before the next attempt.
+  const std::size_t shift = std::min<std::size_t>(call->attempts - 1, 20);
+  double raw_ns = static_cast<double>(policy_.backoff_base.nanos()) *
+                  static_cast<double>(std::uint64_t{1} << shift);
+  raw_ns = std::min(raw_ns, static_cast<double>(policy_.backoff_cap.nanos()));
+  const double jitter_factor =
+      1.0 + policy_.jitter * (2.0 * retry_rng_.next_double() - 1.0);
+  const sim::Duration backoff = sim::Duration::from_nanos(
+      static_cast<std::int64_t>(raw_ns * jitter_factor));
+
+  const bool attempts_left = call->attempts < policy_.max_attempts;
+  const bool deadline_ok =
+      runtime_.simulator().now() + backoff < call->deadline;
+  if (!attempts_left || !deadline_ok) {
+    if (telemetry_ != nullptr) {
+      ++telemetry_->failures;
+      ++telemetry_->budget_exhausted;
+    }
+    call->done(std::move(response));
+    return;
+  }
+
+  if (policy_.rebind_on_unreachable && bound_ &&
+      (response.transport == TransportError::kUnreachable ||
+       response.transport == TransportError::kDeadTarget)) {
+    // The binding points somewhere that cannot serve us; drop it and
+    // re-request an access path on the next attempt. The server's plan
+    // cache will not replay a path through dead instances (hit-time
+    // liveness validation + failure-event eviction).
+    bound_ = false;
+    if (telemetry_ != nullptr) ++telemetry_->rebinds;
+  }
+
+  if (telemetry_ != nullptr) telemetry_->backoff_ms.add(backoff.millis());
+  runtime_.simulator().schedule(backoff,
+                                [this, call] { start_attempt(call); });
 }
 
 }  // namespace psf::runtime

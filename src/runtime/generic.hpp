@@ -23,7 +23,9 @@
 #include "runtime/deployment.hpp"
 #include "runtime/lookup.hpp"
 #include "runtime/plan_cache.hpp"
+#include "runtime/retry.hpp"
 #include "runtime/smock.hpp"
+#include "util/rng.hpp"
 #include "util/status.hpp"
 
 namespace psf::runtime {
@@ -231,11 +233,34 @@ class GenericProxy {
   void bind(std::function<void(util::Status)> done);
 
   // Invokes the service. Auto-binds on first use (the paper's transparent
-  // generic→specific proxy replacement).
+  // generic→specific proxy replacement). With retries enabled (below),
+  // transport failures are retried under the policy's backoff/budget and
+  // the callback fires exactly once with the final outcome.
   void invoke(Request request, ResponseCallback done);
 
+  // Turns on the client-resilience policy for subsequent invokes. The
+  // jitter RNG is seeded from policy.seed mixed with the client node, so a
+  // fleet of proxies sharing one policy still draws independent streams —
+  // deterministically. `telemetry` (optional, caller-owned) accumulates
+  // attempt/timeout/drop counters and the backoff histogram.
+  void enable_retries(RetryPolicy policy, RetryTelemetry* telemetry = nullptr);
+  bool retries_enabled() const { return retry_; }
+
  private:
+  // One logical invoke() under the retry policy: tracks the attempt budget
+  // and overall deadline across wire attempts.
+  struct PendingInvoke {
+    Request request;
+    ResponseCallback done;
+    std::size_t attempts = 0;  // wire attempts made so far
+    sim::Time deadline;        // Time::max() when the policy sets none
+  };
+
   void finish_bind(util::Status status);
+  void start_attempt(const std::shared_ptr<PendingInvoke>& call);
+  void send_attempt(const std::shared_ptr<PendingInvoke>& call);
+  void complete_attempt(const std::shared_ptr<PendingInvoke>& call,
+                        Response response);
 
   SmockRuntime& runtime_;
   LookupService& lookup_;
@@ -246,6 +271,10 @@ class GenericProxy {
   bool binding_ = false;
   AccessOutcome outcome_;
   std::vector<std::function<void(util::Status)>> waiters_;
+  bool retry_ = false;
+  RetryPolicy policy_;
+  RetryTelemetry* telemetry_ = nullptr;
+  util::Rng retry_rng_;
 };
 
 }  // namespace psf::runtime

@@ -23,17 +23,47 @@ struct Request {
   std::string principal;  // requesting user, carried as a credential (§2)
 };
 
+// Why an invocation failed at the transport layer, as opposed to an
+// application-level error the callee produced. Retry policies key off this:
+// transport failures are safe to retry (the op may simply have been lost),
+// application failures are not.
+enum class TransportError : std::uint8_t {
+  kNone = 0,     // not a transport failure (ok, or application error)
+  kUnreachable,  // no live route to the destination at send time
+  kDropped,      // a hop dropped the message (link down mid-route, or loss)
+  kTimeout,      // the invocation deadline expired before a response landed
+  kDeadTarget,   // the target instance is gone (crashed / tombstoned)
+};
+
+inline const char* transport_error_name(TransportError e) {
+  switch (e) {
+    case TransportError::kNone: return "none";
+    case TransportError::kUnreachable: return "unreachable";
+    case TransportError::kDropped: return "dropped";
+    case TransportError::kTimeout: return "timeout";
+    case TransportError::kDeadTarget: return "dead-target";
+  }
+  return "?";
+}
+
 struct Response {
   bool ok = true;
   std::string error;
   std::shared_ptr<const MessageBody> body;
   std::uint64_t wire_bytes = 1024;
+  TransportError transport = TransportError::kNone;
 
   static Response failure(std::string message) {
     Response r;
     r.ok = false;
     r.error = std::move(message);
     r.wire_bytes = 128;
+    return r;
+  }
+
+  static Response transport_failure(TransportError kind, std::string message) {
+    Response r = failure(std::move(message));
+    r.transport = kind;
     return r;
   }
 };

@@ -21,6 +21,8 @@ class NetworkMonitor {
     kNodeCredential,
     kNodeCapacity,
     kNodeFailure,
+    kLinkState,  // link went down (fail_link / partition) or came back up
+    kLinkLoss,   // per-message drop probability changed
   };
 
   struct ChangeEvent {
@@ -50,10 +52,25 @@ class NetworkMonitor {
                            net::CredentialValue value);
   void set_node_capacity(net::NodeId node, double cpu_capacity);
 
-  // Fault injection: reports a node failure. The monitor itself only
-  // mutates/observes the network model — callers that own a SmockRuntime
-  // crash the instances (see Framework::fail_node, which does both).
+  // Reports a node failure (observed or believed — lease expiry calls this
+  // too). The monitor itself only notifies; callers that own a SmockRuntime
+  // crash the instances and mark the node down (see Framework::crash_node /
+  // fail_node, which do both).
   void report_node_failure(net::NodeId node);
+
+  // Link fault injection. fail_link / heal_link flip the link's up state
+  // (idempotent: re-failing a dead link does not notify); set_link_loss sets
+  // the per-message drop probability. All three invalidate the route cache
+  // via the Network mutators and fire observers.
+  void fail_link(net::LinkId link);
+  void heal_link(net::LinkId link);
+  void set_link_loss(net::LinkId link, double loss);
+
+  // Severs every live link with one endpoint in `side_a` and the other in
+  // `side_b` (one kLinkState event per severed link). Returns the severed
+  // links so the caller can heal exactly this cut later.
+  std::vector<net::LinkId> partition(const std::vector<net::NodeId>& side_a,
+                                     const std::vector<net::NodeId>& side_b);
 
   // Applies `change` after `delay` of simulated time (for scripted
   // experiments: "the slow link degrades at t=30s").

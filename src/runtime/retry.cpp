@@ -1,0 +1,30 @@
+#include "runtime/retry.hpp"
+
+#include <sstream>
+
+namespace psf::runtime {
+
+std::string RetryTelemetry::report() const {
+  std::ostringstream oss;
+  oss << "retry: invokes=" << invokes << " attempts=" << attempts
+      << " successes=" << successes << " failures=" << failures
+      << " retries=" << retries << " rebinds=" << rebinds
+      << " budget_exhausted=" << budget_exhausted << "\n";
+  oss << "retry transport: timeouts=" << timeouts << " drops=" << drops
+      << " unreachable=" << unreachable << " dead_targets=" << dead_targets
+      << "\n";
+  auto histo = [&oss](const char* label, const util::SampleSet& s) {
+    oss << label << ": n=" << s.count();
+    if (s.count() > 0) {
+      util::SampleSet copy = s;  // percentile() sorts
+      oss << " mean=" << s.mean() << "ms p50=" << copy.percentile(50)
+          << "ms p95=" << copy.percentile(95) << "ms max=" << s.max() << "ms";
+    }
+    oss << "\n";
+  };
+  histo("retry backoff", backoff_ms);
+  histo("failure detection", detection_ms);
+  return oss.str();
+}
+
+}  // namespace psf::runtime

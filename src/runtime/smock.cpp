@@ -1,6 +1,7 @@
 #include "runtime/smock.hpp"
 
 #include <iterator>
+#include <set>
 #include <utility>
 
 #include "util/logging.hpp"
@@ -68,29 +69,38 @@ void SmockRuntime::install(
       (origin == node || code_cached) ? 0 : def.behaviors.code_size_bytes;
 
   // Download the component's code to the target node, then let the node
-  // wrapper instantiate and initialize it.
-  send_bytes(origin, node, code_bytes, [this, &def, node, code_key,
-                                        factors = std::move(factors),
-                                        done = std::move(done)]() mutable {
-    code_present_.insert(code_key);
-    auto component = factories_.create(def.name);
-    if (!component) {
-      done(component.status());
-      return;
-    }
-    const RuntimeInstanceId id = next_id_++;
-    Instance inst;
-    inst.id = id;
-    inst.def = &def;
-    inst.node = node;
-    inst.factors = std::move(factors);
-    inst.component = std::move(component).value();
-    inst.component->runtime_ = this;
-    inst.component->self_ = id;
-    instances_.emplace(id, std::move(inst));
-    ++stats_.installs;
-    done(id);
-  });
+  // wrapper instantiate and initialize it. The drop handler turns a severed
+  // or lossy download into a clean install failure instead of a hang.
+  auto shared_done = std::make_shared<
+      std::function<void(util::Expected<RuntimeInstanceId>)>>(std::move(done));
+  send_bytes(
+      origin, node, code_bytes,
+      [this, &def, node, code_key, factors = std::move(factors),
+       shared_done]() mutable {
+        code_present_.insert(code_key);
+        auto component = factories_.create(def.name);
+        if (!component) {
+          (*shared_done)(component.status());
+          return;
+        }
+        const RuntimeInstanceId id = next_id_++;
+        Instance inst;
+        inst.id = id;
+        inst.def = &def;
+        inst.node = node;
+        inst.factors = std::move(factors);
+        inst.component = std::move(component).value();
+        inst.component->runtime_ = this;
+        inst.component->self_ = id;
+        instances_.emplace(id, std::move(inst));
+        ++stats_.installs;
+        (*shared_done)(id);
+      },
+      [&def, shared_done](TransportError kind) {
+        (*shared_done)(util::failed_precondition(
+            std::string("code download for '") + def.name + "' " +
+            transport_error_name(kind) + " in transit"));
+      });
 }
 
 util::Status SmockRuntime::wire(RuntimeInstanceId client,
@@ -153,6 +163,21 @@ std::vector<RuntimeInstanceId> SmockRuntime::crash_node(net::NodeId node) {
   return victims;
 }
 
+bool SmockRuntime::has_dangling_wires(RuntimeInstanceId id) const {
+  std::vector<RuntimeInstanceId> stack{id};
+  std::set<RuntimeInstanceId> visited;
+  while (!stack.empty()) {
+    const RuntimeInstanceId current = stack.back();
+    stack.pop_back();
+    if (!visited.insert(current).second) continue;
+    if (!exists(current)) return true;
+    for (const auto& [iface, target] : instances_.at(current).wires) {
+      stack.push_back(target);
+    }
+  }
+  return false;
+}
+
 Instance& SmockRuntime::instance(RuntimeInstanceId id) {
   auto it = instances_.find(id);
   PSF_CHECK_MSG(it != instances_.end(), "unknown instance id");
@@ -186,8 +211,9 @@ void SmockRuntime::call(RuntimeInstanceId from, const std::string& iface,
     return;
   }
   if (!exists(wire_it->second)) {
-    done(Response::failure("wire for '" + iface +
-                           "' points at a removed instance"));
+    done(Response::transport_failure(
+        TransportError::kDeadTarget,
+        "wire for '" + iface + "' points at a removed instance"));
     return;
   }
   ++src.stats.requests_forwarded;
@@ -195,37 +221,87 @@ void SmockRuntime::call(RuntimeInstanceId from, const std::string& iface,
   const RuntimeInstanceId target = wire_it->second;
   const net::NodeId from_node = src.node;
   const std::uint64_t bytes = request.wire_bytes;
-  send_bytes(from_node, instance(target).node, bytes,
-             [this, target, request = std::move(request), from_node,
-              done = std::move(done)]() mutable {
-               deliver(target, std::move(request), from_node,
-                       std::move(done));
-             });
+  // The callback is shared between the delivery and drop paths; exactly one
+  // of them fires.
+  auto shared_done = std::make_shared<ResponseCallback>(std::move(done));
+  send_bytes(
+      from_node, instance(target).node, bytes,
+      [this, target, request = std::move(request), from_node,
+       shared_done]() mutable {
+        deliver(target, std::move(request), from_node,
+                std::move(*shared_done));
+      },
+      [shared_done](TransportError kind) {
+        (*shared_done)(Response::transport_failure(
+            kind, std::string("request ") + transport_error_name(kind) +
+                      " in transit"));
+      });
 }
 
 void SmockRuntime::invoke_from_node(net::NodeId from, RuntimeInstanceId target,
                                     Request request, ResponseCallback done) {
   if (!exists(target)) {
-    done(Response::failure("target instance does not exist"));
+    done(Response::transport_failure(TransportError::kDeadTarget,
+                                     "target instance does not exist"));
     return;
   }
   const std::uint64_t bytes = request.wire_bytes;
-  send_bytes(from, instance(target).node, bytes,
-             [this, target, request = std::move(request), from,
-              done = std::move(done)]() mutable {
-               deliver(target, std::move(request), from, std::move(done));
-             });
+  auto shared_done = std::make_shared<ResponseCallback>(std::move(done));
+  send_bytes(
+      from, instance(target).node, bytes,
+      [this, target, request = std::move(request), from,
+       shared_done]() mutable {
+        deliver(target, std::move(request), from, std::move(*shared_done));
+      },
+      [shared_done](TransportError kind) {
+        (*shared_done)(Response::transport_failure(
+            kind, std::string("request ") + transport_error_name(kind) +
+                      " in transit"));
+      });
+}
+
+void SmockRuntime::invoke_from_node(net::NodeId from, RuntimeInstanceId target,
+                                    Request request, ResponseCallback done,
+                                    sim::Duration timeout) {
+  if (timeout.nanos() <= 0) {
+    invoke_from_node(from, target, std::move(request), std::move(done));
+    return;
+  }
+  struct Pending {
+    bool settled = false;
+    sim::EventId timer = 0;
+    ResponseCallback done;
+  };
+  auto pending = std::make_shared<Pending>();
+  pending->done = std::move(done);
+  pending->timer = sim_.schedule(timeout, [this, pending] {
+    if (pending->settled) return;
+    pending->settled = true;
+    ++stats_.invoke_timeouts;
+    pending->done(Response::transport_failure(
+        TransportError::kTimeout, "invocation deadline expired"));
+  });
+  invoke_from_node(from, target, std::move(request),
+                   [this, pending](Response response) {
+                     if (pending->settled) return;  // timed out; discard
+                     pending->settled = true;
+                     sim_.cancel(pending->timer);
+                     pending->done(std::move(response));
+                   });
 }
 
 void SmockRuntime::deliver(RuntimeInstanceId target, Request request,
                            net::NodeId reply_to, ResponseCallback done) {
   if (!exists(target)) {
-    done(Response::failure("target instance vanished in flight"));
+    done(Response::transport_failure(TransportError::kDeadTarget,
+                                     "target instance vanished in flight"));
     return;
   }
   Instance& dst = instance(target);
   if (!dst.started) {
-    done(Response::failure("instance '" + dst.def->name + "' not started"));
+    done(Response::transport_failure(
+        TransportError::kDeadTarget,
+        "instance '" + dst.def->name + "' not started"));
     return;
   }
   ++stats_.requests_delivered;
@@ -246,13 +322,23 @@ void SmockRuntime::deliver(RuntimeInstanceId target, Request request,
             request,
             [this, reply_to, target_node,
              done = std::move(done)](Response response) mutable {
-              // Ship the response back to the caller's node.
+              // Ship the response back to the caller's node. A dropped
+              // response fails the caller fast (the op may have executed —
+              // at-least-once semantics, see DESIGN.md §8).
               const std::uint64_t bytes = response.wire_bytes;
-              send_bytes(target_node, reply_to, bytes,
-                         [response = std::move(response),
-                          done = std::move(done)]() mutable {
-                           done(std::move(response));
-                         });
+              auto shared_done =
+                  std::make_shared<ResponseCallback>(std::move(done));
+              send_bytes(
+                  target_node, reply_to, bytes,
+                  [response = std::move(response), shared_done]() mutable {
+                    (*shared_done)(std::move(response));
+                  },
+                  [shared_done](TransportError kind) {
+                    (*shared_done)(Response::transport_failure(
+                        kind, std::string("response ") +
+                                  transport_error_name(kind) +
+                                  " in transit"));
+                  });
             });
       });
 }
@@ -269,15 +355,19 @@ struct Transfer {
   std::vector<net::LinkId> links;
   std::uint64_t bytes;
   std::function<void()> delivered;
+  std::function<void(TransportError)> dropped;
 };
 
 }  // namespace
 
 void SmockRuntime::send_bytes(net::NodeId from, net::NodeId to,
                               std::uint64_t bytes,
-                              std::function<void()> delivered) {
+                              std::function<void()> delivered,
+                              std::function<void(TransportError)> dropped) {
   if (from == to) {
     // Local delivery: same-node IPC is negligible next to network costs.
+    // (A crashed node cannot source traffic in the first place: nothing
+    // hosted there still runs.)
     delivered();
     return;
   }
@@ -285,16 +375,21 @@ void SmockRuntime::send_bytes(net::NodeId from, net::NodeId to,
   if (!route) {
     PSF_WARN() << "send_bytes: no route from " << network_.node(from).name
                << " to " << network_.node(to).name << "; dropping";
+    ++stats_.messages_unroutable;
+    if (dropped) dropped(TransportError::kUnreachable);
     return;
   }
   ++stats_.messages_sent;
   stats_.bytes_transferred += bytes;
 
-  auto transfer = std::make_shared<Transfer>(
-      Transfer{this, route->links, bytes, std::move(delivered)});
+  auto transfer = std::make_shared<Transfer>(Transfer{
+      this, route->links, bytes, std::move(delivered), std::move(dropped)});
 
   // Walk the route hop by hop; each hop waits for the link to be free,
-  // serializes the message, then incurs the propagation latency.
+  // serializes the message, then incurs the propagation latency. Link state
+  // is re-checked at each hop (the route was chosen at send time, but links
+  // may flap mid-flight), and lossy links draw per-hop from the runtime's
+  // seeded fault RNG.
   struct Step {
     static void run(const std::shared_ptr<Transfer>& t, std::size_t hop) {
       if (hop == t->links.size()) {
@@ -302,6 +397,14 @@ void SmockRuntime::send_bytes(net::NodeId from, net::NodeId to,
         return;
       }
       SmockRuntime& rt = *t->runtime;
+      const net::Link& link = rt.network().link(t->links[hop]);
+      const bool severed = !link.up || !rt.network().node_up(link.a) ||
+                           !rt.network().node_up(link.b);
+      if (severed || (link.loss > 0.0 && rt.fault_rng_.bernoulli(link.loss))) {
+        ++rt.stats_.messages_dropped;
+        if (t->dropped) t->dropped(TransportError::kDropped);
+        return;
+      }
       const sim::Time arrival = rt.reserve_link(t->links[hop], t->bytes);
       rt.simulator().schedule_at(arrival,
                                  [t, hop]() { Step::run(t, hop + 1); });

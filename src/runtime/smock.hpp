@@ -30,6 +30,7 @@
 #include "runtime/message.hpp"
 #include "sim/simulator.hpp"
 #include "spec/model.hpp"
+#include "util/rng.hpp"
 #include "util/status.hpp"
 
 namespace psf::runtime {
@@ -68,6 +69,11 @@ struct RuntimeStats {
   // Remote installs that skipped the code transfer because the node already
   // staged this component's code from an earlier install.
   std::uint64_t code_cache_hits = 0;
+  // Fault accounting: messages that found no live route at send time, and
+  // messages lost mid-route (hop over a down link, or a loss draw).
+  std::uint64_t messages_unroutable = 0;
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t invoke_timeouts = 0;
 };
 
 class SmockRuntime {
@@ -114,6 +120,10 @@ class SmockRuntime {
     auto it = instances_.find(id);
     return it != instances_.end() && !it->second.crashed;
   }
+  // True when the instance (or anything it calls, transitively) holds a wire
+  // to a crashed or removed instance. Such an instance is alive but cannot
+  // serve forwarded requests; plans must not hand it out for reuse.
+  bool has_dangling_wires(RuntimeInstanceId id) const;
   Instance& instance(RuntimeInstanceId id);
   const Instance& instance(RuntimeInstanceId id) const;
   std::vector<RuntimeInstanceId> instances_on(net::NodeId node) const;
@@ -139,12 +149,30 @@ class SmockRuntime {
   void invoke_from_node(net::NodeId from, RuntimeInstanceId target,
                         Request request, ResponseCallback done);
 
+  // As above, with a delivery deadline: if no response lands within
+  // `timeout`, the callback fires exactly once with a TransportError::
+  // kTimeout response (any late real response is discarded). A zero timeout
+  // means no deadline, identical to the overload above.
+  void invoke_from_node(net::NodeId from, RuntimeInstanceId target,
+                        Request request, ResponseCallback done,
+                        sim::Duration timeout);
+
+  // Seeds the RNG behind per-hop loss draws. The RNG is consulted only on
+  // links with loss > 0, so runs without lossy links never draw from it and
+  // stay bit-identical regardless of the seed.
+  void set_fault_seed(std::uint64_t seed) { fault_rng_ = util::Rng(seed); }
+
   // ---- low-level cost primitives ------------------------------------------
 
   // Moves `bytes` from `from` to `to` over the network, invoking `delivered`
   // when the last hop completes. Local (from == to) delivery is immediate.
+  // Link state and loss are consulted hop by hop: a message whose next hop
+  // is down (or loses the loss draw) is dropped, reported through `dropped`
+  // when provided (kUnreachable: no live route at send time; kDropped: lost
+  // mid-route). With a null `dropped`, losses are silent — legacy behavior.
   void send_bytes(net::NodeId from, net::NodeId to, std::uint64_t bytes,
-                  std::function<void()> delivered);
+                  std::function<void()> delivered,
+                  std::function<void(TransportError)> dropped = nullptr);
 
   // Serial CPU of a node: runs `done` after `units` of CPU complete, queuing
   // behind earlier work on the same node.
@@ -174,6 +202,9 @@ class SmockRuntime {
   std::vector<double> node_busy_s_;
   std::vector<double> link_busy_s_;
   RuntimeStats stats_;
+  // Seeded RNG for per-hop loss draws; untouched unless some link has
+  // loss > 0 (see set_fault_seed).
+  util::Rng fault_rng_{0x5AFEC0DEDB01DFULL};
   // Component code staged per node by earlier installs: (node, component
   // name). A repeat install transfers only a zero-byte control round — the
   // node wrapper keeps the code on disk. Cleared per node on crash.

@@ -87,6 +87,7 @@ std::string Telemetry::report(std::size_t top_n) const {
                     format("link utilization", link_usage());
   if (plan_cache_ != nullptr) out += plan_cache_->report();
   if (coherence_ != nullptr) out += coherence_->report();
+  if (retry_ != nullptr) out += retry_->report();
   return out;
 }
 

@@ -13,6 +13,7 @@
 
 #include "runtime/coherence_telemetry.hpp"
 #include "runtime/plan_cache.hpp"
+#include "runtime/retry.hpp"
 #include "runtime/smock.hpp"
 #include "sim/simulator.hpp"
 #include "util/stats.hpp"
@@ -59,6 +60,11 @@ class Telemetry {
     coherence_ = coherence;
   }
 
+  // Attaches client-resilience counters (attempts/timeouts/drops, backoff +
+  // detection-latency histograms) so report() includes the retry block.
+  // The pointer must outlive this Telemetry.
+  void attach_retry(const RetryTelemetry* retry) { retry_ = retry; }
+
   // Human-readable table of the busiest resources (plus the plan-cache
   // block when attached).
   std::string report(std::size_t top_n = 8) const;
@@ -78,6 +84,7 @@ class Telemetry {
   std::vector<util::RunningStats> link_util_;
   const PlanCacheTelemetry* plan_cache_ = nullptr;
   const CoherenceTelemetry* coherence_ = nullptr;
+  const RetryTelemetry* retry_ = nullptr;
 };
 
 }  // namespace psf::runtime

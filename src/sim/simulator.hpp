@@ -47,11 +47,14 @@ class Simulator {
     return id;
   }
 
-  // Cancel a pending event. Returns false if it already ran / was cancelled.
+  // Cancel a pending event. Returns false if it already ran / was cancelled,
+  // or if the id was never issued by this simulator (a garbage id must not
+  // grow the tombstone vector).
   // Cancellation is lazy (tombstone) — O(1), the queue skips dead events.
   bool cancel(EventId id) {
+    if (id >= next_id_) return false;
     if (cancelled_.size() <= id) cancelled_.resize(id + 1, false);
-    if (id >= next_id_ || cancelled_[id]) return false;
+    if (cancelled_[id]) return false;
     cancelled_[id] = true;
     return true;
   }

@@ -1,7 +1,13 @@
 // Fault handling (the §3.2 integration the paper defers to future work):
-// node crashes tear down hosted instances, the reusable pool quarantines
-// the dead, later clients plan around the loss, and tracked deployments
-// report unrecoverable bindings.
+// node crashes tear down hosted instances, lease-based failure detection —
+// not an oracle notification — discovers the loss, the reusable pool
+// quarantines the dead, later clients plan around the loss, and tracked
+// deployments report unrecoverable bindings.
+//
+// Every scenario crashes nodes with crash_node (silent: instances vanish,
+// the node drops off the network, nobody is told). Discovery happens only
+// through missed lease renewals at the LookupService, which fire the same
+// monitor observer chain an explicit report would.
 #include <gtest/gtest.h>
 
 #include "core/case_study.hpp"
@@ -28,6 +34,9 @@ struct FailoverFixture : public ::testing::Test {
                                    mail::mail_translator());
     ASSERT_TRUE(st.is_ok()) << st.to_string();
     fw->enable_adaptation("SecureMail");
+    // After register_service (it drains the simulator); the lease timers
+    // run forever, so tests below only use bounded run_* calls.
+    lease = &fw->enable_failure_detection(params);
   }
 
   util::Expected<runtime::AccessOutcome> try_bind(net::NodeId node) {
@@ -50,9 +59,23 @@ struct FailoverFixture : public ::testing::Test {
     return proxy->outcome();
   }
 
+  // Crashes `node` silently and waits for the lease sweep to notice.
+  void crash_and_detect(net::NodeId node) {
+    const std::size_t before = lease->expirations().size();
+    fw->crash_node(node);
+    const bool detected = fw->run_until_condition(
+        [&]() { return lease->expirations().size() > before; },
+        sim::Duration::from_seconds(30));
+    ASSERT_TRUE(detected) << "lease for " << fw->network().node(node).name
+                          << " never expired";
+    EXPECT_EQ(lease->expirations().back().node, node);
+  }
+
   core::CaseStudySites sites;
   std::unique_ptr<core::Framework> fw;
   mail::MailConfigPtr config;
+  runtime::LeaseParams params;  // defaults: 500ms heartbeat, 1500ms grace
+  runtime::LeaseManager* lease = nullptr;
 };
 
 TEST_F(FailoverFixture, CrashTearsDownHostedInstances) {
@@ -62,12 +85,24 @@ TEST_F(FailoverFixture, CrashTearsDownHostedInstances) {
       fw->runtime().instances_on(sites.sd_client).size();
   ASSERT_GE(on_node, 3u);  // MailClient + ViewMailServer + Encryptor
 
-  auto lost = fw->fail_node(sites.sd_client);
+  auto lost = fw->crash_node(sites.sd_client);
   EXPECT_EQ(lost.size(), on_node);
   EXPECT_TRUE(fw->runtime().instances_on(sites.sd_client).empty());
   for (auto id : lost) {
     EXPECT_FALSE(fw->runtime().exists(id));
   }
+}
+
+TEST_F(FailoverFixture, LeaseExpiryDetectsSilentCrash) {
+  ASSERT_TRUE(try_bind(sites.sd_client).has_value());
+  crash_and_detect(sites.sd_client);
+
+  // Detection latency bound from ISSUE acceptance: at most twice the lease
+  // duration (heartbeat + grace), measured from the crash instant.
+  const double bound_ms = 2.0 * lease->lease_duration().millis();
+  util::SampleSet latency = lease->detection_latency_ms();
+  ASSERT_GT(latency.count(), 0u);
+  EXPECT_LE(latency.max(), bound_ms);
 }
 
 TEST_F(FailoverFixture, PoolQuarantinesDeadInstances) {
@@ -77,7 +112,7 @@ TEST_F(FailoverFixture, PoolQuarantinesDeadInstances) {
       fw->server().existing_instances("SecureMail").size();
   ASSERT_GE(pool_before, 2u);  // MailServer + shared SD components
 
-  fw->fail_node(sites.sd_client);  // adaptation refresh quarantines
+  crash_and_detect(sites.sd_client);  // expiry refresh quarantines
 
   const auto& pool = fw->server().existing_instances("SecureMail");
   EXPECT_LT(pool.size(), pool_before);
@@ -89,7 +124,7 @@ TEST_F(FailoverFixture, PoolQuarantinesDeadInstances) {
 
 TEST_F(FailoverFixture, NextClientPlansAroundTheCrash) {
   ASSERT_TRUE(try_bind(sites.sd_client).has_value());
-  fw->fail_node(sites.sd_client);
+  crash_and_detect(sites.sd_client);
 
   // A client on a surviving San Diego node gets a complete fresh chain (the
   // dead components are not referenced).
@@ -123,7 +158,7 @@ TEST_F(FailoverFixture, NextClientPlansAroundTheCrash) {
   EXPECT_TRUE(ok);
 }
 
-TEST_F(FailoverFixture, ManagerReportsLostEntryAsFailed) {
+TEST_F(FailoverFixture, ManagerReportsLostEntryAsUnrecoverable) {
   auto outcome = try_bind(sites.sd_client);
   ASSERT_TRUE(outcome.has_value());
   core::RedeploymentManager manager(*fw, "SecureMail");
@@ -137,20 +172,25 @@ TEST_F(FailoverFixture, ManagerReportsLostEntryAsFailed) {
 
   // The crash takes the client's own entry with it: the binding cannot be
   // preserved, which the manager must surface rather than silently "fix".
-  fw->fail_node(sites.sd_client);
-  fw->run_for(sim::Duration::from_seconds(60));
+  // With the client node physically gone the replan is unsatisfiable (no
+  // node can host the entry); a partial failure would read as kFailed.
+  crash_and_detect(sites.sd_client);
+  fw->run_for(sim::Duration::from_seconds(10));
 
   ASSERT_FALSE(manager.events().empty());
-  bool failed_seen = false;
+  bool unrecoverable_seen = false;
   for (const auto& event : manager.events()) {
-    failed_seen |= event.outcome == core::RedeployEvent::Outcome::kFailed;
+    unrecoverable_seen |=
+        event.outcome == core::RedeployEvent::Outcome::kFailed ||
+        event.outcome == core::RedeployEvent::Outcome::kUnsatisfiable;
   }
-  EXPECT_TRUE(failed_seen);
+  EXPECT_TRUE(unrecoverable_seen);
   EXPECT_EQ(manager.redeploy_count(), 0u);
 }
 
 TEST_F(FailoverFixture, CrashOfEmptyNodeIsHarmless) {
-  EXPECT_TRUE(fw->fail_node(sites.seattle[1]).empty());
+  crash_and_detect(sites.seattle[1]);
+  EXPECT_TRUE(fw->runtime().instances_on(sites.seattle[1]).empty());
   // Service still fully functional.
   EXPECT_TRUE(try_bind(sites.sd_client).has_value());
 }

@@ -98,6 +98,52 @@ TEST(NetworkTest, CacheInvalidatedByMutation) {
   EXPECT_EQ(after->total_latency.millis(), 1.0);
 }
 
+TEST(NetworkTest, CacheInvalidatedByPropertyMutation) {
+  // Regression: set_link_latency / set_link_bandwidth must invalidate the
+  // precomputed route table, not just structural add_link. Before the fix a
+  // cached route kept steering traffic over a degraded link.
+  Network n = diamond();
+  n.precompute_routes();
+  EXPECT_EQ(n.cached_route(NodeId{0}, NodeId{3})->total_latency.millis(),
+            20.0);
+  // Degrade the fast a-b edge so the c path (100 ms) wins.
+  n.set_link_latency(LinkId{0}, sim::Duration::from_millis(500));
+  EXPECT_EQ(n.cached_route(NodeId{0}, NodeId{3})->total_latency.millis(),
+            100.0);
+  // Bandwidth changes must refresh the cached bottleneck too.
+  n.set_link_bandwidth(LinkId{2}, 1e6);
+  EXPECT_EQ(n.cached_route(NodeId{0}, NodeId{3})->bottleneck_bandwidth_bps,
+            1e6);
+}
+
+TEST(NetworkTest, DownLinksAndNodesAreUnroutable) {
+  Network n = diamond();
+  n.precompute_routes();
+  // Kill the fast path; routing falls back to the c detour.
+  n.set_link_up(LinkId{0}, false);
+  EXPECT_EQ(n.cached_route(NodeId{0}, NodeId{3})->total_latency.millis(),
+            100.0);
+  // Kill the detour node too: no route at all.
+  n.set_node_up(NodeId{2}, false);
+  auto direct = n.route(NodeId{0}, NodeId{3});
+  EXPECT_FALSE(direct.has_value());
+  EXPECT_EQ(n.cached_route(NodeId{0}, NodeId{3})->bottleneck_bandwidth_bps,
+            0.0);
+  // Heal everything; the original route returns.
+  n.set_link_up(LinkId{0}, true);
+  n.set_node_up(NodeId{2}, true);
+  EXPECT_EQ(n.cached_route(NodeId{0}, NodeId{3})->total_latency.millis(),
+            20.0);
+}
+
+TEST(NetworkTest, LinkLossBoundsChecked) {
+  Network n = diamond();
+  n.set_link_loss(LinkId{0}, 0.25);
+  EXPECT_EQ(n.link(LinkId{0}).loss, 0.25);
+  n.set_link_loss(LinkId{0}, 0.0);
+  EXPECT_EQ(n.link(LinkId{0}).loss, 0.0);
+}
+
 TEST(NetworkTest, TransferTimeModel) {
   Network n;
   const NodeId a = n.add_node("a");

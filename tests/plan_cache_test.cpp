@@ -390,6 +390,62 @@ TEST_F(PlanCacheFixture, ConcurrentIdenticalAccessesPlanOnce) {
   }
 }
 
+TEST_F(PlanCacheFixture, CrashEvictsCachedPlansMidCoalescedBurst) {
+  // Warm the cache with an SD-client chain, then crash the hosting node in
+  // the middle of a coalesced burst: every cached plan referencing a
+  // tombstoned instance must be forget_instance-evicted eagerly (not lazily
+  // at the next hit), and the followers must be served by a fresh plan that
+  // avoids the dead node.
+  planner::PlanRequest request = defaults();
+  request.client_node = sites.sd_client;
+  auto cold = bind_ok(sites.sd_client, request);
+  ASSERT_FALSE(cold.cache_hit);
+  ASSERT_GE(fw->server().plan_cache_size("SecureMail"), 1u);
+
+  // Start a burst from New York (its chain reuses only the NY MailServer, so
+  // the crash cannot strand it), crash mid-flight, then let the coalesced
+  // followers drain.
+  planner::PlanRequest survivor = defaults();
+  survivor.client_node = sites.ny_client;
+  std::vector<runtime::AccessOutcome> outcomes;
+  int failures = 0;
+  for (int i = 0; i < 4; ++i) {
+    fw->server().request_access(
+        "SecureMail", survivor,
+        [&](util::Expected<runtime::AccessOutcome> outcome) {
+          if (outcome) {
+            outcomes.push_back(std::move(outcome).value());
+          } else {
+            ++failures;
+          }
+        });
+  }
+  fw->fail_node(sites.sd_client);
+  // Eager eviction: the cached plans referencing tombstoned instances are
+  // gone immediately after the failure report, before any further hit.
+  EXPECT_EQ(fw->server().plan_cache_size("SecureMail"), 0u);
+
+  fw->run();
+  ASSERT_EQ(failures, 0);
+  ASSERT_EQ(outcomes.size(), 4u);
+  for (const auto& o : outcomes) {
+    for (const auto& p : o.plan.placements) {
+      EXPECT_NE(p.node, sites.sd_client);
+    }
+    for (auto id : o.instances) {
+      EXPECT_TRUE(fw->runtime().exists(id));
+    }
+  }
+
+  // A fresh SD-site bind must replan cold (its cached plan was evicted) and
+  // route around the dead node.
+  auto rebound = bind_ok(sites.san_diego[1], defaults());
+  EXPECT_FALSE(rebound.cache_hit);
+  for (const auto& p : rebound.plan.placements) {
+    EXPECT_NE(p.node, sites.sd_client);
+  }
+}
+
 // ---- principal translation --------------------------------------------------
 
 TEST_F(PlanCacheFixture, PrincipalsWithSameDerivedPropertiesShareAnEntry) {

@@ -77,6 +77,18 @@ TEST(SimulatorTest, CancelPreventsExecution) {
   EXPECT_FALSE(ran);
 }
 
+TEST(SimulatorTest, CancelOfUnknownIdIsRejected) {
+  Simulator sim;
+  // A garbage id (never issued by this simulator) must be rejected without
+  // growing the tombstone table — the old resize-before-validate code
+  // allocated an arbitrarily large bitmap for it.
+  EXPECT_FALSE(sim.cancel(EventId{1} << 40));
+  const EventId id = sim.schedule(Duration::from_millis(1), [] {});
+  EXPECT_FALSE(sim.cancel(id + 1));  // not yet issued
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+}
+
 TEST(SimulatorTest, StepExecutesOneEvent) {
   Simulator sim;
   int count = 0;

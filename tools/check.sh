@@ -12,6 +12,8 @@
 #                             # coherence_smoke target)
 #   tools/check.sh --lint     # only: build psflint + run the lint-labeled
 #                             # tests (examples + fixtures stay clean)
+#   tools/check.sh --chaos    # only: the robustness suite (build + ctest
+#                             # -L chaos + the chaos_sweep bench gates)
 #   tools/check.sh --tidy     # also: clang-tidy (see .clang-tidy) over the
 #                             # analysis layer and tools; skipped with a
 #                             # notice when clang-tidy is not installed
@@ -33,6 +35,7 @@ RUN_STRESS=0
 RUN_TIDY=0
 COHERENCE_ONLY=0
 LINT_ONLY=0
+CHAOS_ONLY=0
 for arg in "$@"; do
   case "${arg}" in
     --no-tsan) RUN_TSAN=0 ;;
@@ -41,6 +44,7 @@ for arg in "$@"; do
     --tidy) RUN_TIDY=1 ;;
     --coherence) COHERENCE_ONLY=1 ;;
     --lint) LINT_ONLY=1 ;;
+    --chaos) CHAOS_ONLY=1 ;;
     *) echo "unknown option: ${arg}" >&2; exit 2 ;;
   esac
 done
@@ -51,6 +55,17 @@ if [[ "${LINT_ONLY}" == 1 ]]; then
   cmake --build build -j "${JOBS}" --target psflint psflint_test
   (cd build && ctest --output-on-failure -L lint)
   echo "== lint passed =="
+  exit 0
+fi
+
+if [[ "${CHAOS_ONLY}" == 1 ]]; then
+  echo "== chaos suite (fault injection + lease detection + retry) =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "${JOBS}" --target failover_test chaos_test chaos_sweep
+  (cd build && ctest --output-on-failure -L chaos)
+  echo "== chaos_sweep acceptance gates =="
+  ./build/bench/chaos_sweep
+  echo "== chaos suite passed =="
   exit 0
 fi
 
