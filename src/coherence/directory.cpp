@@ -59,6 +59,7 @@ void CoherenceDirectory::on_update(const Update& update,
   // Collect conflicting live replicas first: validate_replica erases dead
   // entries, which must not invalidate the iteration.
   std::vector<runtime::RuntimeInstanceId> targets;
+  targets.reserve(replicas_.size());  // fan-out usually hits most replicas
   for (const auto& [replica, subscription] : replicas_) {
     if (replica == origin) continue;
     if (!conflict_map_->conflicts(update.descriptor, subscription)) continue;
@@ -104,6 +105,7 @@ void CoherenceDirectory::flush_staged() {
   // Replicas due the same staged set share one immutable batch body.
   std::map<std::vector<std::size_t>, std::shared_ptr<UpdateBatch>> shared;
   std::vector<runtime::RuntimeInstanceId> due;
+  due.reserve(pending_.size());
   for (const auto& [replica, indices] : pending_) {
     if (!indices.empty()) due.push_back(replica);
   }

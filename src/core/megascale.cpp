@@ -1,0 +1,159 @@
+#include "core/megascale.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace psf::core {
+
+namespace {
+
+constexpr std::int64_t kUnreachableNs =
+    std::numeric_limits<std::int64_t>::max() / 2;
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+MegascaleWorld::MegascaleWorld(MegascaleConfig config)
+    : config_(config), network_([&config] {
+        net::WaxmanParams params;
+        params.num_nodes = config.nodes;
+        util::Rng rng(config.seed);
+        return net::generate_waxman(params, rng);
+      }()) {
+  PSF_CHECK(config_.clients > 0 && config_.requests_per_client > 0);
+  PSF_CHECK(config_.server_node.value < network_.node_count());
+
+  // Routes are read concurrently by region workers; fill the cache while
+  // still single-threaded.
+  network_.precompute_routes();
+
+  partition_ = sim::partition_network(network_, config_.regions);
+  engine_ = std::make_unique<sim::ParallelSimulator>(partition_.num_regions,
+                                                     partition_.lookahead);
+  engine_->enable_trace(config_.record_trace);
+  server_region_ = partition_.region_of(config_.server_node);
+  shards_.resize(partition_.num_regions);
+
+  // Deal clients round-robin over nodes; each lives in its node's region.
+  // Client state is indexed (region, slot) so a worker only ever touches
+  // its own shard's contiguous storage.
+  for (std::size_t c = 0; c < config_.clients; ++c) {
+    const net::NodeId node{static_cast<std::uint32_t>(c % config_.nodes)};
+    const sim::RegionId region = partition_.region_of(node);
+    RegionShard& shard = shards_[region];
+    const auto idx = static_cast<std::uint32_t>(shard.clients.size());
+    shard.clients.push_back(RegionShard::Client{node, 0});
+    // Stagger first requests across one think interval so the ramp-up does
+    // not arrive as a single burst.
+    const sim::Duration start = think_gap(region, idx, 0);
+    engine_->seed_event(region, sim::Time::zero() + start,
+                        [this, region, idx] { issue_request(region, idx); });
+  }
+}
+
+sim::Duration MegascaleWorld::transfer_time(const net::Route& route,
+                                            std::uint64_t bytes) const {
+  if (route.bottleneck_bandwidth_bps <= 0.0 ||
+      route.total_latency.nanos() >= kUnreachableNs) {
+    return sim::Duration::from_nanos(kUnreachableNs);
+  }
+  const double serialize_s =
+      static_cast<double>(bytes) * 8.0 / route.bottleneck_bandwidth_bps;
+  return route.total_latency + sim::Duration::from_seconds(serialize_s);
+}
+
+sim::Duration MegascaleWorld::think_gap(sim::RegionId region,
+                                        std::uint32_t idx,
+                                        std::uint32_t round) const {
+  // Deterministic per-(client, round) jitter in [0.5, 1.5) of the mean;
+  // hashing avoids any shared RNG stream across regions.
+  const std::uint64_t h = splitmix64(
+      config_.seed ^ (static_cast<std::uint64_t>(region) << 48) ^
+      (static_cast<std::uint64_t>(idx) << 16) ^ round);
+  const double scale = 0.5 + static_cast<double>(h >> 11) * 0x1.0p-53;
+  return sim::Duration::from_nanos(static_cast<std::int64_t>(
+      static_cast<double>(config_.mean_think.nanos()) * scale));
+}
+
+void MegascaleWorld::issue_request(sim::RegionId region, std::uint32_t idx) {
+  RegionShard& shard = shards_[region];
+  const net::NodeId node = shard.clients[idx].node;
+  const net::Route* route =
+      network_.cached_route(node, config_.server_node);
+  const sim::Duration fwd = transfer_time(*route, config_.request_bytes);
+  if (fwd.nanos() >= kUnreachableNs) {
+    // Partitioned away from the server; the request is lost. Move on to
+    // the next round so the run still drains.
+    ++shard.failed;
+    complete_request(region, idx);
+    return;
+  }
+  // The path to another region crosses at least one cut link, so fwd >=
+  // min cut latency = the engine's lookahead; same-region posts are local.
+  engine_->post(server_region_, engine_->now() + fwd,
+                [this, region, idx] { serve_request(region, idx); });
+}
+
+void MegascaleWorld::serve_request(sim::RegionId region, std::uint32_t idx) {
+  ++shards_[server_region_].served;
+  const net::NodeId node = shards_[region].clients[idx].node;
+  const net::Route* route =
+      network_.cached_route(config_.server_node, node);
+  const sim::Duration back = transfer_time(*route, config_.response_bytes);
+  if (back.nanos() >= kUnreachableNs) return;  // response undeliverable
+  engine_->post(region, engine_->now() + back,
+                [this, region, idx] { complete_request(region, idx); });
+}
+
+void MegascaleWorld::complete_request(sim::RegionId region,
+                                      std::uint32_t idx) {
+  RegionShard& shard = shards_[region];
+  RegionShard::Client& client = shard.clients[idx];
+  ++client.done;
+  ++shard.completed;
+  if (client.done >= config_.requests_per_client) return;
+  engine_->schedule_local(think_gap(region, idx, client.done),
+                          [this, region, idx] {
+                            issue_request(region, idx);
+                          });
+}
+
+std::size_t MegascaleWorld::run_until(sim::Time deadline,
+                                      std::size_t workers) {
+  const std::size_t executed = engine_->run_until(deadline, workers);
+  events_before_ += executed;
+  return executed;
+}
+
+MegascaleReport MegascaleWorld::run(std::size_t workers) {
+  run_until(sim::Time::max(), workers);
+  return report();
+}
+
+MegascaleReport MegascaleWorld::report() const {
+  MegascaleReport rep;
+  rep.events_executed = events_before_;
+  for (const RegionShard& shard : shards_) {
+    // completed counts failed rounds too (they advance the same counter);
+    // report them disjointly.
+    rep.requests_completed += shard.completed;
+    rep.requests_failed += shard.failed;
+  }
+  rep.requests_completed -= rep.requests_failed;
+  rep.sim_seconds = engine_->end_time().seconds();
+  rep.cut_links = partition_.cut_links;
+  rep.lookahead = partition_.lookahead;
+  rep.engine = engine_->stats();
+  return rep;
+}
+
+}  // namespace psf::core

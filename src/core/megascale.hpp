@@ -1,0 +1,112 @@
+// Megascale workload: the region-parallel engine driving hundreds of
+// thousands of service clients over a generated WAN topology.
+//
+// The full SmockRuntime charges every hop of every transfer through shared
+// mutable state, which is inherently single-threaded. This harness models
+// the same request shape (client -> server -> client over precomputed
+// routes, with serialization on the bottleneck link) as REGION-CONFINED
+// state: each client lives in the region of its node, the service endpoint
+// in the region of its host, and the only cross-region interaction is
+// posting messages whose delivery time already includes at least one
+// cut-link latency — exactly the conservative-lookahead contract of
+// sim::ParallelSimulator.
+//
+// Everything is deterministic: topology from a seeded generator, request
+// jitter from per-client counter hashes (no shared RNG), and the engine's
+// (time, region, origin, seq) order. A run with 8 workers produces the
+// same trace, counters, and end time as the serial run.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/topology.hpp"
+#include "sim/parallel.hpp"
+#include "sim/region.hpp"
+
+namespace psf::core {
+
+struct MegascaleConfig {
+  std::size_t nodes = 100;     // Waxman topology size
+  std::size_t regions = 8;     // simulation regions
+  std::size_t clients = 100'000;
+  std::size_t requests_per_client = 3;
+  std::uint64_t request_bytes = 2 * 1024;
+  std::uint64_t response_bytes = 16 * 1024;
+  // Mean client think time between requests; actual gaps are jittered
+  // deterministically per (client, request) in [0.5, 1.5) * mean.
+  sim::Duration mean_think = sim::Duration::from_millis(200);
+  std::uint64_t seed = 42;
+  net::NodeId server_node{0};  // service endpoint host
+  bool record_trace = false;   // per-event trace (equivalence tests only)
+};
+
+struct MegascaleReport {
+  std::size_t events_executed = 0;
+  std::uint64_t requests_completed = 0;
+  std::uint64_t requests_failed = 0;  // no route to the server
+  double sim_seconds = 0.0;           // simulated end time
+  std::size_t cut_links = 0;
+  sim::Duration lookahead = sim::Duration::zero();
+  sim::ParallelStats engine;
+};
+
+class MegascaleWorld {
+ public:
+  explicit MegascaleWorld(MegascaleConfig config);
+
+  const MegascaleConfig& config() const { return config_; }
+  net::Network& network() { return network_; }
+  sim::ParallelSimulator& engine() { return *engine_; }
+  const sim::RegionPartition& partition() const { return partition_; }
+
+  // Drives the workload to completion with `workers` threads and returns
+  // the aggregate report. May be preceded by run_until() calls.
+  MegascaleReport run(std::size_t workers);
+
+  // Partial run for chaos composition: execute up to `deadline`, then the
+  // caller may mutate the network (fail links/nodes) at quiescence —
+  // followed by refresh_routes() — and resume. Latencies must not be
+  // lowered (the partition's lookahead would become unsound).
+  std::size_t run_until(sim::Time deadline, std::size_t workers);
+
+  // Recomputes the route cache after a topology mutation; only legal
+  // between runs (workers read the cache concurrently).
+  void refresh_routes() { network_.precompute_routes(); }
+
+  MegascaleReport report() const;
+
+ private:
+  // Per-region shard of the workload state. Only this region's worker
+  // touches it; alignment keeps neighboring shards off one cache line.
+  struct alignas(64) RegionShard {
+    struct Client {
+      net::NodeId node;
+      std::uint32_t done = 0;
+    };
+    std::vector<Client> clients;
+    std::uint64_t completed = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t served = 0;  // meaningful in the server's shard
+  };
+
+  sim::Duration transfer_time(const net::Route& route,
+                              std::uint64_t bytes) const;
+  sim::Duration think_gap(sim::RegionId region, std::uint32_t idx,
+                          std::uint32_t round) const;
+  void issue_request(sim::RegionId region, std::uint32_t idx);
+  void serve_request(sim::RegionId region, std::uint32_t idx);
+  void complete_request(sim::RegionId region, std::uint32_t idx);
+
+  MegascaleConfig config_;
+  net::Network network_;
+  sim::RegionPartition partition_;
+  std::unique_ptr<sim::ParallelSimulator> engine_;
+  std::vector<RegionShard> shards_;
+  sim::RegionId server_region_ = 0;
+  std::size_t events_before_ = 0;  // executed count carried across runs
+};
+
+}  // namespace psf::core

@@ -140,6 +140,7 @@ std::optional<Route> Network::route(NodeId from, NodeId to) const {
 
   Route r;
   r.total_latency = sim::Duration::from_nanos(best[to.value]);
+  r.links.reserve(best_hops[to.value]);
   NodeId cur = to;
   while (cur != from) {
     const LinkId lid = via[cur.value];
@@ -175,12 +176,106 @@ const Route* Network::cached_route(NodeId from, NodeId to) const {
   return &*route_cache_[idx];
 }
 
-void Network::precompute_routes() const {
-  for (const Node& from : nodes_) {
+void Network::fill_routes_from(NodeId from) const {
+  const std::size_t n = nodes_.size();
+  const auto cache_at = [&](NodeId to) -> std::optional<Route>& {
+    return route_cache_[static_cast<std::size_t>(from.value) * n + to.value];
+  };
+  Route unreachable;
+  unreachable.total_latency = sim::Duration::from_nanos(INT64_MAX / 2);
+  unreachable.bottleneck_bandwidth_bps = 0.0;
+
+  if (!nodes_[from.value].up) {
     for (const Node& to : nodes_) {
-      cached_route(from.id, to.id);
+      if (!cache_at(to.id).has_value()) cache_at(to.id) = unreachable;
+    }
+    return;
+  }
+
+  // One full Dijkstra per source (identical metric and tie-breaks to
+  // route(), minus the destination early-exit) instead of one truncated
+  // Dijkstra per PAIR — precomputing a 100-node Waxman drops from n^2 to n
+  // searches.
+  struct State {
+    std::int64_t latency_ns;
+    std::uint32_t hops;
+    NodeId node;
+    bool operator>(const State& o) const {
+      if (latency_ns != o.latency_ns) return latency_ns > o.latency_ns;
+      if (hops != o.hops) return hops > o.hops;
+      return node.value > o.node.value;
+    }
+  };
+
+  constexpr std::int64_t kInf = INT64_MAX;
+  std::vector<std::int64_t> best(n, kInf);
+  std::vector<std::uint32_t> best_hops(n, UINT32_MAX);
+  std::vector<LinkId> via(n);
+  std::priority_queue<State, std::vector<State>, std::greater<State>> pq;
+
+  best[from.value] = 0;
+  best_hops[from.value] = 0;
+  pq.push(State{0, 0, from});
+
+  while (!pq.empty()) {
+    const State s = pq.top();
+    pq.pop();
+    if (s.latency_ns > best[s.node.value] ||
+        (s.latency_ns == best[s.node.value] &&
+         s.hops > best_hops[s.node.value])) {
+      continue;
+    }
+    for (LinkId lid : adjacency_[s.node.value]) {
+      const Link& l = links_[lid.value];
+      if (!l.up) continue;
+      const NodeId next = l.other(s.node);
+      if (!nodes_[next.value].up) continue;
+      const std::int64_t cand = s.latency_ns + l.latency.nanos();
+      const std::uint32_t cand_hops = s.hops + 1;
+      if (cand < best[next.value] ||
+          (cand == best[next.value] && cand_hops < best_hops[next.value])) {
+        best[next.value] = cand;
+        best_hops[next.value] = cand_hops;
+        via[next.value] = lid;
+        pq.push(State{cand, cand_hops, next});
+      }
     }
   }
+
+  for (const Node& to : nodes_) {
+    std::optional<Route>& slot = cache_at(to.id);
+    if (slot.has_value()) continue;
+    if (to.id == from) {
+      slot = Route{};
+      continue;
+    }
+    if (!to.up || best[to.id.value] == kInf) {
+      slot = unreachable;
+      continue;
+    }
+    Route r;
+    r.total_latency = sim::Duration::from_nanos(best[to.id.value]);
+    r.links.reserve(best_hops[to.id.value]);
+    NodeId cur = to.id;
+    while (cur != from) {
+      const LinkId lid = via[cur.value];
+      r.links.push_back(lid);
+      r.bottleneck_bandwidth_bps = std::min(r.bottleneck_bandwidth_bps,
+                                            links_[lid.value].bandwidth_bps);
+      cur = links_[lid.value].other(cur);
+    }
+    std::reverse(r.links.begin(), r.links.end());
+    slot = std::move(r);
+  }
+}
+
+void Network::precompute_routes() const {
+  const std::size_t n = nodes_.size();
+  if (!cache_valid_) {
+    route_cache_.assign(n * n, std::nullopt);
+    cache_valid_ = true;
+  }
+  for (const Node& from : nodes_) fill_routes_from(from.id);
 }
 
 void Network::set_node_up(NodeId id, bool up) {

@@ -160,6 +160,10 @@ class Network {
 
  private:
   void invalidate_cache();
+  // Single-source Dijkstra that fills one row of the route cache (same
+  // metric and tie-breaks as route(), which stays separate because its
+  // early exit wins for one-off queries).
+  void fill_routes_from(NodeId from) const;
 
   std::vector<Node> nodes_;
   std::vector<Link> links_;

@@ -525,10 +525,14 @@ const std::vector<planner::ExistingInstance>& GenericServer::existing_instances(
   return state == nullptr ? kEmpty : state->existing;
 }
 
+void GenericServer::invalidate_cached_plans() {
+  for (auto& [name, state] : services_) ++state->epoch;
+  ++cache_telemetry_.epoch_bumps;
+}
+
 void GenericServer::attach_monitor(NetworkMonitor& monitor) {
   monitor.subscribe([this](const NetworkMonitor::ChangeEvent& event) {
-    for (auto& [name, state] : services_) ++state->epoch;
-    ++cache_telemetry_.epoch_bumps;
+    invalidate_cached_plans();
     if (event.kind != NetworkMonitor::ChangeKind::kNodeFailure) return;
     // A reported node failure eagerly retires every pooled instance hosted
     // there and evicts cached plans that hand out bindings to them. The
@@ -596,7 +600,24 @@ void GenericProxy::bind(std::function<void(util::Status)> done) {
   if (binding_) return;  // an earlier bind is in flight; join it
   binding_ = true;
 
-  const ServiceAdvertisement* ad = lookup_.find(service_);
+  // The registry that will serve the proxy code, and the node path the
+  // query travels: client -> home shard [-> forwarding hops -> holder] in
+  // sharded mode, client -> registry host otherwise.
+  LookupService* registry = &lookup_;
+  auto hops = std::make_shared<std::vector<net::NodeId>>();
+  hops->push_back(client_node_);
+  const ServiceAdvertisement* ad = nullptr;
+  if (sharded_ != nullptr) {
+    const LookupResolution res = sharded_->resolve(service_, client_node_);
+    ad = res.ad;
+    for (const std::size_t s : res.probe_path) {
+      hops->push_back(sharded_->shard(s).host());
+    }
+    if (ad != nullptr) registry = &sharded_->shard(res.holder_shard);
+  } else {
+    ad = lookup_.find(service_);
+    hops->push_back(lookup_.host());
+  }
   if (ad == nullptr || ad->server == nullptr) {
     binding_ = false;
     auto waiters = std::move(waiters_);
@@ -608,19 +629,20 @@ void GenericProxy::bind(std::function<void(util::Status)> done) {
   }
 
   const sim::Time t0 = runtime_.simulator().now();
-  // Step 2 of Fig. 1: attribute query to the lookup node, proxy download
-  // back to the client. A node that already downloaded this service's proxy
-  // keeps it cached — repeat binds from the site pay only a small
-  // freshness-check reply instead of the full code transfer.
+  // Step 2 of Fig. 1: attribute query to the lookup node (plus any
+  // shard-to-shard forwarding legs), proxy download back to the client. A
+  // node that already downloaded this service's proxy keeps it cached —
+  // repeat binds from the site pay only a small freshness-check reply
+  // instead of the full code transfer.
   const std::uint64_t download_bytes =
-      lookup_.proxy_code_cached(service_, client_node_)
+      registry->proxy_code_cached(service_, client_node_)
           ? kProxyRevalidateBytes
           : ad->proxy_code_bytes;
-  runtime_.send_bytes(client_node_, lookup_.host(), 512,
-                      [this, ad, t0, download_bytes]() {
+  walk_query_chain(hops, 0, [this, ad, t0, download_bytes, registry,
+                             holder = hops->back()]() {
     runtime_.send_bytes(
-        lookup_.host(), client_node_, download_bytes, [this, ad, t0]() {
-          lookup_.note_proxy_download(service_, client_node_);
+        holder, client_node_, download_bytes, [this, ad, t0, registry]() {
+          registry->note_proxy_download(service_, client_node_);
           const sim::Time lookup_done = runtime_.simulator().now();
           // Step 3: forward the access request (with credentials) to the
           // generic server.
@@ -650,6 +672,28 @@ void GenericProxy::bind(std::function<void(util::Status)> done) {
               });
         });
   });
+}
+
+void GenericProxy::walk_query_chain(
+    std::shared_ptr<std::vector<net::NodeId>> hops, std::size_t index,
+    std::function<void()> then) {
+  if (index + 1 >= hops->size()) {
+    then();
+    return;
+  }
+  const net::NodeId from = (*hops)[index];
+  const net::NodeId to = (*hops)[index + 1];
+  runtime_.send_bytes(from, to, 512,
+                      [this, hops = std::move(hops), index,
+                       then = std::move(then)]() mutable {
+                        walk_query_chain(std::move(hops), index + 1,
+                                         std::move(then));
+                      });
+}
+
+void GenericProxy::use_sharded_lookup(ShardedLookupService& sharded) {
+  sharded_ = &sharded;
+  handle_ = ShardedLookupService::handle_for(service_);
 }
 
 void GenericProxy::finish_bind(util::Status status) {

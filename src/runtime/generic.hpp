@@ -24,6 +24,7 @@
 #include "runtime/lookup.hpp"
 #include "runtime/plan_cache.hpp"
 #include "runtime/retry.hpp"
+#include "runtime/sharded_lookup.hpp"
 #include "runtime/smock.hpp"
 #include "util/rng.hpp"
 #include "util/status.hpp"
@@ -109,6 +110,12 @@ class GenericServer {
   // against the old topology are never replayed — even before any
   // refresh_environment runs. Wired by the Framework at construction.
   void attach_monitor(NetworkMonitor& monitor);
+
+  // Bumps every service's environment epoch, lazily invalidating all cached
+  // access paths. Called by the monitor subscription above and by lookup
+  // shard membership changes (plans embed which registry answered; a
+  // re-homed service must be re-planned, not replayed).
+  void invalidate_cached_plans();
 
   // Current environment epoch (0 until the first bump); 0 for unknown
   // services.
@@ -246,6 +253,14 @@ class GenericProxy {
   void enable_retries(RetryPolicy policy, RetryTelemetry* telemetry = nullptr);
   bool retries_enabled() const { return retry_; }
 
+  // Routes this proxy's lookups through the sharded registry: the query
+  // goes to the client's nearest (home) shard and each peer-to-peer
+  // forwarding hop to the owning shard is charged on the simulated fabric.
+  // The proxy also keeps the service's server-independent LookupHandle,
+  // which stays valid across shard membership changes.
+  void use_sharded_lookup(ShardedLookupService& sharded);
+  LookupHandle lookup_handle() const { return handle_; }
+
  private:
   // One logical invoke() under the retry policy: tracks the attempt budget
   // and overall deadline across wire attempts.
@@ -257,6 +272,10 @@ class GenericProxy {
   };
 
   void finish_bind(util::Status status);
+  // Charges one 512-byte query/forwarding message per consecutive hop pair,
+  // then invokes `then` (runs it immediately when hops has < 2 entries).
+  void walk_query_chain(std::shared_ptr<std::vector<net::NodeId>> hops,
+                        std::size_t index, std::function<void()> then);
   void start_attempt(const std::shared_ptr<PendingInvoke>& call);
   void send_attempt(const std::shared_ptr<PendingInvoke>& call);
   void complete_attempt(const std::shared_ptr<PendingInvoke>& call,
@@ -264,6 +283,8 @@ class GenericProxy {
 
   SmockRuntime& runtime_;
   LookupService& lookup_;
+  ShardedLookupService* sharded_ = nullptr;  // non-null: sharded resolution
+  LookupHandle handle_;
   net::NodeId client_node_;
   std::string service_;
   planner::PlanRequest defaults_;

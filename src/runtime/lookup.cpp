@@ -51,6 +51,7 @@ void LookupService::note_proxy_download(const std::string& service_name,
 std::vector<const ServiceAdvertisement*> LookupService::query(
     const std::map<std::string, std::string>& filter) const {
   std::vector<const ServiceAdvertisement*> out;
+  out.reserve(services_.size());  // empty filter (the common case) keeps all
   for (const auto& [name, ad] : services_) {
     bool match = true;
     for (const auto& [key, value] : filter) {

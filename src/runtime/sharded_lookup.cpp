@@ -1,0 +1,226 @@
+#include "runtime/sharded_lookup.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+
+namespace psf::runtime {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_name(const std::string& name) {
+  // FNV-1a, finalized through splitmix64 for avalanche.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return splitmix64(h);
+}
+
+// Rendezvous weight of (shard, key). Keyed by shard INDEX, not host: the
+// weight of existing shards must not change when a new one is appended, and
+// hosts may repeat across shards.
+std::uint64_t rendezvous_weight(std::size_t shard, std::uint64_t key_hash) {
+  return splitmix64(key_hash ^ splitmix64(0x5164eadb0f5a0b1dULL + shard));
+}
+
+}  // namespace
+
+ShardedLookupService::ShardedLookupService(const net::Network& network,
+                                           std::vector<net::NodeId> shard_hosts)
+    : network_(network) {
+  PSF_CHECK_MSG(!shard_hosts.empty(), "need at least one lookup shard");
+  shards_.reserve(shard_hosts.size());
+  for (const net::NodeId host : shard_hosts) {
+    shards_.push_back(std::make_unique<LookupService>(host));
+  }
+}
+
+LookupService& ShardedLookupService::shard(std::size_t i) {
+  PSF_CHECK_MSG(i < shards_.size(), "shard index out of range");
+  return *shards_[i];
+}
+
+const LookupService& ShardedLookupService::shard(std::size_t i) const {
+  PSF_CHECK_MSG(i < shards_.size(), "shard index out of range");
+  return *shards_[i];
+}
+
+LookupHandle ShardedLookupService::handle_for(const std::string& service_name) {
+  const std::uint64_t h = hash_name(service_name);
+  return LookupHandle{h == 0 ? 1 : h};
+}
+
+std::size_t ShardedLookupService::owner_shard(
+    const std::string& service_name) const {
+  const std::uint64_t key = hash_name(service_name);
+  std::size_t best = 0;
+  std::uint64_t best_weight = rendezvous_weight(0, key);
+  for (std::size_t s = 1; s < shards_.size(); ++s) {
+    const std::uint64_t w = rendezvous_weight(s, key);
+    if (w > best_weight) {
+      best_weight = w;
+      best = s;
+    }
+  }
+  return best;
+}
+
+std::size_t ShardedLookupService::home_shard(net::NodeId client) const {
+  std::size_t best = 0;
+  auto best_latency = sim::Duration::from_nanos(
+      std::numeric_limits<std::int64_t>::max());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const net::NodeId host = shards_[s]->host();
+    if (host == client) return s;
+    const net::Route* route = network_.cached_route(client, host);
+    if (route == nullptr) continue;  // unreachable shard
+    if (route->total_latency < best_latency) {
+      best_latency = route->total_latency;
+      best = s;
+    }
+  }
+  return best;
+}
+
+util::Status ShardedLookupService::register_service(ServiceAdvertisement ad) {
+  const std::size_t owner = owner_shard(ad.service_name);
+  const std::string name = ad.service_name;
+  if (auto st = shards_[owner]->register_service(std::move(ad)); !st) {
+    return st;
+  }
+  handle_names_[handle_for(name).value] = name;
+  return util::Status::ok();
+}
+
+util::Status ShardedLookupService::unregister_service(
+    const std::string& service_name) {
+  // The service may sit on a non-owner shard (registered before a
+  // membership change or through the single-shard API); scrub everywhere.
+  bool removed = false;
+  for (auto& shard : shards_) {
+    if (shard->unregister_service(service_name)) removed = true;
+  }
+  if (!removed) {
+    return util::not_found("service '" + service_name + "' not registered");
+  }
+  handle_names_.erase(handle_for(service_name).value);
+  return util::Status::ok();
+}
+
+const LookupService* ShardedLookupService::probe(
+    std::size_t shard, const std::string& service_name) const {
+  return shards_[shard]->find(service_name) != nullptr ? shards_[shard].get()
+                                                       : nullptr;
+}
+
+LookupResolution ShardedLookupService::resolve(const std::string& service_name,
+                                               net::NodeId client) {
+  ++stats_.resolves;
+  LookupResolution res;
+  res.home_shard = home_shard(client);
+  res.probe_path.push_back(res.home_shard);
+  if (probe(res.home_shard, service_name) != nullptr) {
+    ++stats_.home_hits;
+    res.holder_shard = res.home_shard;
+    res.ad = shards_[res.home_shard]->find(service_name);
+    return res;
+  }
+
+  const std::size_t owner = owner_shard(service_name);
+  if (owner != res.home_shard) {
+    res.probe_path.push_back(owner);
+    ++stats_.forwards;
+    if (probe(owner, service_name) != nullptr) {
+      res.holder_shard = owner;
+      res.ad = shards_[owner]->find(service_name);
+      return res;
+    }
+  }
+
+  // Fallback sweep for services living on neither home nor owner (e.g.
+  // registered on a specific shard before it stopped being the owner, with
+  // no re-home having run).
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (s == res.home_shard || s == owner) continue;
+    res.probe_path.push_back(s);
+    ++stats_.forwards;
+    if (probe(s, service_name) != nullptr) {
+      res.holder_shard = s;
+      res.ad = shards_[s]->find(service_name);
+      return res;
+    }
+  }
+  return res;  // ad == nullptr: unknown service
+}
+
+LookupResolution ShardedLookupService::resolve(LookupHandle handle,
+                                               net::NodeId client) {
+  auto it = handle_names_.find(handle.value);
+  if (it == handle_names_.end()) {
+    // Ads registered directly with a member shard (the GenericServer path)
+    // never went through register_service, so the handle→name map has no
+    // entry. Recover it by hashing the ads we hold; handles stay valid no
+    // matter which API registered the service.
+    for (const auto& shard : shards_) {
+      for (const ServiceAdvertisement* ad : shard->query({})) {
+        if (handle_for(ad->service_name) == handle) {
+          it = handle_names_.emplace(handle.value, ad->service_name).first;
+          break;
+        }
+      }
+      if (it != handle_names_.end()) break;
+    }
+  }
+  if (it == handle_names_.end()) {
+    ++stats_.resolves;
+    LookupResolution res;
+    res.home_shard = home_shard(client);
+    res.probe_path.push_back(res.home_shard);
+    return res;
+  }
+  return resolve(it->second, client);
+}
+
+std::size_t ShardedLookupService::add_shard(net::NodeId host) {
+  const std::size_t new_index = shards_.size();
+  shards_.push_back(std::make_unique<LookupService>(host));
+  ++stats_.membership_changes;
+
+  // Re-home: every service whose rendezvous owner became the new shard
+  // moves there. Rendezvous weights of existing shards are unchanged, so
+  // nothing moves between old shards.
+  for (std::size_t s = 0; s < new_index; ++s) {
+    for (const ServiceAdvertisement* ad : shards_[s]->query({})) {
+      if (owner_shard(ad->service_name) != new_index) continue;
+      ServiceAdvertisement moved = *ad;
+      const std::string name = moved.service_name;
+      PSF_CHECK(shards_[s]->unregister_service(name));
+      PSF_CHECK(shards_[new_index]->register_service(std::move(moved)));
+      ++stats_.rehomed_services;
+      PSF_INFO() << "lookup shard " << new_index << " (node "
+                 << host.value << ") took over service '" << name << "'";
+    }
+  }
+
+  for (const auto& listener : listeners_) listener();
+  return new_index;
+}
+
+void ShardedLookupService::on_membership_change(
+    std::function<void()> listener) {
+  listeners_.push_back(std::move(listener));
+}
+
+}  // namespace psf::runtime

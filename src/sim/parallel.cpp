@@ -1,0 +1,406 @@
+#include "sim/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <limits>
+#include <queue>
+#include <thread>
+
+#include "util/arena.hpp"
+#include "util/assert.hpp"
+
+namespace psf::sim {
+
+namespace {
+constexpr std::int64_t kInfNs = std::numeric_limits<std::int64_t>::max();
+}  // namespace
+
+// A cross-region event in flight. Created from the SENDING region's pool,
+// pushed onto the destination's lock-free inbox, and released into the
+// DESTINATION region's pool at drain time — nodes migrate freely between
+// the pools, which the engine owns together (see util/arena.hpp).
+struct MsgNode {
+  std::int64_t when_ns;
+  RegionId origin;
+  std::uint64_t seq;
+  std::uint64_t tag;
+  EventFn fn;
+  MsgNode* next = nullptr;
+
+  MsgNode(std::int64_t w, RegionId o, std::uint64_t s, std::uint64_t t,
+          EventFn f)
+      : when_ns(w), origin(o), seq(s), tag(t), fn(std::move(f)) {}
+};
+
+namespace {
+
+struct RegionEvent {
+  std::int64_t when_ns;
+  RegionId origin;
+  std::uint64_t seq;
+  std::uint64_t tag;
+  EventFn fn;
+};
+
+// Min-heap on the deterministic ordering key (time, origin region, origin
+// sequence). The pair (origin, seq) is unique per event and assigned at
+// schedule time, so this order is independent of mailbox arrival order.
+struct LaterEvent {
+  bool operator()(const RegionEvent& a, const RegionEvent& b) const {
+    if (a.when_ns != b.when_ns) return a.when_ns > b.when_ns;
+    if (a.origin != b.origin) return a.origin > b.origin;
+    return a.seq > b.seq;
+  }
+};
+
+}  // namespace
+
+struct ParallelSimulator::Region {
+  explicit Region(RegionId id_in) : id(id_in) {}
+
+  const RegionId id;
+  std::int64_t now_ns = 0;
+  std::uint64_t next_seq = 0;  // deterministic per-region sequence counter
+  std::uint64_t executed = 0;
+  std::uint64_t cross_posts = 0;
+  std::priority_queue<RegionEvent, std::vector<RegionEvent>, LaterEvent> queue;
+  // Push-only Treiber stack: producers CAS-push, the owning worker drains
+  // with exchange(nullptr) at the window barrier. There is no concurrent
+  // pop, so the classic ABA hazard does not apply.
+  std::atomic<MsgNode*> inbox{nullptr};
+  util::SlabPool<MsgNode> node_pool;
+  std::vector<TraceEntry> trace;
+};
+
+// Serial-path merge heap: keys point at region queue tops; stale keys (the
+// region's top changed underneath) are skipped on pop. Keeping keys in the
+// same (time, region, origin, seq) order the trace merge uses makes the
+// serial execution order the canonical linearization.
+struct ParallelSimulator::SerialHeap {
+  struct Key {
+    std::int64_t when_ns;
+    RegionId region;
+    RegionId origin;
+    std::uint64_t seq;
+  };
+  struct Later {
+    bool operator()(const Key& a, const Key& b) const {
+      if (a.when_ns != b.when_ns) return a.when_ns > b.when_ns;
+      if (a.region != b.region) return a.region > b.region;
+      if (a.origin != b.origin) return a.origin > b.origin;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Key, std::vector<Key>, Later> heap;
+
+  void push_top(const Region& r) {
+    if (r.queue.empty()) return;
+    const RegionEvent& top = r.queue.top();
+    heap.push(Key{top.when_ns, r.id, top.origin, top.seq});
+  }
+};
+
+thread_local ParallelSimulator* ParallelSimulator::tls_sim_ = nullptr;
+thread_local ParallelSimulator::Region* ParallelSimulator::tls_region_ =
+    nullptr;
+
+ParallelSimulator::ParallelSimulator(std::size_t num_regions,
+                                     Duration lookahead)
+    : lookahead_(lookahead) {
+  PSF_CHECK_MSG(num_regions > 0, "need at least one region");
+  PSF_CHECK_MSG(lookahead.nanos() >= 0, "negative lookahead");
+  regions_.reserve(num_regions);
+  for (std::size_t r = 0; r < num_regions; ++r) {
+    regions_.push_back(std::make_unique<Region>(static_cast<RegionId>(r)));
+  }
+}
+
+ParallelSimulator::~ParallelSimulator() {
+  // Mailboxes may hold undelivered nodes if a run stopped at a deadline;
+  // return them so their SmallFn targets are destroyed.
+  for (auto& region : regions_) drain_inbox(*region);
+}
+
+ParallelSimulator::Region& ParallelSimulator::region_at(RegionId r) const {
+  PSF_CHECK_MSG(r < regions_.size(), "region id out of range");
+  return *regions_[r];
+}
+
+void ParallelSimulator::seed_event(RegionId region, Time when, EventFn fn,
+                                   std::uint64_t tag) {
+  Region& dst = region_at(region);
+  PSF_CHECK_MSG(when.nanos() >= dst.now_ns, "seeding into the past");
+  dst.queue.push(RegionEvent{when.nanos(), dst.id, dst.next_seq++, tag,
+                             std::move(fn)});
+}
+
+Time ParallelSimulator::now() const {
+  PSF_CHECK_MSG(tls_region_ != nullptr, "now() outside an event");
+  return Time::from_nanos(tls_region_->now_ns);
+}
+
+RegionId ParallelSimulator::current_region() const {
+  PSF_CHECK_MSG(tls_region_ != nullptr, "current_region() outside an event");
+  return tls_region_->id;
+}
+
+void ParallelSimulator::schedule_local(Duration delay, EventFn fn,
+                                       std::uint64_t tag) {
+  PSF_CHECK_MSG(tls_region_ != nullptr && tls_sim_ == this,
+                "schedule_local() outside an event");
+  PSF_CHECK_MSG(delay.nanos() >= 0, "negative delay");
+  Region& src = *tls_region_;
+  src.queue.push(RegionEvent{src.now_ns + delay.nanos(), src.id,
+                             src.next_seq++, tag, std::move(fn)});
+}
+
+void ParallelSimulator::post(RegionId dst_id, Time when, EventFn fn,
+                             std::uint64_t tag) {
+  PSF_CHECK_MSG(tls_region_ != nullptr && tls_sim_ == this,
+                "post() outside an event");
+  Region& src = *tls_region_;
+  Region& dst = region_at(dst_id);
+  if (&dst == &src) {
+    PSF_CHECK_MSG(when.nanos() >= src.now_ns, "posting into the past");
+    src.queue.push(RegionEvent{when.nanos(), src.id, src.next_seq++, tag,
+                               std::move(fn)});
+    return;
+  }
+
+  // The conservative contract: a cross-region effect cannot land inside the
+  // window its cause executes in.
+  PSF_CHECK_MSG(
+      lookahead_.nanos() >= kInfNs - src.now_ns ||
+          when.nanos() >= src.now_ns + lookahead_.nanos(),
+      "cross-region post violates lookahead");
+  ++src.cross_posts;
+
+  const std::uint64_t seq = src.next_seq++;
+  if (serial_heap_ != nullptr) {
+    // Serial mode: no other thread is running, deliver directly.
+    dst.queue.push(
+        RegionEvent{when.nanos(), src.id, seq, tag, std::move(fn)});
+    serial_heap_->push_top(dst);
+    return;
+  }
+
+  MsgNode* node =
+      src.node_pool.create(when.nanos(), src.id, seq, tag, std::move(fn));
+  MsgNode* head = dst.inbox.load(std::memory_order_relaxed);
+  do {
+    node->next = head;
+  } while (!dst.inbox.compare_exchange_weak(
+      head, node, std::memory_order_release, std::memory_order_relaxed));
+}
+
+void ParallelSimulator::drain_inbox(Region& region) {
+  MsgNode* node = region.inbox.exchange(nullptr, std::memory_order_acquire);
+  while (node != nullptr) {
+    region.queue.push(RegionEvent{node->when_ns, node->origin, node->seq,
+                                  node->tag, std::move(node->fn)});
+    MsgNode* next = node->next;
+    // Recycle into the DRAINING region's pool; only this region's worker
+    // touches its freelist during the drain phase.
+    region.node_pool.destroy(node);
+    node = next;
+  }
+}
+
+void ParallelSimulator::exec_region(Region& region, std::int64_t horizon_ns) {
+  tls_region_ = &region;
+  auto& queue = region.queue;
+  while (!queue.empty() && queue.top().when_ns < horizon_ns) {
+    RegionEvent ev = std::move(const_cast<RegionEvent&>(queue.top()));
+    queue.pop();
+    region.now_ns = ev.when_ns;
+    if (trace_) {
+      region.trace.push_back(
+          TraceEntry{ev.when_ns, region.id, ev.origin, ev.seq, ev.tag});
+    }
+    ev.fn();
+    ++region.executed;
+  }
+  tls_region_ = nullptr;
+}
+
+std::size_t ParallelSimulator::run_serial(Time deadline) {
+  SerialHeap heap;
+  serial_heap_ = &heap;
+  tls_sim_ = this;
+  for (auto& region : regions_) {
+    drain_inbox(*region);  // leftovers from a deadline-stopped parallel run
+    heap.push_top(*region);
+  }
+
+  std::size_t executed = 0;
+  while (!heap.heap.empty()) {
+    const SerialHeap::Key key = heap.heap.top();
+    heap.heap.pop();
+    Region& region = *regions_[key.region];
+    if (region.queue.empty()) continue;
+    const RegionEvent& top = region.queue.top();
+    if (top.when_ns != key.when_ns || top.origin != key.origin ||
+        top.seq != key.seq) {
+      continue;  // stale key: the region's top changed since it was pushed
+    }
+    if (top.when_ns > deadline.nanos()) break;
+
+    RegionEvent ev = std::move(const_cast<RegionEvent&>(region.queue.top()));
+    region.queue.pop();
+    tls_region_ = &region;
+    region.now_ns = ev.when_ns;
+    if (trace_) {
+      region.trace.push_back(
+          TraceEntry{ev.when_ns, region.id, ev.origin, ev.seq, ev.tag});
+    }
+    ev.fn();
+    tls_region_ = nullptr;
+    ++region.executed;
+    ++executed;
+    heap.push_top(region);  // re-key this region (post() re-keyed the others)
+  }
+
+  serial_heap_ = nullptr;
+  tls_sim_ = nullptr;
+  return executed;
+}
+
+void ParallelSimulator::reduce_window() {
+  std::int64_t global_min = kInfNs;
+  for (const std::int64_t m : worker_min_) {
+    global_min = std::min(global_min, m);
+  }
+  if (global_min == kInfNs || global_min > deadline_ns_) {
+    done_ = true;
+    return;
+  }
+  const std::int64_t la = lookahead_.nanos();
+  std::int64_t horizon =
+      (la >= kInfNs - global_min) ? kInfNs : global_min + la;
+  // Events at exactly the deadline must still run; beyond it they must not.
+  if (deadline_ns_ < kInfNs && horizon > deadline_ns_) {
+    horizon = deadline_ns_ + 1;
+  }
+  horizon_ns_ = horizon;
+  ++windows_;
+}
+
+std::size_t ParallelSimulator::run_parallel(Time deadline,
+                                            std::size_t workers) {
+  PSF_CHECK_MSG(lookahead_.nanos() > 0,
+                "parallel execution requires positive lookahead");
+  deadline_ns_ = deadline.nanos();
+  horizon_ns_ = std::numeric_limits<std::int64_t>::min();  // first exec no-ops
+  done_ = false;
+  barrier_phase_ = 0;
+  worker_min_.assign(workers, kInfNs);
+
+  std::uint64_t executed_before = 0;
+  for (const auto& region : regions_) executed_before += region->executed;
+
+  // Two barrier cycles per window. Cycle A ends the execute phase; cycle B
+  // ends the drain phase and its completion step reduces the per-worker
+  // minima into the next horizon (or terminates the run).
+  auto completion = [this]() noexcept {
+    if (barrier_phase_ == 0) {
+      barrier_phase_ = 1;
+      return;
+    }
+    barrier_phase_ = 0;
+    reduce_window();
+  };
+  std::barrier bar(static_cast<std::ptrdiff_t>(workers), completion);
+
+  auto worker = [this, workers, &bar](std::size_t w) {
+    tls_sim_ = this;
+    const std::size_t n = regions_.size();
+    while (true) {
+      for (std::size_t r = w; r < n; r += workers) {
+        exec_region(*regions_[r], horizon_ns_);
+      }
+      bar.arrive_and_wait();  // cycle A: everyone finished executing
+
+      std::int64_t my_min = kInfNs;
+      for (std::size_t r = w; r < n; r += workers) {
+        Region& region = *regions_[r];
+        drain_inbox(region);
+        if (!region.queue.empty()) {
+          my_min = std::min(my_min, region.queue.top().when_ns);
+        }
+      }
+      worker_min_[w] = my_min;
+      bar.arrive_and_wait();  // cycle B: completion computed the next window
+      if (done_) break;
+    }
+    tls_sim_ = nullptr;
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (std::size_t w = 1; w < workers; ++w) {
+    threads.emplace_back(worker, w);
+  }
+  worker(0);
+  for (std::thread& t : threads) t.join();
+
+  std::uint64_t executed_after = 0;
+  for (const auto& region : regions_) executed_after += region->executed;
+  return static_cast<std::size_t>(executed_after - executed_before);
+}
+
+std::size_t ParallelSimulator::run_until(Time deadline, std::size_t workers) {
+  workers = std::clamp<std::size_t>(workers, 1, regions_.size());
+  if (workers == 1) return run_serial(deadline);
+  return run_parallel(deadline, workers);
+}
+
+bool ParallelSimulator::empty() const {
+  for (const auto& region : regions_) {
+    if (!region->queue.empty()) return false;
+    if (region->inbox.load(std::memory_order_acquire) != nullptr) return false;
+  }
+  return true;
+}
+
+Time ParallelSimulator::end_time() const {
+  std::int64_t latest = 0;
+  for (const auto& region : regions_) {
+    latest = std::max(latest, region->now_ns);
+  }
+  return Time::from_nanos(latest);
+}
+
+ParallelStats ParallelSimulator::stats() const {
+  ParallelStats s;
+  s.windows = windows_;
+  for (const auto& region : regions_) {
+    s.executed += region->executed;
+    s.cross_region_posts += region->cross_posts;
+    const auto& pool = region->node_pool.stats();
+    s.mailbox_blocks += pool.blocks;
+    s.mailbox_nodes += pool.created;
+    s.mailbox_reuses += pool.recycled;
+  }
+  return s;
+}
+
+std::vector<TraceEntry> ParallelSimulator::merged_trace() const {
+  std::vector<TraceEntry> merged;
+  std::size_t total = 0;
+  for (const auto& region : regions_) total += region->trace.size();
+  merged.reserve(total);
+  for (const auto& region : regions_) {
+    merged.insert(merged.end(), region->trace.begin(), region->trace.end());
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const TraceEntry& a, const TraceEntry& b) {
+              if (a.when_ns != b.when_ns) return a.when_ns < b.when_ns;
+              if (a.region != b.region) return a.region < b.region;
+              if (a.origin != b.origin) return a.origin < b.origin;
+              return a.seq < b.seq;
+            });
+  return merged;
+}
+
+}  // namespace psf::sim

@@ -1,0 +1,146 @@
+// Region-parallel conservative discrete-event engine.
+//
+// The serial Simulator tops out at one core; this engine partitions the
+// event population into regions (see region.hpp) and runs them on worker
+// threads under conservative lookahead synchronization:
+//
+//   - every event belongs to a region and may freely schedule further
+//     events in its own region at any time >= now;
+//   - an event may post into ANOTHER region only at time >= now + lookahead
+//     (the minimum cross-region link latency — in the network model a
+//     message physically cannot arrive sooner);
+//   - therefore all events with timestamp < min_next_event + lookahead are
+//     causally independent across regions and execute in parallel. Workers
+//     run that window, exchange cross-region events through lock-free
+//     mailboxes, synchronize on a barrier, and advance the horizon.
+//
+// Determinism: events carry (origin region, origin sequence) assigned at
+// schedule time by the deterministic per-region counters, and each region
+// executes its queue in (time, origin, seq) order. Region state is
+// region-private by contract, so the merged trace — sorted on
+// (time, region, origin, seq) — is bit-identical for any worker count,
+// including the dedicated single-threaded path used as the speedup
+// baseline.
+//
+// Allocation: event callbacks are util::SmallFn (inline captures) and
+// mailbox nodes come from per-region slab pools with freelist recycling —
+// steady state performs no allocator calls on the event path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/small_fn.hpp"
+
+namespace psf::sim {
+
+using EventFn = util::SmallFn;
+// Also declared (identically) by region.hpp; the engine itself is
+// topology-agnostic and must not depend on net::Network.
+using RegionId = std::uint32_t;
+
+struct TraceEntry {
+  std::int64_t when_ns = 0;
+  RegionId region = 0;  // executing region
+  RegionId origin = 0;  // scheduling region
+  std::uint64_t seq = 0;
+  std::uint64_t tag = 0;
+
+  bool operator==(const TraceEntry&) const = default;
+};
+
+struct ParallelStats {
+  std::uint64_t executed = 0;
+  std::uint64_t cross_region_posts = 0;
+  std::uint64_t windows = 0;          // barrier cycles across all runs
+  std::uint64_t mailbox_blocks = 0;   // allocator calls for mailbox nodes
+  std::uint64_t mailbox_nodes = 0;    // nodes handed out
+  std::uint64_t mailbox_reuses = 0;   // nodes served from a freelist
+};
+
+class ParallelSimulator {
+ public:
+  // lookahead must be positive to run with more than one worker; a
+  // partition with no cut links may pass Duration::from_nanos(INT64_MAX).
+  ParallelSimulator(std::size_t num_regions, Duration lookahead);
+  ~ParallelSimulator();
+
+  ParallelSimulator(const ParallelSimulator&) = delete;
+  ParallelSimulator& operator=(const ParallelSimulator&) = delete;
+
+  std::size_t num_regions() const { return regions_.size(); }
+  Duration lookahead() const { return lookahead_; }
+
+  // Setup-time scheduling into an arbitrary region. Not thread-safe; call
+  // before run() or between runs.
+  void seed_event(RegionId region, Time when, EventFn fn,
+                  std::uint64_t tag = 0);
+
+  // ---- callable only from inside a running event --------------------------
+  Time now() const;
+  RegionId current_region() const;
+  // Schedule in the current region at now() + delay.
+  void schedule_local(Duration delay, EventFn fn, std::uint64_t tag = 0);
+  // Schedule in region `dst` at absolute time `when`. Same-region posts are
+  // local; cross-region posts require when >= now() + lookahead.
+  void post(RegionId dst, Time when, EventFn fn, std::uint64_t tag = 0);
+
+  // ---- execution -----------------------------------------------------------
+  // Runs events with timestamp <= deadline using `workers` threads (clamped
+  // to [1, num_regions]; 1 selects the dedicated serial path). Returns the
+  // number of events executed by this call. May be called repeatedly —
+  // state (queues, clocks, mailboxes) persists across calls, so a driver
+  // can pause at a quiescent point, mutate shared read-only inputs (e.g.
+  // fail network links), and resume.
+  std::size_t run_until(Time deadline, std::size_t workers);
+  std::size_t run(std::size_t workers) { return run_until(Time::max(), workers); }
+
+  bool empty() const;
+  // Latest clock over all regions (max executed-event timestamp).
+  Time end_time() const;
+
+  // Execution telemetry aggregated over all regions and runs.
+  ParallelStats stats() const;
+
+  // Trace recording for the parallel/serial equivalence suite. Entries are
+  // appended per region at execution time; merged_trace() returns them
+  // sorted on (time, region, origin, seq).
+  void enable_trace(bool on) { trace_ = on; }
+  std::vector<TraceEntry> merged_trace() const;
+
+ private:
+  struct Region;
+
+  Region& region_at(RegionId r) const;
+  void exec_region(Region& region, std::int64_t horizon_ns);
+  void drain_inbox(Region& region);
+  std::size_t run_serial(Time deadline);
+  std::size_t run_parallel(Time deadline, std::size_t workers);
+  void reduce_window();
+
+  std::vector<std::unique_ptr<Region>> regions_;
+  Duration lookahead_;
+  bool trace_ = false;
+
+  // Run-scoped coordination (parallel path). Written by the barrier
+  // completion step, read by workers after the barrier — the barrier is the
+  // synchronization point.
+  std::vector<std::int64_t> worker_min_;
+  std::int64_t horizon_ns_ = 0;
+  std::int64_t deadline_ns_ = 0;
+  bool done_ = false;
+  int barrier_phase_ = 0;
+  std::uint64_t windows_ = 0;
+
+  // Serial-path merge heap; non-null only while run_serial is active (post()
+  // uses it to re-key destination regions).
+  struct SerialHeap;
+  SerialHeap* serial_heap_ = nullptr;
+
+  static thread_local ParallelSimulator* tls_sim_;
+  static thread_local Region* tls_region_;
+};
+
+}  // namespace psf::sim

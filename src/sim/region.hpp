@@ -1,0 +1,46 @@
+// Topology partitioning for the region-parallel simulation engine.
+//
+// partition_network splits a net::Network into contiguous regions using a
+// deterministic streaming-greedy pass (the parameter-server graph
+// partitioning idiom: stream nodes in BFS order, assign each to the
+// capacity-bounded region holding most of its already-placed neighbors)
+// followed by one boundary-refinement sweep that moves nodes whose cut
+// degree strictly improves. The result carries the conservative lookahead:
+// the minimum latency over cut links. Any event executing at time t in one
+// region can influence another region no earlier than t + lookahead, which
+// is what lets region workers run a whole window of events without
+// coordinating (see parallel.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/time.hpp"
+
+namespace psf::sim {
+
+using RegionId = std::uint32_t;
+
+struct RegionPartition {
+  std::vector<RegionId> region_of_node;  // indexed by NodeId::value
+  std::size_t num_regions = 1;
+  // Minimum latency over links whose endpoints fall in different regions.
+  // Duration::from_nanos(INT64_MAX) when no link crosses regions (fully
+  // independent partitions). Zero only if a cut link has zero latency — the
+  // parallel engine rejects that configuration.
+  Duration lookahead = Duration::zero();
+  std::size_t cut_links = 0;
+  std::vector<std::size_t> region_nodes;  // node count per region
+
+  RegionId region_of(net::NodeId n) const {
+    return region_of_node[n.value];
+  }
+};
+
+// Deterministic: same network (nodes, links, latencies) => same partition.
+// num_regions is clamped to [1, node_count].
+RegionPartition partition_network(const net::Network& network,
+                                  std::size_t num_regions);
+
+}  // namespace psf::sim

@@ -8,19 +8,28 @@
 // Determinism: events at the same timestamp fire in schedule order (a
 // monotonically increasing sequence number breaks ties), so a given seed
 // always produces the same trace.
+//
+// Allocation: event callbacks are util::SmallFn — captures up to 48 bytes
+// live inline in the queue's own storage, so the steady-state hot path
+// performs no per-event heap allocation (std::function allocated for
+// anything over 16 bytes). Cancellation state is a watermarked flag window:
+// ids below the minimum outstanding id are dropped from the front, so
+// memory tracks the number of in-flight events, not the total ever
+// scheduled — a week-long megascale run stays flat.
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <deque>
 #include <queue>
 #include <vector>
 
 #include "sim/time.hpp"
 #include "util/assert.hpp"
+#include "util/small_fn.hpp"
 
 namespace psf::sim {
 
-using EventFn = std::function<void()>;
+using EventFn = util::SmallFn;
 using EventId = std::uint64_t;
 
 class Simulator {
@@ -42,20 +51,22 @@ class Simulator {
   EventId schedule_at(Time when, EventFn fn) {
     PSF_CHECK_MSG(when >= now_, "scheduling into the past");
     const EventId id = next_id_++;
-    queue_.push(Event{when, id, std::move(fn), false});
+    queue_.push(Event{when, id, std::move(fn)});
+    flags_.push_back(0);
     ++pending_;
     return id;
   }
 
   // Cancel a pending event. Returns false if it already ran / was cancelled,
   // or if the id was never issued by this simulator (a garbage id must not
-  // grow the tombstone vector).
-  // Cancellation is lazy (tombstone) — O(1), the queue skips dead events.
+  // grow the flag window). Cancellation is lazy — O(1), the queue skips
+  // dead events — and counts the event out of pending_events() immediately.
   bool cancel(EventId id) {
-    if (id >= next_id_) return false;
-    if (cancelled_.size() <= id) cancelled_.resize(id + 1, false);
-    if (cancelled_[id]) return false;
-    cancelled_[id] = true;
+    if (id < base_ || id >= next_id_) return false;
+    std::uint8_t& f = flags_[id - base_];
+    if (f != 0) return false;  // already cancelled or already ran
+    f = kCancelled;
+    --pending_;
     return true;
   }
 
@@ -67,12 +78,10 @@ class Simulator {
   std::size_t run_until(Time deadline) {
     std::size_t executed = 0;
     while (!queue_.empty()) {
-      const Event& top = queue_.top();
-      if (top.when > deadline) break;
-      Event ev = std::move(const_cast<Event&>(top));
-      queue_.pop();
+      if (queue_.top().when > deadline) break;
+      Event ev = pop_top();
+      if (retire(ev.id)) continue;  // cancelled: pending_ already adjusted
       --pending_;
-      if (ev.id < cancelled_.size() && cancelled_[ev.id]) continue;
       now_ = ev.when;
       ev.fn();
       ++executed;
@@ -86,10 +95,9 @@ class Simulator {
   // Execute exactly one event (if any). Returns true if one ran.
   bool step() {
     while (!queue_.empty()) {
-      Event ev = std::move(const_cast<Event&>(queue_.top()));
-      queue_.pop();
+      Event ev = pop_top();
+      if (retire(ev.id)) continue;  // cancelled: pending_ already adjusted
       --pending_;
-      if (ev.id < cancelled_.size() && cancelled_[ev.id]) continue;
       now_ = ev.when;
       ev.fn();
       return true;
@@ -97,15 +105,20 @@ class Simulator {
     return false;
   }
 
+  // Live (not-yet-run, not-cancelled) events.
   bool empty() const { return pending_ == 0; }
   std::size_t pending_events() const { return pending_; }
+
+  // Width of the cancellation flag window (ids between the retirement
+  // watermark and the newest issued id). Tracks outstanding events, not
+  // total events scheduled — exposed so tests can pin the memory bound.
+  std::size_t tombstone_window() const { return flags_.size(); }
 
  private:
   struct Event {
     Time when;
     EventId id;
     EventFn fn;
-    bool tombstone;
   };
 
   struct Later {
@@ -115,11 +128,37 @@ class Simulator {
     }
   };
 
+  static constexpr std::uint8_t kCancelled = 1;
+  static constexpr std::uint8_t kRetired = 2;
+
+  // Extract the top event. std::priority_queue only exposes a const top();
+  // moving out right before pop() is safe (the element is discarded) and
+  // shared here by run_until()/step() instead of being inlined in both.
+  Event pop_top() {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    return ev;
+  }
+
+  // Marks `id` as done (executed or skipped), advances the watermark past
+  // fully-retired ids, and reports whether the event had been cancelled.
+  bool retire(EventId id) {
+    std::uint8_t& f = flags_[id - base_];
+    const bool cancelled = (f & kCancelled) != 0;
+    f |= kRetired;
+    while (!flags_.empty() && (flags_.front() & kRetired) != 0) {
+      flags_.pop_front();
+      ++base_;
+    }
+    return cancelled;
+  }
+
   Time now_ = Time::zero();
   EventId next_id_ = 0;
-  std::size_t pending_ = 0;
+  EventId base_ = 0;        // ids below this are retired
+  std::size_t pending_ = 0;  // live events (scheduled - run - cancelled)
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::vector<bool> cancelled_;
+  std::deque<std::uint8_t> flags_;  // per-id state, indexed by id - base_
 };
 
 // Repeating timer helper built on Simulator; used by time-driven coherence

@@ -1,0 +1,96 @@
+// Slab arena with freelist recycling for fixed-size objects.
+//
+// The parallel simulation engine churns through millions of short-lived
+// event and mailbox records; allocating each one individually would make
+// malloc the bottleneck (and a contention point across region workers).
+// SlabPool hands out objects carved from large blocks and recycles released
+// storage through an intrusive freelist, so steady-state operation performs
+// zero allocator calls.
+//
+// Concurrency: a pool is single-owner — only one thread may call
+// create()/destroy() at a time (the parallel engine gives each region its
+// own pool and only that region's worker touches it within a phase).
+// Objects MAY be released into a different pool than the one that created
+// them (mailbox nodes migrate between regions); block storage is owned by
+// the creating pool, so pools that exchange objects must share a lifetime —
+// the engine owns all of them and destroys them together.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace psf::util {
+
+template <typename T>
+class SlabPool {
+ public:
+  struct Stats {
+    std::uint64_t created = 0;    // objects handed out
+    std::uint64_t recycled = 0;   // of those, served from the freelist
+    std::uint64_t blocks = 0;     // actual allocator calls (one per slab)
+  };
+
+  explicit SlabPool(std::size_t block_items = 256)
+      : block_items_(block_items) {
+    PSF_CHECK(block_items_ > 0);
+  }
+
+  SlabPool(const SlabPool&) = delete;
+  SlabPool& operator=(const SlabPool&) = delete;
+
+  // Destroying the pool frees its blocks. Objects still live in any pool's
+  // blocks must have been destroyed (or be trivially destructible) by now;
+  // freelist entries pointing into other pools' blocks are never touched.
+  ~SlabPool() = default;
+
+  template <typename... Args>
+  T* create(Args&&... args) {
+    Slot* slot = free_;
+    if (slot != nullptr) {
+      free_ = slot->next;
+      ++stats_.recycled;
+    } else {
+      if (blocks_.empty() || next_in_block_ >= block_items_) {
+        blocks_.push_back(std::make_unique<Slot[]>(block_items_));
+        next_in_block_ = 0;
+        ++stats_.blocks;
+      }
+      slot = &blocks_.back()[next_in_block_++];
+    }
+    ++stats_.created;
+    return ::new (static_cast<void*>(&slot->storage)) T(
+        std::forward<Args>(args)...);
+  }
+
+  // Destroys *obj and recycles its storage through THIS pool's freelist.
+  // obj may have been created by a different pool (see header comment).
+  void destroy(T* obj) {
+    obj->~T();
+    Slot* slot = reinterpret_cast<Slot*>(obj);
+    slot->next = free_;
+    free_ = slot;
+  }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  union Slot {
+    Slot() {}
+    ~Slot() {}
+    alignas(T) unsigned char storage[sizeof(T)];
+    Slot* next;
+  };
+
+  std::size_t block_items_;
+  std::size_t next_in_block_ = 0;
+  Slot* free_ = nullptr;
+  std::vector<std::unique_ptr<Slot[]>> blocks_;
+  Stats stats_;
+};
+
+}  // namespace psf::util

@@ -1,0 +1,233 @@
+// Region-parallel engine: partitioning, conservative lookahead, and the
+// core determinism contract — the merged trace is bit-identical for any
+// worker count.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/megascale.hpp"
+#include "net/topology.hpp"
+#include "sim/parallel.hpp"
+#include "sim/region.hpp"
+#include "util/rng.hpp"
+
+namespace psf {
+namespace {
+
+net::Network waxman(std::size_t nodes, std::uint64_t seed) {
+  net::WaxmanParams params;
+  params.num_nodes = nodes;
+  util::Rng rng(seed);
+  return net::generate_waxman(params, rng);
+}
+
+// ---- partitioning ----------------------------------------------------------
+
+TEST(RegionPartitionTest, CoversEveryNodeWithBoundedImbalance) {
+  const net::Network network = waxman(40, 7);
+  const sim::RegionPartition part = sim::partition_network(network, 4);
+  ASSERT_EQ(part.num_regions, 4u);
+  ASSERT_EQ(part.region_of_node.size(), 40u);
+  std::vector<std::size_t> counts(4, 0);
+  for (const sim::RegionId r : part.region_of_node) {
+    ASSERT_LT(r, 4u);
+    ++counts[r];
+  }
+  for (std::size_t r = 0; r < 4; ++r) {
+    EXPECT_EQ(counts[r], part.region_nodes[r]);
+    EXPECT_LE(counts[r], (40 + 3) / 4 + 0u);  // capacity bound
+    EXPECT_GT(counts[r], 0u);
+  }
+}
+
+TEST(RegionPartitionTest, DeterministicAcrossCalls) {
+  const net::Network network = waxman(60, 11);
+  const sim::RegionPartition a = sim::partition_network(network, 6);
+  const sim::RegionPartition b = sim::partition_network(network, 6);
+  EXPECT_EQ(a.region_of_node, b.region_of_node);
+  EXPECT_EQ(a.cut_links, b.cut_links);
+  EXPECT_EQ(a.lookahead.nanos(), b.lookahead.nanos());
+}
+
+TEST(RegionPartitionTest, LookaheadIsMinimumCutLinkLatency) {
+  const net::Network network = waxman(30, 3);
+  const sim::RegionPartition part = sim::partition_network(network, 3);
+  ASSERT_GT(part.cut_links, 0u);
+  std::int64_t min_cut = INT64_MAX;
+  for (const net::LinkId lid : network.all_links()) {
+    const net::Link& l = network.link(lid);
+    if (part.region_of(l.a) != part.region_of(l.b)) {
+      min_cut = std::min(min_cut, l.latency.nanos());
+    }
+  }
+  EXPECT_EQ(part.lookahead.nanos(), min_cut);
+  EXPECT_GT(part.lookahead.nanos(), 0);
+}
+
+TEST(RegionPartitionTest, SingleRegionHasNoCutLinks) {
+  const net::Network network = waxman(20, 5);
+  const sim::RegionPartition part = sim::partition_network(network, 1);
+  EXPECT_EQ(part.cut_links, 0u);
+  EXPECT_EQ(part.lookahead.nanos(), INT64_MAX);
+}
+
+// ---- engine determinism ----------------------------------------------------
+
+// A synthetic ping-pong workload across R regions: every region runs
+// chains of local events that periodically post to the next region at
+// now + lookahead. Region state is region-confined (one counter vector per
+// region), so any worker count must produce the same trace.
+struct PingPongWorld {
+  static constexpr std::int64_t kLookaheadNs = 1'000'000;  // 1ms
+
+  explicit PingPongWorld(std::size_t regions)
+      : engine(regions, sim::Duration::from_nanos(kLookaheadNs)),
+        counters(regions, 0) {
+    engine.enable_trace(true);
+    for (sim::RegionId r = 0; r < regions; ++r) {
+      engine.seed_event(r, sim::Time::from_nanos(1000 + r), [this, r] {
+        bounce(r, 24);
+      });
+    }
+  }
+
+  void bounce(sim::RegionId r, int remaining) {
+    ++counters[r];
+    if (remaining <= 0) return;
+    if (remaining % 3 == 0) {
+      const auto dst = static_cast<sim::RegionId>(
+          (r + 1) % engine.num_regions());
+      engine.post(dst,
+                  engine.now() + sim::Duration::from_nanos(kLookaheadNs + 17),
+                  [this, dst, remaining] { bounce(dst, remaining - 1); },
+                  static_cast<std::uint64_t>(remaining));
+    } else {
+      engine.schedule_local(sim::Duration::from_nanos(231),
+                            [this, r, remaining] { bounce(r, remaining - 1); },
+                            static_cast<std::uint64_t>(remaining));
+    }
+  }
+
+  sim::ParallelSimulator engine;
+  std::vector<std::uint64_t> counters;
+};
+
+TEST(ParallelSimTest, TraceBitIdenticalAcrossWorkerCounts) {
+  PingPongWorld reference(4);
+  const std::size_t ref_executed = reference.engine.run(1);
+  const std::vector<sim::TraceEntry> ref_trace =
+      reference.engine.merged_trace();
+  ASSERT_GT(ref_executed, 0u);
+
+  for (const std::size_t workers : {2u, 4u, 8u}) {
+    PingPongWorld world(4);
+    const std::size_t executed = world.engine.run(workers);
+    EXPECT_EQ(executed, ref_executed) << workers << " workers";
+    EXPECT_EQ(world.engine.merged_trace(), ref_trace)
+        << workers << " workers";
+    EXPECT_EQ(world.counters, reference.counters) << workers << " workers";
+  }
+}
+
+TEST(ParallelSimTest, RunUntilRespectsDeadlineAndResumes) {
+  PingPongWorld a(2);
+  PingPongWorld b(2);
+  const std::size_t total = a.engine.run(1);
+
+  // Same workload in two run_until slices (parallel) matches one full
+  // serial run, including events landing exactly on the deadline.
+  const sim::Time cut = sim::Time::from_nanos(1'500'000);
+  const std::size_t first = b.engine.run_until(cut, 2);
+  EXPECT_LE(b.engine.end_time(), cut);
+  const std::size_t second = b.engine.run_until(sim::Time::max(), 2);
+  EXPECT_EQ(first + second, total);
+  EXPECT_EQ(b.engine.merged_trace(), a.engine.merged_trace());
+  EXPECT_TRUE(b.engine.empty());
+}
+
+TEST(ParallelSimTest, MailboxNodesAreRecycled) {
+  PingPongWorld world(4);
+  world.engine.run(2);
+  const sim::ParallelStats stats = world.engine.stats();
+  ASSERT_GT(stats.cross_region_posts, 0u);
+  EXPECT_EQ(stats.mailbox_nodes, stats.cross_region_posts);
+  // Slab blocks are the only allocator calls; steady state recycles.
+  EXPECT_LE(stats.mailbox_blocks, 4u);
+}
+
+TEST(ParallelSimTest, CrossRegionPostBelowLookaheadDies) {
+  sim::ParallelSimulator engine(2, sim::Duration::from_millis(1));
+  engine.seed_event(0, sim::Time::from_nanos(100), [&engine] {
+    engine.post(1, engine.now() + sim::Duration::from_nanos(10), [] {});
+  });
+  EXPECT_DEATH(engine.run(1), "lookahead");
+}
+
+TEST(ParallelSimTest, ParallelRunRequiresPositiveLookahead) {
+  sim::ParallelSimulator engine(2, sim::Duration::zero());
+  engine.seed_event(0, sim::Time::zero(), [] {});
+  EXPECT_DEATH(engine.run_until(sim::Time::max(), 2), "lookahead");
+  // The serial path is still fine (no window synchronization involved).
+  EXPECT_EQ(engine.run_until(sim::Time::max(), 1), 1u);
+}
+
+// ---- megascale workload equivalence ---------------------------------------
+
+core::MegascaleConfig small_config() {
+  core::MegascaleConfig config;
+  config.nodes = 24;
+  config.regions = 4;
+  config.clients = 600;
+  config.requests_per_client = 2;
+  config.seed = 99;
+  config.record_trace = true;
+  return config;
+}
+
+TEST(MegascaleWorldTest, ParallelRunMatchesSerialBitForBit) {
+  core::MegascaleWorld serial(small_config());
+  const core::MegascaleReport sr = serial.run(1);
+  ASSERT_EQ(sr.requests_completed + sr.requests_failed, 600u * 2u);
+
+  for (const std::size_t workers : {2u, 4u}) {
+    core::MegascaleWorld parallel(small_config());
+    const core::MegascaleReport pr = parallel.run(workers);
+    EXPECT_EQ(pr.events_executed, sr.events_executed);
+    EXPECT_EQ(pr.requests_completed, sr.requests_completed);
+    EXPECT_EQ(pr.requests_failed, sr.requests_failed);
+    EXPECT_EQ(pr.sim_seconds, sr.sim_seconds);
+    EXPECT_EQ(parallel.engine().merged_trace(),
+              serial.engine().merged_trace());
+  }
+}
+
+// Chaos composition: pause at a quiescent point mid-run, fail links, and
+// resume. Requests that lost their route fail deterministically — with the
+// same counts and trace for every worker count.
+core::MegascaleReport chaos_run(std::size_t workers) {
+  core::MegascaleWorld world(small_config());
+  world.run_until(sim::Time::from_nanos(120'000'000), workers);
+  // Deterministic fault: take down every 5th link at quiescence.
+  const std::vector<net::LinkId> links = world.network().all_links();
+  for (std::size_t i = 0; i < links.size(); i += 5) {
+    world.network().set_link_up(links[i], false);
+  }
+  world.refresh_routes();
+  world.run_until(sim::Time::max(), workers);
+  return world.report();
+}
+
+TEST(MegascaleWorldTest, ChaosCompositionStaysDeterministic) {
+  const core::MegascaleReport serial = chaos_run(1);
+  const core::MegascaleReport parallel = chaos_run(4);
+  EXPECT_EQ(parallel.events_executed, serial.events_executed);
+  EXPECT_EQ(parallel.requests_completed, serial.requests_completed);
+  EXPECT_EQ(parallel.requests_failed, serial.requests_failed);
+  EXPECT_EQ(parallel.sim_seconds, serial.sim_seconds);
+}
+
+}  // namespace
+}  // namespace psf

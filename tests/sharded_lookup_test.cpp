@@ -1,0 +1,240 @@
+// Sharded lookup: rendezvous ownership, home-shard routing with
+// peer-to-peer forwarding, server-independent handles, minimal re-homing on
+// membership change, and the plan-cache epoch integration.
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/case_study.hpp"
+#include "core/framework.hpp"
+#include "mail/mail_spec.hpp"
+#include "mail/registration.hpp"
+#include "net/network.hpp"
+#include "runtime/sharded_lookup.hpp"
+
+namespace psf {
+namespace {
+
+using runtime::LookupHandle;
+using runtime::LookupResolution;
+using runtime::ServiceAdvertisement;
+using runtime::ShardedLookupService;
+
+// Line topology 0 - 1 - 2 - 3 with increasing latencies, so each node has
+// an unambiguous nearest shard.
+net::Network line_network() {
+  net::Network network;
+  for (int i = 0; i < 4; ++i) {
+    network.add_node("n" + std::to_string(i), 1e6);
+  }
+  network.add_link(net::NodeId{0}, net::NodeId{1}, 100e6,
+                   sim::Duration::from_millis(1));
+  network.add_link(net::NodeId{1}, net::NodeId{2}, 100e6,
+                   sim::Duration::from_millis(2));
+  network.add_link(net::NodeId{2}, net::NodeId{3}, 100e6,
+                   sim::Duration::from_millis(4));
+  return network;
+}
+
+ServiceAdvertisement ad_for(const std::string& name) {
+  ServiceAdvertisement ad;
+  ad.service_name = name;
+  ad.server_host = net::NodeId{0};
+  return ad;
+}
+
+TEST(ShardedLookupTest, RegistersOnOwnerAndResolvesFromAnywhere) {
+  net::Network network = line_network();
+  ShardedLookupService sharded(network, {net::NodeId{0}, net::NodeId{3}});
+  ASSERT_TRUE(sharded.register_service(ad_for("SecureMail")));
+
+  const std::size_t owner = sharded.owner_shard("SecureMail");
+  EXPECT_EQ(sharded.shard(owner).size(), 1u);
+  EXPECT_EQ(sharded.shard(1 - owner).size(), 0u);
+
+  for (std::uint32_t node = 0; node < 4; ++node) {
+    LookupResolution res = sharded.resolve("SecureMail", net::NodeId{node});
+    ASSERT_TRUE(res.found()) << "node " << node;
+    EXPECT_EQ(res.holder_shard, owner);
+    EXPECT_EQ(res.ad->service_name, "SecureMail");
+    // Either answered locally (home == owner) or via exactly one forward.
+    EXPECT_EQ(res.forwards(), res.home_shard == owner ? 0u : 1u);
+  }
+}
+
+TEST(ShardedLookupTest, HomeShardIsNearestByLatency) {
+  net::Network network = line_network();
+  ShardedLookupService sharded(network, {net::NodeId{0}, net::NodeId{3}});
+  // Nodes 0-2 are closer to the shard at node 0 (0/1/3 ms vs 7/6/4 ms);
+  // only node 3 itself homes on the shard it hosts.
+  EXPECT_EQ(sharded.home_shard(net::NodeId{0}), 0u);
+  EXPECT_EQ(sharded.home_shard(net::NodeId{1}), 0u);
+  EXPECT_EQ(sharded.home_shard(net::NodeId{2}), 0u);  // 3ms vs 4ms
+  EXPECT_EQ(sharded.home_shard(net::NodeId{3}), 1u);
+}
+
+TEST(ShardedLookupTest, HandleSurvivesMembershipChange) {
+  net::Network network = line_network();
+  ShardedLookupService sharded(network, {net::NodeId{0}});
+  ASSERT_TRUE(sharded.register_service(ad_for("SecureMail")));
+  const LookupHandle handle = ShardedLookupService::handle_for("SecureMail");
+  ASSERT_TRUE(handle.valid());
+  ASSERT_TRUE(sharded.resolve(handle, net::NodeId{2}).found());
+
+  sharded.add_shard(net::NodeId{3});
+  sharded.add_shard(net::NodeId{1});
+
+  // Same opaque handle, regardless of where the service now lives.
+  LookupResolution res = sharded.resolve(handle, net::NodeId{2});
+  ASSERT_TRUE(res.found());
+  EXPECT_EQ(res.ad->service_name, "SecureMail");
+  EXPECT_EQ(res.holder_shard, sharded.owner_shard("SecureMail"));
+}
+
+TEST(ShardedLookupTest, AddShardRehomesOnlyAMinority) {
+  net::Network network = line_network();
+  ShardedLookupService sharded(network,
+                               {net::NodeId{0}, net::NodeId{1},
+                                net::NodeId{2}});
+  constexpr int kServices = 200;
+  for (int i = 0; i < kServices; ++i) {
+    ASSERT_TRUE(sharded.register_service(ad_for("svc" + std::to_string(i))));
+  }
+  std::vector<std::size_t> owner_before(kServices);
+  for (int i = 0; i < kServices; ++i) {
+    owner_before[i] = sharded.owner_shard("svc" + std::to_string(i));
+  }
+
+  sharded.add_shard(net::NodeId{3});
+
+  int moved = 0;
+  for (int i = 0; i < kServices; ++i) {
+    const std::size_t owner = sharded.owner_shard("svc" + std::to_string(i));
+    if (owner != owner_before[i]) {
+      ++moved;
+      // Rendezvous property: a service only ever moves TO the new shard.
+      EXPECT_EQ(owner, 3u);
+    }
+    // Every service still resolves after the change.
+    EXPECT_TRUE(sharded.resolve("svc" + std::to_string(i), net::NodeId{1})
+                    .found());
+  }
+  EXPECT_EQ(static_cast<std::uint64_t>(moved),
+            sharded.stats().rehomed_services);
+  // Expect roughly 1/4 to move; fail only on gross violations (over half).
+  EXPECT_GT(moved, 0);
+  EXPECT_LT(moved, kServices / 2);
+}
+
+TEST(ShardedLookupTest, MembershipListenerFires) {
+  net::Network network = line_network();
+  ShardedLookupService sharded(network, {net::NodeId{0}});
+  int fired = 0;
+  sharded.on_membership_change([&fired] { ++fired; });
+  sharded.add_shard(net::NodeId{1});
+  sharded.add_shard(net::NodeId{2});
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sharded.stats().membership_changes, 2u);
+}
+
+TEST(ShardedLookupTest, UnknownServiceProbesAllShardsAndFails) {
+  net::Network network = line_network();
+  ShardedLookupService sharded(network,
+                               {net::NodeId{0}, net::NodeId{1},
+                                net::NodeId{3}});
+  LookupResolution res = sharded.resolve("nope", net::NodeId{2});
+  EXPECT_FALSE(res.found());
+  EXPECT_EQ(res.probe_path.size(), 3u);
+}
+
+// ---- Framework integration -------------------------------------------------
+
+// Fig. 5 world with the registry sharded across sites; the SecureMail
+// service registers through shard 0 as always.
+struct ShardedCaseStudy : public ::testing::Test {
+  void SetUp() override {
+    net::Network network = core::case_study_network(&sites);
+    core::FrameworkOptions options;
+    options.server_node = sites.new_york[0];
+    options.lookup_shard_hosts = shard_hosts();
+    fw = std::make_unique<core::Framework>(std::move(network), options);
+    config = std::make_shared<mail::MailServiceConfig>();
+    ASSERT_TRUE(
+        mail::register_mail_factories(fw->runtime().factories(), config)
+            .is_ok());
+    auto st = fw->register_service(mail::mail_registration(sites.mail_home),
+                                   mail::mail_translator());
+    ASSERT_TRUE(st.is_ok()) << st.to_string();
+  }
+
+  virtual std::vector<net::NodeId> shard_hosts() {
+    return {sites.new_york[0], sites.san_diego[0], sites.seattle[0]};
+  }
+
+  util::Status bind_at(runtime::GenericProxy& proxy) {
+    util::Status status = util::internal_error("pending");
+    proxy.bind([&status](util::Status st) { status = st; });
+    fw->simulator().run();
+    return status;
+  }
+
+  planner::PlanRequest defaults() const {
+    planner::PlanRequest d;
+    d.interface_name = "ClientInterface";
+    d.required_properties.emplace_back("TrustLevel",
+                                       spec::PropertyValue::integer(4));
+    d.request_rate_rps = 50.0;
+    return d;
+  }
+
+  core::CaseStudySites sites;
+  std::unique_ptr<core::Framework> fw;
+  std::shared_ptr<mail::MailServiceConfig> config;
+};
+
+TEST_F(ShardedCaseStudy, ShardedProxyBindsViaHomeShard) {
+  auto proxy =
+      fw->make_sharded_proxy(sites.sd_client, "SecureMail", defaults());
+  const util::Status st = bind_at(*proxy);
+  ASSERT_TRUE(st.is_ok()) << st.to_string();
+  EXPECT_TRUE(proxy->bound());
+  EXPECT_TRUE(proxy->lookup_handle().valid());
+  const auto& stats = fw->sharded_lookup().stats();
+  EXPECT_GE(stats.resolves, 1u);
+  // The San Diego client's home shard is its site's; SecureMail registered
+  // on shard 0 (New York), so resolution involved forwarding unless the
+  // rendezvous owner happens to be the home shard.
+  EXPECT_EQ(stats.home_hits + stats.forwards >= stats.resolves, true);
+}
+
+TEST_F(ShardedCaseStudy, ShardRebindAfterMembershipChange) {
+  auto first =
+      fw->make_sharded_proxy(sites.sd_client, "SecureMail", defaults());
+  ASSERT_TRUE(bind_at(*first).is_ok());
+  const std::uint64_t epoch_before =
+      fw->server().environment_epoch("SecureMail");
+
+  // Growing the shard set bumps the service's environment epoch, so cached
+  // access paths resolved under the old membership are not replayed.
+  fw->sharded_lookup().add_shard(sites.new_york[1]);
+  EXPECT_GT(fw->server().environment_epoch("SecureMail"), epoch_before);
+
+  // A fresh proxy still binds — resolution forwards to wherever the
+  // service now lives — and the access path is re-planned, not replayed.
+  auto second =
+      fw->make_sharded_proxy(sites.sd_client, "SecureMail", defaults());
+  const util::Status st = bind_at(*second);
+  ASSERT_TRUE(st.is_ok()) << st.to_string();
+  EXPECT_TRUE(second->bound());
+  EXPECT_FALSE(second->outcome().cache_hit);
+  // The old proxy's handle still resolves (server-independent).
+  EXPECT_TRUE(fw->sharded_lookup()
+                  .resolve(first->lookup_handle(), sites.sd_client)
+                  .found());
+}
+
+}  // namespace
+}  // namespace psf

@@ -155,5 +155,52 @@ TEST(SimulatorTest, SchedulingIntoThePastAborts) {
   EXPECT_DEATH(sim.schedule_at(Time::zero(), [] {}), "scheduling into the past");
 }
 
+TEST(SimulatorTest, CancelCountsOutOfPendingImmediately) {
+  Simulator sim;
+  const EventId a = sim.schedule(Duration::from_millis(1), [] {});
+  sim.schedule(Duration::from_millis(2), [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  EXPECT_TRUE(sim.cancel(a));
+  // The dead event still sits in the queue, but pending reflects the cancel
+  // right away — and cancelling twice is rejected without double-counting.
+  EXPECT_EQ(sim.pending_events(), 1u);
+  EXPECT_FALSE(sim.cancel(a));
+  EXPECT_EQ(sim.pending_events(), 1u);
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(SimulatorTest, TombstoneWindowTracksOutstandingNotTotal) {
+  Simulator sim;
+  // Schedule-and-run in waves: the flag window must stay bounded by the
+  // number of in-flight events, not grow with every id ever issued.
+  constexpr int kWaves = 64;
+  constexpr int kPerWave = 32;
+  for (int w = 0; w < kWaves; ++w) {
+    for (int i = 0; i < kPerWave; ++i) {
+      sim.schedule(Duration::from_nanos(i + 1), [] {});
+    }
+    EXPECT_EQ(sim.run(), static_cast<std::size_t>(kPerWave));
+    // Every id retired: the watermark catches up and the window drains.
+    EXPECT_EQ(sim.tombstone_window(), 0u) << "wave " << w;
+  }
+}
+
+TEST(SimulatorTest, TombstoneWindowCompactsPastCancelledRuns) {
+  Simulator sim;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(sim.schedule(Duration::from_nanos(i + 1), [] {}));
+  }
+  for (std::size_t i = 0; i < ids.size(); i += 2) {
+    ASSERT_TRUE(sim.cancel(ids[i]));
+  }
+  EXPECT_EQ(sim.tombstone_window(), 100u);
+  sim.run();
+  // Cancelled ids retire as the queue skips them, so nothing lingers.
+  EXPECT_EQ(sim.tombstone_window(), 0u);
+  EXPECT_TRUE(sim.empty());
+}
+
 }  // namespace
 }  // namespace psf::sim

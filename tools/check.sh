@@ -14,6 +14,9 @@
 #                             # tests (examples + fixtures stay clean)
 #   tools/check.sh --chaos    # only: the robustness suite (build + ctest
 #                             # -L chaos + the chaos_sweep bench gates)
+#   tools/check.sh --megascale # only: the parallel-engine suite (build +
+#                             # ctest -L megascale + the megascale bench
+#                             # smoke gates + a TSan run of the engine tests)
 #   tools/check.sh --tidy     # also: clang-tidy (see .clang-tidy) over the
 #                             # analysis layer and tools; skipped with a
 #                             # notice when clang-tidy is not installed
@@ -36,6 +39,7 @@ RUN_TIDY=0
 COHERENCE_ONLY=0
 LINT_ONLY=0
 CHAOS_ONLY=0
+MEGASCALE_ONLY=0
 for arg in "$@"; do
   case "${arg}" in
     --no-tsan) RUN_TSAN=0 ;;
@@ -45,6 +49,7 @@ for arg in "$@"; do
     --coherence) COHERENCE_ONLY=1 ;;
     --lint) LINT_ONLY=1 ;;
     --chaos) CHAOS_ONLY=1 ;;
+    --megascale) MEGASCALE_ONLY=1 ;;
     *) echo "unknown option: ${arg}" >&2; exit 2 ;;
   esac
 done
@@ -69,6 +74,20 @@ if [[ "${CHAOS_ONLY}" == 1 ]]; then
   exit 0
 fi
 
+if [[ "${MEGASCALE_ONLY}" == 1 ]]; then
+  echo "== megascale suite (region-parallel engine + sharded lookup) =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "${JOBS}" \
+    --target parallel_sim_test sharded_lookup_test megascale
+  (cd build && ctest --output-on-failure -L megascale)
+  echo "== TSan build (parallel engine) =="
+  cmake -B build-tsan -S . -DPSF_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "${JOBS}" --target parallel_sim_test
+  ./build-tsan/tests/parallel_sim_test
+  echo "== megascale suite passed =="
+  exit 0
+fi
+
 if [[ "${COHERENCE_ONLY}" == 1 ]]; then
   echo "== coherence smoke =="
   cmake -B build -S . >/dev/null
@@ -90,10 +109,12 @@ if [[ "${RUN_STRESS}" == 1 ]]; then
 fi
 
 if [[ "${RUN_TSAN}" == 1 ]]; then
-  echo "== ThreadSanitizer build (parallel planner) =="
+  echo "== ThreadSanitizer build (parallel planner + parallel engine) =="
   cmake -B build-tsan -S . -DPSF_SANITIZE=thread >/dev/null
-  cmake --build build-tsan -j "${JOBS}" --target planner_parallel_test
+  cmake --build build-tsan -j "${JOBS}" \
+    --target planner_parallel_test parallel_sim_test
   ./build-tsan/tests/planner_parallel_test
+  ./build-tsan/tests/parallel_sim_test
 fi
 
 if [[ "${RUN_TIDY}" == 1 ]]; then
