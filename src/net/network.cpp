@@ -6,6 +6,39 @@
 
 namespace psf::net {
 
+Network::Network(const Network& other)
+    : nodes_(other.nodes_),
+      links_(other.links_),
+      adjacency_(other.adjacency_) {}
+
+Network& Network::operator=(const Network& other) {
+  if (this != &other) {
+    nodes_ = other.nodes_;
+    links_ = other.links_;
+    adjacency_ = other.adjacency_;
+    invalidate_cache();
+  }
+  return *this;
+}
+
+Network::Network(Network&& other) noexcept
+    : nodes_(std::move(other.nodes_)),
+      links_(std::move(other.links_)),
+      adjacency_(std::move(other.adjacency_)) {
+  other.invalidate_cache();
+}
+
+Network& Network::operator=(Network&& other) noexcept {
+  if (this != &other) {
+    nodes_ = std::move(other.nodes_);
+    links_ = std::move(other.links_);
+    adjacency_ = std::move(other.adjacency_);
+    invalidate_cache();
+    other.invalidate_cache();
+  }
+  return *this;
+}
+
 NodeId Network::add_node(std::string name, double cpu_capacity,
                          Credentials credentials) {
   PSF_CHECK_MSG(cpu_capacity > 0.0, "node cpu capacity must be positive");
@@ -154,43 +187,54 @@ std::optional<Route> Network::route(NodeId from, NodeId to) const {
 }
 
 const Route* Network::cached_route(NodeId from, NodeId to) const {
-  const std::size_t n = nodes_.size();
-  if (!cache_valid_) {
-    route_cache_.assign(n * n, std::nullopt);
-    cache_valid_ = true;
-  }
-  const std::size_t idx = static_cast<std::size_t>(from.value) * n + to.value;
-  PSF_CHECK(idx < route_cache_.size());
-  if (!route_cache_[idx].has_value()) {
-    auto r = route(from, to);
-    // Cache even disconnected pairs as an empty "infinite" route marker.
-    if (!r) {
-      Route unreachable;
-      unreachable.total_latency = sim::Duration::from_nanos(INT64_MAX / 2);
-      unreachable.bottleneck_bandwidth_bps = 0.0;
-      route_cache_[idx] = unreachable;
-    } else {
-      route_cache_[idx] = std::move(*r);
-    }
-  }
-  return &*route_cache_[idx];
+  PSF_CHECK(from.valid() && from.value < nodes_.size());
+  PSF_CHECK(to.valid() && to.value < nodes_.size());
+  return &(*route_row(from))[to.value];
 }
 
-void Network::fill_routes_from(NodeId from) const {
+const std::vector<Route>* Network::route_row(NodeId from) const {
+  // Fast path: cache generation valid and the row already published. The
+  // acquire on cache_valid_ pairs with the release in the slow path below,
+  // making the row_slots_ array itself visible; the acquire on the slot
+  // makes the row contents visible.
+  if (cache_valid_.load(std::memory_order_acquire)) {
+    const std::vector<Route>* row =
+        row_slots_[from.value].row.load(std::memory_order_acquire);
+    if (row != nullptr) return row;
+  }
+
+  std::lock_guard<std::mutex> lock(route_mutex_);
+  if (!cache_valid_.load(std::memory_order_relaxed)) {
+    row_slots_ = std::make_unique<RouteRowSlot[]>(nodes_.size());
+    row_storage_.clear();
+    rows_materialized_.store(0, std::memory_order_relaxed);
+    cache_valid_.store(true, std::memory_order_release);
+  }
+  RouteRowSlot& slot = row_slots_[from.value];
+  if (const std::vector<Route>* row =
+          slot.row.load(std::memory_order_relaxed)) {
+    return row;  // lost the race to another materializer
+  }
+  auto row = std::make_unique<std::vector<Route>>(compute_route_row(from));
+  const std::vector<Route>* published = row.get();
+  row_storage_.push_back(std::move(row));
+  rows_materialized_.fetch_add(1, std::memory_order_relaxed);
+  slot.row.store(published, std::memory_order_release);
+  return published;
+}
+
+std::size_t Network::route_rows_materialized() const {
+  return rows_materialized_.load(std::memory_order_relaxed);
+}
+
+std::vector<Route> Network::compute_route_row(NodeId from) const {
   const std::size_t n = nodes_.size();
-  const auto cache_at = [&](NodeId to) -> std::optional<Route>& {
-    return route_cache_[static_cast<std::size_t>(from.value) * n + to.value];
-  };
   Route unreachable;
   unreachable.total_latency = sim::Duration::from_nanos(INT64_MAX / 2);
   unreachable.bottleneck_bandwidth_bps = 0.0;
+  std::vector<Route> row(n, unreachable);
 
-  if (!nodes_[from.value].up) {
-    for (const Node& to : nodes_) {
-      if (!cache_at(to.id).has_value()) cache_at(to.id) = unreachable;
-    }
-    return;
-  }
+  if (!nodes_[from.value].up) return row;
 
   // One full Dijkstra per source (identical metric and tie-breaks to
   // route(), minus the destination early-exit) instead of one truncated
@@ -243,16 +287,11 @@ void Network::fill_routes_from(NodeId from) const {
   }
 
   for (const Node& to : nodes_) {
-    std::optional<Route>& slot = cache_at(to.id);
-    if (slot.has_value()) continue;
     if (to.id == from) {
-      slot = Route{};
+      row[to.id.value] = Route{};
       continue;
     }
-    if (!to.up || best[to.id.value] == kInf) {
-      slot = unreachable;
-      continue;
-    }
+    if (!to.up || best[to.id.value] == kInf) continue;  // keep the marker
     Route r;
     r.total_latency = sim::Duration::from_nanos(best[to.id.value]);
     r.links.reserve(best_hops[to.id.value]);
@@ -265,17 +304,13 @@ void Network::fill_routes_from(NodeId from) const {
       cur = links_[lid.value].other(cur);
     }
     std::reverse(r.links.begin(), r.links.end());
-    slot = std::move(r);
+    row[to.id.value] = std::move(r);
   }
+  return row;
 }
 
 void Network::precompute_routes() const {
-  const std::size_t n = nodes_.size();
-  if (!cache_valid_) {
-    route_cache_.assign(n * n, std::nullopt);
-    cache_valid_ = true;
-  }
-  for (const Node& from : nodes_) fill_routes_from(from.id);
+  for (const Node& from : nodes_) route_row(from.id);
 }
 
 void Network::set_node_up(NodeId id, bool up) {
@@ -348,8 +383,13 @@ std::string Network::to_string() const {
 }
 
 void Network::invalidate_cache() {
-  cache_valid_ = false;
-  route_cache_.clear();
+  // Mutations are not concurrent with reads (unchanged contract), but take
+  // the mutex anyway so a mutation can never tear a row mid-materialization.
+  std::lock_guard<std::mutex> lock(route_mutex_);
+  cache_valid_.store(false, std::memory_order_release);
+  row_slots_.reset();
+  row_storage_.clear();
+  rows_materialized_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace psf::net

@@ -7,8 +7,11 @@
 // bidirectional, matching the paper's Fig. 5 topology.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -97,6 +100,15 @@ struct Route {
 
 class Network {
  public:
+  Network() = default;
+  // Copies/moves transfer the topology but not the route cache (the mutex
+  // and atomic row slots are generation-local); the destination starts with
+  // an empty cache, exactly as after a mutation.
+  Network(const Network& other);
+  Network& operator=(const Network& other);
+  Network(Network&& other) noexcept;
+  Network& operator=(Network&& other) noexcept;
+
   NodeId add_node(std::string name, double cpu_capacity = 1e6,
                   Credentials credentials = {});
   LinkId add_link(NodeId a, NodeId b, double bandwidth_bps,
@@ -140,17 +152,25 @@ class Network {
   // in place through the non-const accessors (credentials, capacity, ...).
   void invalidate_routes() { invalidate_cache(); }
 
-  // All-pairs convenience built on route(); used by the planner's
-  // environment view. Results are cached; the cache resets on mutation.
-  // Lazily filling the cache is NOT thread-safe — parallel readers must call
-  // precompute_routes() first.
+  // All-pairs convenience built on a row-granular lazy cache; used by the
+  // planner's environment view. The first query from a given source runs one
+  // full Dijkstra and materializes that source's whole row; later queries
+  // from the same source are pure reads. Materialization is thread-safe
+  // (atomic row publication behind a mutex), so the parallel planner's
+  // refinement workers can fault rows in concurrently without precomputing
+  // the full O(V^2) table. Returned pointers stay valid until the next
+  // mutation (every mutator invalidates the cache).
   const Route* cached_route(NodeId from, NodeId to) const;
 
-  // Eagerly fills the all-pairs route cache. After this returns (and until
-  // the next mutation) cached_route() is a pure read with stable pointers,
-  // safe to call concurrently — the parallel planner calls this before
-  // fanning out its search workers.
+  // Eagerly materializes every row (O(V) Dijkstras, O(V^2) entries). Only
+  // worth it when most pairs will actually be queried — e.g. the megascale
+  // engine; the hierarchical planner relies on lazy rows instead.
   void precompute_routes() const;
+
+  // Rows materialized since the last mutation — observability for the lazy
+  // cache (a 1000-node plan should touch far fewer than 1000 rows... unless
+  // every cluster gets refined; the bench reports this).
+  std::size_t route_rows_materialized() const;
 
   // Iteration support (ids are dense).
   std::vector<NodeId> all_nodes() const;
@@ -160,17 +180,32 @@ class Network {
 
  private:
   void invalidate_cache();
-  // Single-source Dijkstra that fills one row of the route cache (same
-  // metric and tie-breaks as route(), which stays separate because its
-  // early exit wins for one-off queries).
-  void fill_routes_from(NodeId from) const;
+  // Single-source Dijkstra computing one full row of routes (same metric and
+  // tie-breaks as route(), which stays separate because its early exit wins
+  // for one-off queries). Row entries: self = empty local route, unreachable
+  // pairs = the INT64_MAX/2-latency zero-bandwidth marker.
+  std::vector<Route> compute_route_row(NodeId from) const;
+  // Returns the materialized row for `from`, building it under the cache
+  // mutex on first touch. The published pointer is immutable and stable
+  // until the next mutation.
+  const std::vector<Route>* route_row(NodeId from) const;
 
   std::vector<Node> nodes_;
   std::vector<Link> links_;
   std::vector<std::vector<LinkId>> adjacency_;
-  // route cache: indexed [from * n + to]; empty when invalid.
-  mutable std::vector<std::optional<Route>> route_cache_;
-  mutable bool cache_valid_ = false;
+
+  // Lazy route cache, one row per source node. A row slot flips nullptr ->
+  // row exactly once per cache generation; readers acquire-load the slot and
+  // never take the mutex on the hot path. Mutators are NOT thread-safe with
+  // concurrent readers (unchanged contract) — only concurrent *reads* are.
+  struct RouteRowSlot {
+    std::atomic<const std::vector<Route>*> row{nullptr};
+  };
+  mutable std::unique_ptr<RouteRowSlot[]> row_slots_;  // node_count() slots
+  mutable std::vector<std::unique_ptr<std::vector<Route>>> row_storage_;
+  mutable std::mutex route_mutex_;
+  mutable std::atomic<bool> cache_valid_{false};
+  mutable std::atomic<std::size_t> rows_materialized_{0};
 };
 
 }  // namespace psf::net

@@ -1,0 +1,45 @@
+// Shared graph-partitioning utility over net::Network.
+//
+// One deterministic algorithm, two consumers:
+//  - the region-parallel simulation engine (sim::partition_network wraps
+//    this and derives its conservative lookahead);
+//  - the hierarchical planner (planner::ClusterIndex builds capacity-bounded
+//    clusters, border nodes, and a quotient graph on top of it).
+//
+// The algorithm is the parameter-server streaming idiom: stream nodes in
+// BFS order, assign each to the capacity-bounded part holding most of its
+// already-placed neighbors, then run one boundary-refinement sweep moving
+// nodes whose cut degree strictly improves. Fully deterministic: the same
+// network (nodes, links) always yields the same partition.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace psf::net {
+
+using PartId = std::uint32_t;
+
+struct GraphPartition {
+  std::vector<PartId> part_of_node;  // indexed by NodeId::value
+  std::size_t num_parts = 1;
+  std::vector<std::size_t> part_sizes;  // node count per part
+  std::size_t cut_links = 0;
+  // Minimum latency over links whose endpoints fall in different parts;
+  // INT64_MAX when no link crosses parts. Fault state is ignored: a down
+  // link still contributes, which keeps min-based bounds admissible when it
+  // comes back up.
+  std::int64_t min_cut_latency_ns = std::numeric_limits<std::int64_t>::max();
+
+  PartId part_of(NodeId n) const { return part_of_node[n.value]; }
+};
+
+// Deterministic: same network (nodes, links, latencies) => same partition.
+// num_parts is clamped to [1, node_count]. Parts are capacity-bounded at
+// ceil(n / num_parts) nodes.
+GraphPartition partition_graph(const Network& network, std::size_t num_parts);
+
+}  // namespace psf::net

@@ -41,19 +41,29 @@ util::Expected<ChainPlanResult> plan_chain_dp(
   }
 
   // Feasibility of hosting component i at path position j: installation
-  // conditions + node CPU capacity at the component's arrival rate.
+  // conditions + node CPU capacity at the component's arrival rate. Each
+  // (i, j) pair is tested at most once, so the rejection counters read as
+  // "placements ruled out", matching the search's exploration diagnostics.
+  std::uint64_t rejected_condition = 0;
+  std::uint64_t rejected_node_capacity = 0;
+  std::uint64_t rejected_instance_capacity = 0;
   auto feasible = [&](std::size_t i, std::size_t j) {
     const spec::Environment& node_env = env.node_env(path[j]);
     for (const spec::Condition& cond : chain[i]->conditions) {
-      if (!cond.holds(node_env)) return false;
+      if (!cond.holds(node_env)) {
+        ++rejected_condition;
+        return false;
+      }
     }
     const net::Node& node = network.node(path[j]);
     const double rate = options.request_rate_rps * prefix[i];
     if (rate * chain[i]->behaviors.cpu_per_request > node.cpu_available()) {
+      ++rejected_node_capacity;
       return false;
     }
     if (chain[i]->behaviors.capacity_rps > 0.0 &&
         rate > chain[i]->behaviors.capacity_rps) {
+      ++rejected_instance_capacity;
       return false;
     }
     return true;
@@ -203,6 +213,9 @@ util::Expected<ChainPlanResult> plan_chain_dp(
 
   ChainPlanResult result;
   result.expected_latency_s = best;
+  result.rejected_condition = rejected_condition;
+  result.rejected_node_capacity = rejected_node_capacity;
+  result.rejected_instance_capacity = rejected_instance_capacity;
   result.assignment.assign(k, 0);
   std::size_t j = best_j;
   for (std::size_t i = k; i-- > 0;) {

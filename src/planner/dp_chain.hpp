@@ -37,6 +37,12 @@ struct ChainPlanResult {
   // assignment[i] = path index hosting chain[i]; non-decreasing.
   std::vector<std::size_t> assignment;
   double expected_latency_s = 0.0;
+  // Exploration diagnostics: (component, position) pairs the feasibility
+  // test rejected, by cause — the DP's analogue of the search's rejection
+  // counters, folded into SearchStats by the fast-path caller.
+  std::uint64_t rejected_condition = 0;
+  std::uint64_t rejected_node_capacity = 0;
+  std::uint64_t rejected_instance_capacity = 0;
 };
 
 util::Expected<ChainPlanResult> plan_chain_dp(

@@ -24,6 +24,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -49,6 +50,33 @@ struct ExistingInstance {
 enum class Objective { kMinLatency, kMinDeploymentCost, kMaxCapacity };
 
 const char* objective_name(Objective o);
+
+// How the mapping search traverses the topology.
+//
+//   kFlat          — PR 1 branch-and-bound over every node (exact).
+//   kHierarchical  — two-level search: partition the topology into ~sqrt(n)
+//                    clusters (ClusterIndex), search the client's cluster
+//                    first (quotient rank 0, lower bound 0 — its result
+//                    seeds the shared incumbent), then refine the remaining
+//                    clusters in quotient lower-bound order, each restricted
+//                    to its own members + the client cluster + the border
+//                    nodes along the quotient path + existing instances.
+//                    Clusters whose admissible quotient bound exceeds the
+//                    incumbent are pruned without being searched.
+//                    Heuristic: exact within every refinement, but a plan
+//                    spanning two non-client clusters that are not on each
+//                    other's quotient path is out of reach (measured gap
+//                    vs kFlat is gated <= 5% in bench/planner_scaling).
+//   kAuto          — kHierarchical at >= kHierarchyAutoThreshold nodes,
+//                    kFlat below.
+enum class SearchMode { kAuto, kFlat, kHierarchical };
+
+const char* search_mode_name(SearchMode m);
+
+// Node count at which kAuto switches to hierarchical search. Below a few
+// dozen nodes flat BnB is already sub-millisecond and exact — no reason to
+// give up optimality.
+inline constexpr std::size_t kHierarchyAutoThreshold = 64;
 
 struct PlanRequest {
   std::string interface_name;
@@ -89,6 +117,26 @@ struct PlanRequest {
   // changes the returned plan, only the search cost — the toggle exists for
   // benchmarks and for isolating planner bugs from pruning bugs.
   bool bound_pruning = true;
+  // Topology traversal strategy; see SearchMode.
+  SearchMode search_mode = SearchMode::kAuto;
+  // Cluster count for hierarchical search; 0 = ~sqrt(node_count).
+  std::size_t cluster_count = 0;
+  // Auto-detected CANS dynamic-programming fast path: when the linkage
+  // graph is a pure chain, the topology is a path with the client at an
+  // endpoint, and no reuse/property/view machinery is in play, the O(k*m^2)
+  // DP (dp_chain.hpp) replaces the exponential mapping search and returns
+  // the same optimal chain. Opt-out toggle for benchmarks and equivalence
+  // tests; ineligible requests silently fall through to the search.
+  bool chain_dp = true;
+  // Anytime mode: > 0 is a wall-clock budget in seconds. Once a first
+  // incumbent exists, the search stops at the deadline and returns the best
+  // plan found so far (SearchStats::deadline_hit tells the caller the
+  // result may be improvable — the runtime's background improver re-plans
+  // without a deadline and hot-swaps through the plan-cache epoch
+  // mechanism, see GenericServer::drain_improvements). The search never
+  // returns empty-handed because of a deadline: until an incumbent exists
+  // it keeps going.
+  double deadline_budget = 0.0;
 };
 
 struct SearchStats {
@@ -117,7 +165,18 @@ struct SearchStats {
   std::uint64_t rejected_unroutable = 0;
   std::uint64_t rejected_node_down = 0;     // candidate node is down/crashed
 
-  // Merges another worker's stats into this one: counters add,
+  // Hierarchical-search breakdown (zero for flat searches).
+  std::uint64_t clusters_total = 0;    // refinements scheduled
+  std::uint64_t clusters_pruned = 0;   // skipped: quotient bound > incumbent
+  std::uint64_t clusters_refined = 0;  // actually searched
+  bool used_hierarchy = false;
+  // The chain-DP fast path answered this request (no tree search ran).
+  bool used_chain_dp = false;
+  // The anytime deadline truncated the search; the returned plan is the
+  // best incumbent, not necessarily the optimum.
+  bool deadline_hit = false;
+
+  // Merges another worker's stats into this one: counters add, flags OR,
   // workers_used keeps the maximum (the coordinator overwrites it with the
   // actual fan-out after merging).
   SearchStats& operator+=(const SearchStats& other);
@@ -150,11 +209,29 @@ class Planner {
   const EnvironmentView& environment() const { return env_; }
 
  private:
+  util::Expected<DeploymentPlan> plan_flat(
+      const PlanRequest& request,
+      const std::vector<ExistingInstance>& existing, SearchStats* stats) const;
+  util::Expected<DeploymentPlan> plan_hierarchical(
+      const PlanRequest& request,
+      const std::vector<ExistingInstance>& existing, SearchStats* stats) const;
+  // nullopt = request not chain-DP eligible (fall through to the search).
+  std::optional<util::Expected<DeploymentPlan>> try_chain_dp(
+      const PlanRequest& request,
+      const std::vector<ExistingInstance>& existing, SearchStats* stats) const;
+
   const spec::ServiceSpec& spec_;
   const EnvironmentView& env_;
   // interface → implementing components, built once so the search does not
   // rescan the component list for every candidate edge.
   spec::ImplementerIndex iface_index_;
 };
+
+// The primary (lexicographically first) objective value score_plan assigns
+// to a finished plan's metrics: expected latency for kMinLatency, deployment
+// cost + new components for kMinDeploymentCost, negated min headroom for
+// kMaxCapacity. This is the quantity the anytime improver must drive
+// monotonically down across hot-swaps.
+double plan_primary_score(Objective objective, const PlanMetrics& metrics);
 
 }  // namespace psf::planner

@@ -150,6 +150,14 @@ void GenericServer::request_access(
   if (!request.code_origin.valid()) {
     request.code_origin = state->registration.code_origin;
   }
+  // The service's anytime deadline caps cold-access planning unless the
+  // client set its own budget. Excluded from the fingerprint on purpose: a
+  // truncated and a complete search answer the same logical request, and the
+  // background improver converges the cached entry to the full-search plan.
+  if (request.deadline_budget <= 0.0 &&
+      state->registration.anytime_deadline_s > 0.0) {
+    request.deadline_budget = state->registration.anytime_deadline_s;
+  }
   merge_principal_requirements(*state, request);
   const std::string fingerprint = plan_fingerprint(request);
 
@@ -212,12 +220,14 @@ void GenericServer::request_access(
   runtime_.charge_cpu(
       host_, planning_units,
       [this, state, plan_value, wall_seconds, before_planning, stats,
-       fingerprint, flight, done = std::move(done)]() mutable {
+       fingerprint, flight, request = std::move(request),
+       done = std::move(done)]() mutable {
         const sim::Time after_planning = runtime_.simulator().now();
         engine_.deploy(
             *plan_value, state->registration.code_origin,
             [this, state, plan_value, wall_seconds, before_planning,
              after_planning, stats, fingerprint, flight,
+             request = std::move(request),
              done = std::move(done)](util::Expected<DeployedPlan> deployed) {
               if (!deployed) {
                 finish_access(*state, fingerprint, flight, std::move(done),
@@ -225,6 +235,17 @@ void GenericServer::request_access(
                 return;
               }
               absorb_deployment(*state, *plan_value, *deployed);
+              if (stats.deadline_hit) {
+                // The deadline truncated this search; queue a full replan so
+                // drain_improvements can hot-swap a better plan in later.
+                ImprovementJob job;
+                job.service = state->registration.spec.name;
+                job.fingerprint = fingerprint;
+                job.request = request;
+                job.epoch_at_enqueue = state->epoch;
+                improvements_.push_back(std::move(job));
+                ++anytime_telemetry_.jobs_enqueued;
+              }
               AccessOutcome outcome;
               outcome.entry = deployed->entry;
               outcome.plan = *plan_value;
@@ -412,6 +433,110 @@ void GenericServer::absorb_deployment(ServiceState& state,
     existing.current_load_rps = p.inbound_rate_rps;
     state.existing.push_back(std::move(existing));
   }
+}
+
+void GenericServer::drain_improvements(std::function<void()> done) {
+  run_improvement(std::move(done));
+}
+
+void GenericServer::run_improvement(std::function<void()> done) {
+  if (improvements_.empty()) {
+    done();
+    return;
+  }
+  ImprovementJob job = std::move(improvements_.front());
+  improvements_.pop_front();
+
+  ServiceState* state = state_of(job.service);
+  if (state == nullptr || state->epoch != job.epoch_at_enqueue) {
+    // The environment moved since the truncated access: its cached entry is
+    // already unreplayable (epoch mismatch), so an "improvement" planned
+    // against the old world must never be installed.
+    ++anytime_telemetry_.discarded_stale;
+    run_improvement(std::move(done));
+    return;
+  }
+  PlanCache::Entry* entry =
+      state->cache.find(job.fingerprint, state->epoch, cache_telemetry_);
+  if (entry == nullptr) {
+    // Entry never landed (epoch raced the deploy) or was evicted since;
+    // nobody can bind it, so there is nothing to improve.
+    ++anytime_telemetry_.discarded_stale;
+    run_improvement(std::move(done));
+    return;
+  }
+  const double incumbent_score = planner::plan_primary_score(
+      job.request.objective, entry->access.plan.metrics);
+
+  planner::PlanRequest request = job.request;
+  request.deadline_budget = 0.0;  // background: plan to completion
+  planner::SearchStats stats;
+  auto plan = state->planner->plan(request, state->existing, &stats);
+  if (!plan) {
+    ++anytime_telemetry_.no_better;
+    run_improvement(std::move(done));
+    return;
+  }
+  const double improved_score =
+      planner::plan_primary_score(request.objective, plan->metrics);
+  if (!(improved_score < incumbent_score - 1e-12)) {
+    ++anytime_telemetry_.no_better;
+    run_improvement(std::move(done));
+    return;
+  }
+
+  auto plan_value =
+      std::make_shared<planner::DeploymentPlan>(std::move(plan).value());
+  engine_.deploy(
+      *plan_value, state->registration.code_origin,
+      [this, job = std::move(job), plan_value, improved_score,
+       done = std::move(done)](util::Expected<DeployedPlan> deployed) mutable {
+        if (!deployed) {
+          // The improvement failed to deploy (e.g. a node died mid-transfer);
+          // the truncated plan keeps serving, the job is dropped.
+          ++anytime_telemetry_.discarded_stale;
+          run_improvement(std::move(done));
+          return;
+        }
+        // Deployment took simulated time: re-check the epoch AND the entry
+        // before swapping, exactly like finish_access does for cold plans.
+        ServiceState* state = state_of(job.service);
+        if (state == nullptr || state->epoch != job.epoch_at_enqueue) {
+          ++anytime_telemetry_.discarded_stale;
+          run_improvement(std::move(done));
+          return;
+        }
+        PlanCache::Entry* entry = state->cache.find(
+            job.fingerprint, state->epoch, cache_telemetry_);
+        if (entry == nullptr) {
+          ++anytime_telemetry_.discarded_stale;
+          run_improvement(std::move(done));
+          return;
+        }
+        const double current = planner::plan_primary_score(
+            job.request.objective, entry->access.plan.metrics);
+        if (!(improved_score < current - 1e-12)) {
+          // The entry improved past us while we were deploying; refusing the
+          // install keeps per-fingerprint swap scores monotonically
+          // non-increasing.
+          ++anytime_telemetry_.nonmonotonic_refused;
+          run_improvement(std::move(done));
+          return;
+        }
+        absorb_deployment(*state, *plan_value, *deployed);
+        CachedAccess cached;
+        cached.plan = *plan_value;
+        cached.instances = deployed->instances;
+        cached.entry = deployed->entry;
+        state->cache.insert(job.fingerprint, state->epoch, std::move(cached),
+                            cache_telemetry_);
+        ++anytime_telemetry_.improved_swaps;
+        anytime_telemetry_.swap_primary_scores.push_back(improved_score);
+        PSF_INFO() << "anytime improver swapped access path for '"
+                   << job.service << "' (primary " << current << " -> "
+                   << improved_score << ")";
+        run_improvement(std::move(done));
+      });
 }
 
 util::Status GenericServer::refresh_environment(const std::string& service) {

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -48,6 +49,24 @@ struct ServiceRegistration {
   // Abstract CPU units the generic server spends per planner candidate
   // examined; models planning as real work at the server host.
   double planning_cpu_per_candidate = 0.5;
+  // Anytime planning: > 0 caps each cold access's planner wall-clock at this
+  // many seconds (applied as PlanRequest::deadline_budget unless the request
+  // sets its own). A deadline-truncated access returns the best incumbent
+  // immediately and enqueues a background improvement job; see
+  // GenericServer::drain_improvements. 0 = plan to completion (default).
+  double anytime_deadline_s = 0.0;
+};
+
+// Background-improver counters (GenericServer::anytime_telemetry).
+struct AnytimeTelemetry {
+  std::uint64_t jobs_enqueued = 0;      // deadline-truncated cold accesses
+  std::uint64_t improved_swaps = 0;     // better plan deployed + cache-swapped
+  std::uint64_t discarded_stale = 0;    // epoch moved / entry gone: dropped
+  std::uint64_t no_better = 0;          // full replan did not beat incumbent
+  std::uint64_t nonmonotonic_refused = 0;  // swap would raise the score
+  // Primary score after each swap, in swap order. Monotonically
+  // non-increasing per fingerprint — the anytime contract the bench gates.
+  std::vector<double> swap_primary_scores;
 };
 
 // One-time costs of establishing service access (§4.2 reports these summing
@@ -147,6 +166,28 @@ class GenericServer {
   const spec::ServiceSpec* service_spec(const std::string& service) const;
   const planner::EnvironmentView* environment(const std::string& service) const;
 
+  // Processes the background-improvement queue: for each job (a cold access
+  // whose anytime deadline truncated the search), re-plans WITHOUT a
+  // deadline and, when the full search finds a strictly better plan, deploys
+  // it and hot-swaps the cached access path so later identical clients bind
+  // the improved plan. Safety is epoch-based, the same mechanism that keeps
+  // cached plans honest: a job whose service epoch moved since enqueue — or
+  // whose cache entry is gone — is discarded, never deployed over a changed
+  // world; the epoch is re-checked after the (simulated-time) deployment
+  // too, so a monitor event racing the deploy also voids the swap. A swap
+  // that would *raise* the primary score is refused outright — incumbent
+  // scores are monotonically non-increasing per fingerprint. Jobs run
+  // sequentially; `done` fires when the queue is empty. Clients already
+  // bound to the pre-swap plan keep their working (just slower) path.
+  void drain_improvements(std::function<void()> done);
+
+  // Improvement jobs queued and not yet drained (diagnostics/tests).
+  std::size_t pending_improvements() const { return improvements_.size(); }
+
+  const AnytimeTelemetry& anytime_telemetry() const {
+    return anytime_telemetry_;
+  }
+
  private:
   // Requests coalescing on an identical in-flight access: the first caller
   // runs the planner, later identical callers attach here and receive
@@ -154,6 +195,16 @@ class GenericServer {
   struct InFlightAccess {
     std::uint64_t epoch_at_start = 0;
     std::vector<std::function<void(util::Expected<AccessOutcome>)>> waiters;
+  };
+
+  // A deadline-truncated access to re-plan in the background. Carries the
+  // fully merged request (principal properties + code origin resolved) so
+  // the replan explores exactly the plan space the truncated search did.
+  struct ImprovementJob {
+    std::string service;
+    std::string fingerprint;
+    planner::PlanRequest request;
+    std::uint64_t epoch_at_enqueue = 0;
   };
 
   struct ServiceState {
@@ -208,12 +259,17 @@ class GenericServer {
       std::function<void(util::Expected<AccessOutcome>)> primary,
       util::Expected<AccessOutcome> result);
 
+  // Runs one queued job, then recurses onto the rest of the queue.
+  void run_improvement(std::function<void()> done);
+
   SmockRuntime& runtime_;
   net::NodeId host_;
   LookupService& lookup_;
   DeploymentEngine engine_;
   std::map<std::string, std::unique_ptr<ServiceState>> services_;
   PlanCacheTelemetry cache_telemetry_;
+  std::deque<ImprovementJob> improvements_;
+  AnytimeTelemetry anytime_telemetry_;
 };
 
 class GenericProxy {

@@ -1,117 +1,20 @@
 #include "sim/region.hpp"
 
-#include <algorithm>
-#include <deque>
-#include <limits>
+#include "net/partition.hpp"
 
 namespace psf::sim {
 
-namespace {
-
-// BFS order from node 0, appending further components from the lowest
-// unvisited id — a deterministic stream that keeps neighbors close together
-// so the greedy pass sees placed neighbors early.
-std::vector<net::NodeId> stream_order(const net::Network& network) {
-  const std::size_t n = network.node_count();
-  std::vector<net::NodeId> order;
-  order.reserve(n);
-  std::vector<bool> seen(n, false);
-  for (std::uint32_t start = 0; start < n; ++start) {
-    if (seen[start]) continue;
-    std::deque<net::NodeId> frontier{net::NodeId{start}};
-    seen[start] = true;
-    while (!frontier.empty()) {
-      const net::NodeId u = frontier.front();
-      frontier.pop_front();
-      order.push_back(u);
-      for (net::LinkId lid : network.links_of(u)) {
-        const net::NodeId v = network.link(lid).other(u);
-        if (!seen[v.value]) {
-          seen[v.value] = true;
-          frontier.push_back(v);
-        }
-      }
-    }
-  }
-  return order;
-}
-
-}  // namespace
-
 RegionPartition partition_network(const net::Network& network,
                                   std::size_t num_regions) {
-  const std::size_t n = network.node_count();
-  PSF_CHECK_MSG(n > 0, "cannot partition an empty network");
-  num_regions = std::clamp<std::size_t>(num_regions, 1, n);
+  net::GraphPartition part = net::partition_graph(network, num_regions);
 
-  RegionPartition part;
-  part.num_regions = num_regions;
-  part.region_of_node.assign(n, 0);
-  part.region_nodes.assign(num_regions, 0);
-
-  const std::size_t capacity = (n + num_regions - 1) / num_regions;
-  constexpr RegionId kUnassigned = std::numeric_limits<RegionId>::max();
-  std::vector<RegionId> assign(n, kUnassigned);
-
-  // Streaming greedy assignment.
-  std::vector<std::size_t> score(num_regions);
-  for (const net::NodeId u : stream_order(network)) {
-    std::fill(score.begin(), score.end(), 0);
-    for (net::LinkId lid : network.links_of(u)) {
-      const net::NodeId v = network.link(lid).other(u);
-      if (assign[v.value] != kUnassigned) ++score[assign[v.value]];
-    }
-    RegionId best = kUnassigned;
-    for (RegionId r = 0; r < num_regions; ++r) {
-      if (part.region_nodes[r] >= capacity) continue;
-      if (best == kUnassigned || score[r] > score[best] ||
-          (score[r] == score[best] &&
-           part.region_nodes[r] < part.region_nodes[best])) {
-        best = r;
-      }
-    }
-    PSF_CHECK(best != kUnassigned);  // capacities sum to >= n
-    assign[u.value] = best;
-    ++part.region_nodes[best];
-  }
-
-  // One refinement sweep: move a boundary node to the neighboring region
-  // where it has strictly more neighbors, when balance permits. Nodes are
-  // visited in id order, so the sweep is deterministic.
-  for (std::uint32_t u = 0; u < n; ++u) {
-    const RegionId cur = assign[u];
-    if (part.region_nodes[cur] <= 1) continue;
-    std::fill(score.begin(), score.end(), 0);
-    for (net::LinkId lid : network.links_of(net::NodeId{u})) {
-      const net::NodeId v = network.link(lid).other(net::NodeId{u});
-      ++score[assign[v.value]];
-    }
-    RegionId target = cur;
-    for (RegionId r = 0; r < num_regions; ++r) {
-      if (r == cur || part.region_nodes[r] >= capacity) continue;
-      if (score[r] > score[target]) target = r;
-    }
-    if (target != cur) {
-      assign[u] = target;
-      --part.region_nodes[cur];
-      ++part.region_nodes[target];
-    }
-  }
-
-  part.region_of_node = std::move(assign);
-
-  // Cut statistics and conservative lookahead.
-  std::int64_t min_cut_ns = std::numeric_limits<std::int64_t>::max();
-  for (net::LinkId lid : network.all_links()) {
-    const net::Link& l = network.link(lid);
-    if (part.region_of_node[l.a.value] == part.region_of_node[l.b.value]) {
-      continue;
-    }
-    ++part.cut_links;
-    min_cut_ns = std::min(min_cut_ns, l.latency.nanos());
-  }
-  part.lookahead = Duration::from_nanos(min_cut_ns);
-  return part;
+  RegionPartition region;
+  region.region_of_node = std::move(part.part_of_node);
+  region.num_regions = part.num_parts;
+  region.region_nodes = std::move(part.part_sizes);
+  region.cut_links = part.cut_links;
+  region.lookahead = Duration::from_nanos(part.min_cut_latency_ns);
+  return region;
 }
 
 }  // namespace psf::sim

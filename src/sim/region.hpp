@@ -1,15 +1,14 @@
 // Topology partitioning for the region-parallel simulation engine.
 //
-// partition_network splits a net::Network into contiguous regions using a
-// deterministic streaming-greedy pass (the parameter-server graph
-// partitioning idiom: stream nodes in BFS order, assign each to the
-// capacity-bounded region holding most of its already-placed neighbors)
-// followed by one boundary-refinement sweep that moves nodes whose cut
-// degree strictly improves. The result carries the conservative lookahead:
-// the minimum latency over cut links. Any event executing at time t in one
-// region can influence another region no earlier than t + lookahead, which
-// is what lets region workers run a whole window of events without
-// coordinating (see parallel.hpp).
+// partition_network is a thin wrapper over the shared graph-partitioning
+// utility (net::partition_graph in net/partition.hpp — deterministic
+// streaming-greedy BFS assignment with capacity bound plus one
+// boundary-refinement sweep; the hierarchical planner's ClusterIndex builds
+// on the same primitive). The sim-specific part is the conservative
+// lookahead: the minimum latency over cut links. Any event executing at
+// time t in one region can influence another region no earlier than
+// t + lookahead, which is what lets region workers run a whole window of
+// events without coordinating (see parallel.hpp).
 #pragma once
 
 #include <cstdint>

@@ -17,6 +17,10 @@
 #   tools/check.sh --megascale # only: the parallel-engine suite (build +
 #                             # ctest -L megascale + the megascale bench
 #                             # smoke gates + a TSan run of the engine tests)
+#   tools/check.sh --planner  # only: the planner suite (build + ctest -L
+#                             # planner + the planner_scaling bench smoke
+#                             # gates + a TSan run of the parallel search
+#                             # and hierarchical refinement paths)
 #   tools/check.sh --tidy     # also: clang-tidy (see .clang-tidy) over the
 #                             # analysis layer and tools; skipped with a
 #                             # notice when clang-tidy is not installed
@@ -40,6 +44,7 @@ COHERENCE_ONLY=0
 LINT_ONLY=0
 CHAOS_ONLY=0
 MEGASCALE_ONLY=0
+PLANNER_ONLY=0
 for arg in "$@"; do
   case "${arg}" in
     --no-tsan) RUN_TSAN=0 ;;
@@ -50,6 +55,7 @@ for arg in "$@"; do
     --lint) LINT_ONLY=1 ;;
     --chaos) CHAOS_ONLY=1 ;;
     --megascale) MEGASCALE_ONLY=1 ;;
+    --planner) PLANNER_ONLY=1 ;;
     *) echo "unknown option: ${arg}" >&2; exit 2 ;;
   esac
 done
@@ -88,6 +94,23 @@ if [[ "${MEGASCALE_ONLY}" == 1 ]]; then
   exit 0
 fi
 
+if [[ "${PLANNER_ONLY}" == 1 ]]; then
+  echo "== planner suite (hierarchical search + chain DP + anytime) =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "${JOBS}" --target \
+    planner_test planner_parallel_test dp_chain_test hierarchy_test \
+    planner_scaling
+  (cd build && ctest --output-on-failure -L planner)
+  echo "== TSan build (parallel refinement + route-row cache) =="
+  cmake -B build-tsan -S . -DPSF_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "${JOBS}" \
+    --target planner_parallel_test hierarchy_test
+  ./build-tsan/tests/planner_parallel_test
+  ./build-tsan/tests/hierarchy_test
+  echo "== planner suite passed =="
+  exit 0
+fi
+
 if [[ "${COHERENCE_ONLY}" == 1 ]]; then
   echo "== coherence smoke =="
   cmake -B build -S . >/dev/null
@@ -112,8 +135,9 @@ if [[ "${RUN_TSAN}" == 1 ]]; then
   echo "== ThreadSanitizer build (parallel planner + parallel engine) =="
   cmake -B build-tsan -S . -DPSF_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j "${JOBS}" \
-    --target planner_parallel_test parallel_sim_test
+    --target planner_parallel_test hierarchy_test parallel_sim_test
   ./build-tsan/tests/planner_parallel_test
+  ./build-tsan/tests/hierarchy_test
   ./build-tsan/tests/parallel_sim_test
 fi
 
