@@ -43,7 +43,7 @@
 namespace {
 
 using namespace psf;
-using Clock = std::chrono::steady_clock;
+using Clock = std::chrono::steady_clock;  // detlint:allow(DET004 bench measures wall-clock)
 
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();

@@ -1,0 +1,121 @@
+#include "analysis/detlint/baseline.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace psf::analysis::det {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+// entry.path "src/a.cpp" matches scanned "src/a.cpp", "./src/a.cpp",
+// "/repo/src/a.cpp" — but not "xsrc/a.cpp".
+bool path_matches(std::string_view entry_path, std::string_view scanned) {
+  if (scanned.size() < entry_path.size()) return false;
+  if (scanned.compare(scanned.size() - entry_path.size(), entry_path.size(),
+                      entry_path) != 0) {
+    return false;
+  }
+  if (scanned.size() == entry_path.size()) return true;
+  return scanned[scanned.size() - entry_path.size() - 1] == '/';
+}
+
+}  // namespace
+
+std::uint64_t Baseline::fingerprint(std::string_view id,
+                                    std::string_view line_text) {
+  const std::string_view text = trim(line_text);
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a 64
+  const auto mix = [&h](std::string_view s) {
+    for (const char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
+    }
+  };
+  mix(id);
+  mix("|");
+  mix(text);
+  return h;
+}
+
+Baseline Baseline::parse(std::string_view text,
+                         std::vector<std::string>* errors) {
+  Baseline baseline;
+  std::istringstream stream{std::string(text)};
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(stream, raw)) {
+    ++line_no;
+    const std::string_view line = trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+    std::istringstream fields{std::string(line)};
+    BaselineEntry entry;
+    std::string fp_hex;
+    char* end = nullptr;
+    bool ok = static_cast<bool>(fields >> entry.id >> fp_hex >> entry.path);
+    if (ok) {
+      entry.fingerprint = std::strtoull(fp_hex.c_str(), &end, 16);
+      ok = end != nullptr && *end == '\0' && !fp_hex.empty();
+    }
+    if (!ok) {
+      if (errors != nullptr) {
+        errors->push_back("baseline line " + std::to_string(line_no) +
+                          ": expected 'DETnnn <hex fingerprint> <path>'");
+      }
+      continue;
+    }
+    baseline.add(std::move(entry));
+  }
+  baseline.consumed_.assign(baseline.entries_.size(), false);
+  return baseline;
+}
+
+bool Baseline::consume(std::string_view id, std::string_view scanned_path,
+                       std::uint64_t fp) {
+  consumed_.resize(entries_.size(), false);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (consumed_[i]) continue;
+    const BaselineEntry& entry = entries_[i];
+    if (entry.id == id && entry.fingerprint == fp &&
+        path_matches(entry.path, scanned_path)) {
+      consumed_[i] = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<BaselineEntry> Baseline::unmatched() const {
+  std::vector<BaselineEntry> stale;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (i >= consumed_.size() || !consumed_[i]) stale.push_back(entries_[i]);
+  }
+  return stale;
+}
+
+std::string Baseline::render(const std::vector<BaselineEntry>& entries) {
+  std::ostringstream oss;
+  oss << "# detlint baseline — pre-existing findings CI tolerates.\n"
+      << "# Fix the hazard (and delete its line) rather than adding here;\n"
+      << "# regenerate with: tools/detlint --write-baseline <file> <paths>\n";
+  for (const BaselineEntry& entry : entries) {
+    char fp[24];
+    std::snprintf(fp, sizeof(fp), "%016llx",
+                  static_cast<unsigned long long>(entry.fingerprint));
+    oss << entry.id << " " << fp << " " << entry.path << "\n";
+  }
+  return oss.str();
+}
+
+}  // namespace psf::analysis::det

@@ -1,0 +1,66 @@
+// detlint's baseline: the checked-in ledger of pre-existing findings.
+//
+// A baseline lets CI enforce "no NEW determinism hazards" the day the
+// linter lands, without demanding every legacy finding be fixed first:
+// findings matching a baseline entry are dropped (and counted), anything
+// else fails the build. Entries fingerprint the *content* of the finding
+// (ID + the trimmed source line text), never the line number, so code
+// motion above a baselined line does not churn the file.
+//
+// Format, one entry per line (["#" comment lines and blanks ignored):
+//
+//   DET011 0123456789abcdef src/planner/planner.cpp  optional note
+//
+// Matching is count-aware (N identical entries absorb N findings) and the
+// stored path matches any scanned path that ends with it on a component
+// boundary, so `detlint src/` and `detlint /abs/repo/src/` both hit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace psf::analysis::det {
+
+struct BaselineEntry {
+  std::string id;           // catalog ID, e.g. "DET011"
+  std::uint64_t fingerprint = 0;
+  std::string path;         // repo-relative path as recorded
+};
+
+class Baseline {
+ public:
+  // FNV-1a over id + "|" + trimmed line text. The path is matched
+  // separately (suffix rule) so absolute vs relative invocation agrees.
+  static std::uint64_t fingerprint(std::string_view id,
+                                   std::string_view line_text);
+
+  // Parses the text format above. Unparseable lines are reported into
+  // `errors` (one message per line) and skipped.
+  static Baseline parse(std::string_view text,
+                        std::vector<std::string>* errors = nullptr);
+
+  void add(BaselineEntry entry) { entries_.push_back(std::move(entry)); }
+
+  // Consumes one matching un-consumed entry; false when none is left.
+  bool consume(std::string_view id, std::string_view scanned_path,
+               std::uint64_t fingerprint);
+
+  // Entries no finding matched this run (stale: the hazard was fixed but
+  // the ledger still carries it).
+  std::vector<BaselineEntry> unmatched() const;
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  // The writable text form, header comment included, entries in the order
+  // added (the CLI adds them in scan order, which is deterministic).
+  static std::string render(const std::vector<BaselineEntry>& entries);
+
+ private:
+  std::vector<BaselineEntry> entries_;
+  std::vector<bool> consumed_;
+};
+
+}  // namespace psf::analysis::det

@@ -1,0 +1,377 @@
+#include "analysis/detlint/checks.hpp"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace psf::analysis::det {
+
+namespace {
+
+template <std::size_t N>
+bool one_of(std::string_view text, const std::string_view (&set)[N]) {
+  for (const std::string_view entry : set) {
+    if (text == entry) return true;
+  }
+  return false;
+}
+
+// The checks walk a view of the scan with preprocessor-line tokens removed:
+// `#include <ctime>` must not look like a wall-clock call.
+class TokenView {
+ public:
+  explicit TokenView(const CxxScan& scan) {
+    for (const CxxToken& tok : scan.tokens) {
+      if (!tok.preproc) toks_.push_back(&tok);
+    }
+  }
+
+  std::size_t size() const { return toks_.size(); }
+  const CxxToken& at(std::size_t i) const { return *toks_[i]; }
+
+  bool is_ident(std::size_t i, std::string_view name) const {
+    return i < size() && at(i).kind == TokKind::kIdent && at(i).text == name;
+  }
+  bool is_punct(std::size_t i, std::string_view text) const {
+    return i < size() && at(i).kind == TokKind::kPunct && at(i).text == text;
+  }
+
+  // True when token i is qualified as `std::...` (directly, or through one
+  // nested namespace such as std::chrono::).
+  bool std_qualified(std::size_t i) const {
+    if (i < 2 || !is_punct(i - 1, "::")) return false;
+    if (is_ident(i - 2, "std")) return true;
+    return i >= 4 && at(i - 2).kind == TokKind::kIdent &&
+           is_punct(i - 3, "::") && is_ident(i - 4, "std");
+  }
+
+  // True when token i names a free-function call: followed by "(", not a
+  // member access, not qualified by a non-std namespace (somebody else's
+  // `detail::time(...)` is their business), and not a *declaration* — an
+  // identifier directly preceded by another identifier (`long time(int);`)
+  // is a declarator, unless that identifier is a statement keyword.
+  bool free_call(std::size_t i) const {
+    if (!is_punct(i + 1, "(")) return false;
+    if (i == 0) return true;
+    if (is_punct(i - 1, ".") || is_punct(i - 1, "->")) return false;
+    if (is_punct(i - 1, "::")) return std_qualified(i);
+    if (at(i - 1).kind == TokKind::kIdent) {
+      static constexpr std::string_view kStatementWords[] = {
+          "return", "co_return", "co_await", "co_yield", "throw",
+          "case",   "else",      "do",       "and",      "or",
+          "not",    "sizeof"};
+      return one_of(at(i - 1).text, kStatementWords);
+    }
+    return true;
+  }
+
+  // With i on "<", returns the index one past its matching ">" (each ">"
+  // counts singly — the scanner never fuses ">>").
+  std::size_t skip_angles(std::size_t i) const {
+    int depth = 0;
+    while (i < size()) {
+      if (is_punct(i, "<")) ++depth;
+      if (is_punct(i, ">") && --depth == 0) return i + 1;
+      if (is_punct(i, ";") || is_punct(i, "{")) break;  // not a template
+      ++i;
+    }
+    return i;
+  }
+
+ private:
+  std::vector<const CxxToken*> toks_;
+};
+
+constexpr std::string_view kWallClockCalls[] = {
+    "time",     "clock", "gettimeofday", "localtime",
+    "gmtime",   "mktime", "ctime",       "timespec_get",
+};
+
+constexpr std::string_view kChronoClocks[] = {
+    "system_clock", "steady_clock", "high_resolution_clock",
+};
+
+constexpr std::string_view kUnorderedContainers[] = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset",
+};
+
+// Types whose presence in a static declaration head marks it as properly
+// guarded (or immutable, or per-thread).
+constexpr std::string_view kGuardedDeclWords[] = {
+    "const",        "constexpr",       "constinit",
+    "atomic",       "atomic_flag",     "mutex",
+    "shared_mutex", "recursive_mutex", "timed_mutex",
+    "once_flag",    "condition_variable", "thread_local",
+};
+
+constexpr std::string_view kLockGuards[] = {
+    "lock_guard", "unique_lock", "scoped_lock", "shared_lock",
+};
+
+// --- DET001..DET004: entropy and clock sources ----------------------------
+
+void check_entropy_and_clocks(const TokenView& toks, DiagnosticList& out) {
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const CxxToken& tok = toks.at(i);
+    if (tok.kind != TokKind::kIdent) continue;
+    if (tok.text == "random_device") {
+      out.add("DET001", tok.loc,
+              "std::random_device is a nondeterministic entropy source; "
+              "seed a util::Rng from the run seed instead");
+    } else if ((tok.text == "rand" || tok.text == "srand") &&
+               toks.free_call(i)) {
+      out.add("DET002", tok.loc,
+              std::string(tok.text) +
+                  "() uses hidden global RNG state; use a seeded util::Rng");
+    } else if (one_of(tok.text, kWallClockCalls) && toks.free_call(i)) {
+      out.add("DET003", tok.loc,
+              "wall-clock read " + std::string(tok.text) +
+                  "() on a simulated path; use the sim clock (sim::Time)");
+    } else if (one_of(tok.text, kChronoClocks)) {
+      out.add("DET004", tok.loc,
+              "std::chrono::" + std::string(tok.text) +
+                  " read outside the sim clock; simulated paths must take "
+                  "time from sim::Simulator");
+    }
+  }
+}
+
+// --- DET010: unordered iteration in ordered-output files ------------------
+
+void check_unordered_iteration(const TokenView& toks, DiagnosticList& out) {
+  // Pass 1: names declared with an unordered container type in this file.
+  std::vector<std::string_view> names;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks.at(i).kind != TokKind::kIdent ||
+        !one_of(toks.at(i).text, kUnorderedContainers)) {
+      continue;
+    }
+    std::size_t j = i + 1;
+    if (toks.is_punct(j, "<")) j = toks.skip_angles(j);
+    while (toks.is_punct(j, "&") || toks.is_punct(j, "*") ||
+           toks.is_ident(j, "const")) {
+      ++j;
+    }
+    if (j < toks.size() && toks.at(j).kind == TokKind::kIdent) {
+      names.push_back(toks.at(j).text);
+    }
+  }
+  if (names.empty()) return;
+  const auto declared = [&](std::string_view name) {
+    for (const std::string_view n : names) {
+      if (n == name) return true;
+    }
+    return false;
+  };
+
+  // Pass 2: range-for over a declared name, or explicit begin()/end().
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks.is_ident(i, "for") && toks.is_punct(i + 1, "(")) {
+      int depth = 0;
+      bool past_colon = false;
+      for (std::size_t j = i + 1; j < toks.size(); ++j) {
+        if (toks.is_punct(j, "(")) ++depth;
+        if (toks.is_punct(j, ")") && --depth == 0) break;
+        if (depth == 1 && toks.is_punct(j, ":")) past_colon = true;
+        if (past_colon && toks.at(j).kind == TokKind::kIdent &&
+            declared(toks.at(j).text)) {
+          out.add("DET010", toks.at(i).loc,
+                  "iteration over unordered container '" +
+                      std::string(toks.at(j).text) +
+                      "' in an ordered-output file; use an ordered "
+                      "container or sort before emitting");
+          break;
+        }
+      }
+    } else if (toks.at(i).kind == TokKind::kIdent &&
+               declared(toks.at(i).text) &&
+               (toks.is_punct(i + 1, ".") || toks.is_punct(i + 1, "->"))) {
+      static constexpr std::string_view kIter[] = {
+          "begin", "end", "cbegin", "cend", "rbegin", "rend",
+      };
+      if (i + 3 < toks.size() && toks.at(i + 2).kind == TokKind::kIdent &&
+          one_of(toks.at(i + 2).text, kIter) && toks.is_punct(i + 3, "(")) {
+        out.add("DET010", toks.at(i).loc,
+                "iterator walk over unordered container '" +
+                    std::string(toks.at(i).text) +
+                    "' in an ordered-output file; use an ordered container "
+                    "or sort before emitting");
+      }
+    }
+  }
+}
+
+// --- DET011/DET012: pointer keys in ordered containers, pointer hashing ---
+
+// With `open` on the "<" after the container name: true when the first
+// template argument (the key) contains a "*" at any nesting depth — a
+// pointer anywhere in the key makes the comparison address-dependent.
+bool key_argument_has_pointer(const TokenView& toks, std::size_t open) {
+  int angle = 0;
+  for (std::size_t j = open; j < toks.size(); ++j) {
+    if (toks.is_punct(j, "<")) ++angle;
+    if (toks.is_punct(j, ">") && --angle == 0) return false;
+    if (angle == 1 && toks.is_punct(j, ",")) return false;  // key arg ends
+    if (toks.is_punct(j, ";") || toks.is_punct(j, "{")) return false;
+    if (angle >= 1 && toks.is_punct(j, "*")) return true;
+  }
+  return false;
+}
+
+void check_pointer_keys(const TokenView& toks, DiagnosticList& out) {
+  static constexpr std::string_view kOrdered[] = {
+      "map", "set", "multimap", "multiset",
+  };
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const CxxToken& tok = toks.at(i);
+    if (tok.kind != TokKind::kIdent || !toks.std_qualified(i) ||
+        !toks.is_punct(i + 1, "<")) {
+      continue;
+    }
+    if (one_of(tok.text, kOrdered) &&
+        key_argument_has_pointer(toks, i + 1)) {
+      out.add("DET011", tok.loc,
+              "std::" + std::string(tok.text) +
+                  " keyed on a pointer iterates in address order, which "
+                  "varies across runs; key on a stable id instead");
+    } else if (tok.text == "hash" && key_argument_has_pointer(toks, i + 1)) {
+      out.add("DET012", tok.loc,
+              "std::hash over a pointer type is address-dependent; hash a "
+              "stable id instead");
+    }
+  }
+}
+
+// --- DET020: mutable statics without atomic/mutex discipline --------------
+
+void check_mutable_statics(const TokenView& toks, DiagnosticList& out) {
+  constexpr std::size_t kDeclScanLimit = 48;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!toks.is_ident(i, "static")) continue;
+    bool guarded = false;
+    bool is_variable = false;
+    std::string_view name;
+    std::size_t j = i + 1;
+    for (std::size_t steps = 0; j < toks.size() && steps < kDeclScanLimit;
+         ++steps) {
+      const CxxToken& tok = toks.at(j);
+      if (tok.kind == TokKind::kIdent) {
+        if (one_of(tok.text, kGuardedDeclWords)) {
+          guarded = true;
+          break;
+        }
+        name = tok.text;
+        ++j;
+        continue;
+      }
+      if (toks.is_punct(j, "<")) {
+        j = toks.skip_angles(j);
+        continue;
+      }
+      // "(" first ⇒ a function declaration/definition; "=", "{" or ";"
+      // first ⇒ a variable. Constructor-style `static T x(...)` reads as
+      // a function here — a documented false negative of the token pass.
+      if (toks.is_punct(j, "(")) {
+        guarded = true;
+        break;
+      }
+      if (toks.is_punct(j, "=") || toks.is_punct(j, "{") ||
+          toks.is_punct(j, ";")) {
+        is_variable = true;
+        break;
+      }
+      ++j;
+    }
+    if (guarded || !is_variable) continue;
+    out.add("DET020", toks.at(i).loc,
+            "mutable static" +
+                (name.empty() ? std::string()
+                              : " '" + std::string(name) + "'") +
+                " without std::atomic or an adjacent mutex; unsynchronized "
+                "shared state breaks parallel determinism");
+  }
+}
+
+// --- DET021/DET022: detached threads, manual lock calls -------------------
+
+void check_thread_hygiene(const TokenView& toks, DiagnosticList& out) {
+  for (std::size_t i = 1; i < toks.size(); ++i) {
+    const CxxToken& tok = toks.at(i);
+    if (tok.kind != TokKind::kIdent) continue;
+    const bool member_call =
+        (toks.is_punct(i - 1, ".") || toks.is_punct(i - 1, "->")) &&
+        toks.is_punct(i + 1, "(");
+    if (!member_call) continue;
+    if (tok.text == "detach") {
+      out.add("DET021", tok.loc,
+              "detached thread outlives its owner and cannot be joined "
+              "deterministically; keep the handle and join it");
+    } else if ((tok.text == "lock" || tok.text == "unlock") &&
+               toks.is_punct(i + 2, ")")) {
+      out.add("DET022", tok.loc,
+              "manual " + std::string(tok.text) +
+                  "() on a mutex; prefer an RAII guard "
+                  "(std::lock_guard / std::scoped_lock)");
+    }
+  }
+}
+
+// --- DET023: nested lock acquisition --------------------------------------
+
+void check_nested_locks(const TokenView& toks, DiagnosticList& out) {
+  struct Guard {
+    int depth;
+  };
+  std::vector<Guard> active;
+  int depth = 0;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks.is_punct(i, "{")) ++depth;
+    if (toks.is_punct(i, "}")) {
+      --depth;
+      while (!active.empty() && active.back().depth > depth) {
+        active.pop_back();
+      }
+      continue;
+    }
+    const CxxToken& tok = toks.at(i);
+    if (tok.kind != TokKind::kIdent || !one_of(tok.text, kLockGuards)) {
+      continue;
+    }
+    // Declaration shape: guard type, optional <...>, variable name, then
+    // "(" or "{" with the mutex argument.
+    std::size_t j = i + 1;
+    if (toks.is_punct(j, "<")) j = toks.skip_angles(j);
+    if (j >= toks.size() || toks.at(j).kind != TokKind::kIdent) continue;
+    if (!(toks.is_punct(j + 1, "(") || toks.is_punct(j + 1, "{"))) continue;
+    if (!active.empty()) {
+      out.add("DET023", tok.loc,
+              "lock acquired while another guard is held; take both with "
+              "one std::scoped_lock or document the lock order in an "
+              "allow comment");
+    }
+    active.push_back({depth});
+  }
+}
+
+}  // namespace
+
+bool clock_exempt_path(std::string_view path) {
+  // The seeded-RNG wrapper is the one sanctioned consumer of real entropy
+  // and clock primitives.
+  return path.find("util/rng") != std::string_view::npos;
+}
+
+DiagnosticList run_det_checks(const CheckContext& ctx) {
+  DiagnosticList out;
+  const TokenView toks(*ctx.scan);
+  if (!ctx.clock_exempt) check_entropy_and_clocks(toks, out);
+  if (ctx.ordered_output) check_unordered_iteration(toks, out);
+  check_pointer_keys(toks, out);
+  check_mutable_statics(toks, out);
+  check_thread_hygiene(toks, out);
+  check_nested_locks(toks, out);
+  return out;
+}
+
+}  // namespace psf::analysis::det

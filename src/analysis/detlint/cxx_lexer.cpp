@@ -1,0 +1,286 @@
+#include "analysis/detlint/cxx_lexer.hpp"
+
+#include <cctype>
+
+namespace psf::analysis::det {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Encoding prefixes that can precede a raw string literal: R, u8R, uR, UR,
+// LR. The scanner sees them as an identifier that abuts a double quote.
+bool raw_string_prefix(std::string_view ident) {
+  return ident == "R" || ident == "u8R" || ident == "uR" || ident == "UR" ||
+         ident == "LR";
+}
+
+class Scanner {
+ public:
+  explicit Scanner(std::string_view source) : src_(source) {}
+
+  CxxScan run() {
+    while (!at_end()) {
+      const char c = peek();
+      if (c == '\n') {
+        newline();
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        // Indentation keeps the line "blank so far": a comment or a `#`
+        // preceded only by whitespace still owns its line.
+        ++pos_;
+        ++col_;
+        continue;
+      }
+      if (c == '#' && line_blank_so_far_) {
+        preproc_ = true;  // ends at an uncontinued newline (see newline())
+        push_punct();
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        block_comment();
+        continue;
+      }
+      if (c == '"') {
+        string_literal();
+        continue;
+      }
+      if (c == '\'') {
+        char_literal();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+        number();
+        continue;
+      }
+      if (ident_start(c)) {
+        identifier();
+        continue;
+      }
+      punct();
+    }
+    out_.line_count = line_;
+    return std::move(out_);
+  }
+
+ private:
+  bool at_end() const { return pos_ >= src_.size(); }
+  char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  void advance() {
+    ++pos_;
+    ++col_;
+    line_blank_so_far_ = false;
+  }
+  void newline() {
+    // A backslash immediately before the newline continues a preprocessor
+    // directive onto the next line.
+    const bool continued = pos_ > 0 && src_[pos_ - 1] == '\\';
+    ++pos_;
+    ++line_;
+    col_ = 1;
+    line_blank_so_far_ = true;
+    if (preproc_ && !continued) preproc_ = false;
+  }
+  spec::SourceLoc here() const { return {line_, col_}; }
+
+  void emit(TokKind kind, std::size_t start, spec::SourceLoc loc) {
+    CxxToken tok;
+    tok.kind = kind;
+    tok.text = src_.substr(start, pos_ - start);
+    tok.loc = loc;
+    tok.preproc = preproc_;
+    out_.tokens.push_back(tok);
+  }
+
+  void push_punct() {
+    const spec::SourceLoc loc = here();
+    const std::size_t start = pos_;
+    advance();
+    emit(TokKind::kPunct, start, loc);
+  }
+
+  void punct() {
+    const spec::SourceLoc loc = here();
+    const std::size_t start = pos_;
+    const char c = peek();
+    advance();
+    // "::" and "->" are the only multi-char punctuators the checks key on
+    // (qualification and member access); everything else stays one char,
+    // including ">>" so template-argument balancing can count each ">".
+    if ((c == ':' && peek() == ':') || (c == '-' && peek() == '>')) advance();
+    emit(TokKind::kPunct, start, loc);
+  }
+
+  void identifier() {
+    const spec::SourceLoc loc = here();
+    const std::size_t start = pos_;
+    while (!at_end() && ident_char(peek())) advance();
+    const std::string_view text = src_.substr(start, pos_ - start);
+    if (peek() == '"' && raw_string_prefix(text)) {
+      raw_string(start, loc);
+      return;
+    }
+    // Other encoding prefixes (u8"x", L'c', ...) abut their literal too;
+    // fold them into the literal token rather than emitting an identifier.
+    if ((peek() == '"' || peek() == '\'') &&
+        (text == "u8" || text == "u" || text == "U" || text == "L")) {
+      if (peek() == '"') {
+        string_literal_from(start, loc);
+      } else {
+        char_literal_from(start, loc);
+      }
+      return;
+    }
+    emit(TokKind::kIdent, start, loc);
+  }
+
+  void number() {
+    const spec::SourceLoc loc = here();
+    const std::size_t start = pos_;
+    while (!at_end()) {
+      const char c = peek();
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '.' ||
+          c == '_') {
+        advance();
+      } else if (c == '\'' && ident_char(peek(1))) {
+        advance();  // C++14 digit separator
+      } else if ((c == '+' || c == '-') &&
+                 (src_[pos_ - 1] == 'e' || src_[pos_ - 1] == 'E' ||
+                  src_[pos_ - 1] == 'p' || src_[pos_ - 1] == 'P')) {
+        advance();  // exponent sign
+      } else {
+        break;
+      }
+    }
+    emit(TokKind::kNumber, start, loc);
+  }
+
+  void string_literal() { string_literal_from(pos_, here()); }
+
+  void string_literal_from(std::size_t start, spec::SourceLoc loc) {
+    advance();  // opening quote
+    while (!at_end()) {
+      const char c = peek();
+      if (c == '\\' && pos_ + 1 < src_.size()) {
+        advance();
+        if (peek() == '\n') {
+          newline();
+        } else {
+          advance();
+        }
+        continue;
+      }
+      if (c == '\n') break;  // unterminated: recover at end of line
+      advance();
+      if (c == '"') break;
+    }
+    emit(TokKind::kString, start, loc);
+  }
+
+  void char_literal() { char_literal_from(pos_, here()); }
+
+  void char_literal_from(std::size_t start, spec::SourceLoc loc) {
+    advance();  // opening quote
+    while (!at_end()) {
+      const char c = peek();
+      if (c == '\\' && pos_ + 1 < src_.size()) {
+        advance();
+        advance();
+        continue;
+      }
+      if (c == '\n') break;
+      advance();
+      if (c == '\'') break;
+    }
+    emit(TokKind::kChar, start, loc);
+  }
+
+  // R"delim( ... )delim" — pos_ sits on the opening quote, `start` covers
+  // the already-consumed encoding prefix.
+  void raw_string(std::size_t start, spec::SourceLoc loc) {
+    advance();  // opening quote
+    std::string delim;
+    while (!at_end() && peek() != '(' && peek() != '\n') {
+      delim.push_back(peek());
+      advance();
+    }
+    if (peek() == '(') advance();
+    const std::string closer = ")" + delim + "\"";
+    while (!at_end()) {
+      if (src_.compare(pos_, closer.size(), closer) == 0) {
+        for (std::size_t i = 0; i < closer.size(); ++i) advance();
+        break;
+      }
+      if (peek() == '\n') {
+        newline();
+      } else {
+        advance();
+      }
+    }
+    emit(TokKind::kString, start, loc);
+  }
+
+  void line_comment() {
+    CxxComment comment;
+    comment.loc = here();
+    comment.own_line = line_blank_so_far_;
+    advance();
+    advance();  // "//"
+    const std::size_t start = pos_;
+    while (!at_end() && peek() != '\n') advance();
+    comment.text = std::string(src_.substr(start, pos_ - start));
+    out_.comments.push_back(std::move(comment));
+  }
+
+  void block_comment() {
+    CxxComment comment;
+    comment.loc = here();
+    comment.own_line = line_blank_so_far_;
+    advance();
+    advance();  // "/*"
+    const std::size_t start = pos_;
+    std::size_t end = src_.size();
+    while (!at_end()) {
+      if (peek() == '*' && peek(1) == '/') {
+        end = pos_;
+        advance();
+        advance();
+        break;
+      }
+      if (peek() == '\n') {
+        newline();
+      } else {
+        advance();
+      }
+    }
+    comment.text = std::string(src_.substr(start, end - start));
+    out_.comments.push_back(std::move(comment));
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+  bool line_blank_so_far_ = true;
+  bool preproc_ = false;
+  CxxScan out_;
+};
+
+}  // namespace
+
+CxxScan scan_cxx(std::string_view source) { return Scanner(source).run(); }
+
+}  // namespace psf::analysis::det

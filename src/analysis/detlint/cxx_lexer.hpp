@@ -1,0 +1,62 @@
+// Lightweight token scanner for C++ sources — detlint's front end.
+//
+// This is deliberately NOT a parser: detlint's checks are token-level
+// pattern matchers (the same hand-rolled, recovering style as psflint's
+// PSDL lexer), and a full C++ grammar would buy nothing but fragility.
+// What the scanner *does* guarantee is the part token-level lint tools
+// usually get wrong:
+//
+//   - comments never produce tokens, but are captured separately (they
+//     carry the detlint directives: pragmas and suppressions);
+//   - string/char literals never produce identifier tokens, so a check
+//     for `random_device` cannot fire on the word inside a log message —
+//     raw strings (R"(...)"), escapes, and C++14 digit separators are
+//     handled;
+//   - preprocessor lines (incl. backslash continuations) are scanned but
+//     their tokens are flagged, so checks can ignore `#include <time.h>`;
+//   - scanning never fails: unterminated constructs close at EOF.
+//
+// Every token and comment carries a spec::SourceLoc so findings plug into
+// the shared analysis::Diagnostic engine unchanged.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "spec/source.hpp"
+
+namespace psf::analysis::det {
+
+enum class TokKind {
+  kIdent,   // identifiers and keywords (scanner does not distinguish)
+  kNumber,  // numeric literal, digit separators consumed
+  kString,  // string literal incl. raw strings; text is the full lexeme
+  kChar,    // character literal
+  kPunct,   // one punctuator; "::" and "->" are single tokens
+};
+
+struct CxxToken {
+  TokKind kind = TokKind::kPunct;
+  std::string_view text;  // view into the caller's source buffer
+  spec::SourceLoc loc;
+  bool preproc = false;  // token lives on a preprocessor directive line
+};
+
+struct CxxComment {
+  std::string text;  // inner text, `//`, `/*`, `*/` markers stripped
+  spec::SourceLoc loc;
+  bool own_line = false;  // comment is the first non-whitespace on its line
+};
+
+struct CxxScan {
+  std::vector<CxxToken> tokens;
+  std::vector<CxxComment> comments;
+  int line_count = 0;
+};
+
+// Scans `source`; the returned token texts view into it, so the buffer
+// must outlive the scan result.
+CxxScan scan_cxx(std::string_view source);
+
+}  // namespace psf::analysis::det

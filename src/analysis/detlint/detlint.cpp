@@ -1,0 +1,198 @@
+#include "analysis/detlint/detlint.hpp"
+
+#include <cctype>
+#include <string>
+
+#include "analysis/detlint/checks.hpp"
+#include "analysis/detlint/cxx_lexer.hpp"
+
+namespace psf::analysis::det {
+
+namespace {
+
+constexpr std::string_view kDirectiveMarker = "detlint:";
+
+struct Allow {
+  std::string id;
+  spec::SourceLoc loc;   // of the comment carrying the directive
+  bool own_line = false;
+  bool file_scope = false;
+  bool used = false;
+};
+
+struct Directives {
+  bool ordered_output = false;
+  std::vector<Allow> allows;
+  DiagnosticList malformed;  // DET031 findings
+};
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+// Parses one "allow"/"allow-file" argument list: `(DETnnn reason...)`,
+// starting at `rest` positioned on the "(". Returns false (with a message)
+// on any malformation.
+bool parse_allow_args(std::string_view rest, Allow* allow,
+                      std::string* error) {
+  if (rest.empty() || rest.front() != '(') {
+    *error = "expected '(' after allow directive";
+    return false;
+  }
+  const std::size_t close = rest.find(')');
+  if (close == std::string_view::npos) {
+    *error = "unterminated allow directive (missing ')')";
+    return false;
+  }
+  const std::string_view args = trim(rest.substr(1, close - 1));
+  const std::size_t space = args.find_first_of(" \t");
+  const std::string_view id =
+      space == std::string_view::npos ? args : args.substr(0, space);
+  const std::string_view reason =
+      space == std::string_view::npos ? std::string_view()
+                                      : trim(args.substr(space + 1));
+  if (id.substr(0, 3) != "DET" || find_diagnostic(id) == nullptr) {
+    *error = "unknown diagnostic ID '" + std::string(id) + "'";
+    return false;
+  }
+  if (reason.empty()) {
+    *error = "suppression of " + std::string(id) +
+             " needs a reason: allow(" + std::string(id) + " why)";
+    return false;
+  }
+  allow->id = std::string(id);
+  return true;
+}
+
+Directives parse_directives(const std::vector<CxxComment>& comments) {
+  Directives out;
+  for (const CxxComment& comment : comments) {
+    std::size_t pos = 0;
+    while ((pos = comment.text.find(kDirectiveMarker, pos)) !=
+           std::string::npos) {
+      const std::string_view rest =
+          std::string_view(comment.text).substr(pos + kDirectiveMarker.size());
+      pos += kDirectiveMarker.size();
+      if (rest.substr(0, 14) == "ordered-output") {
+        out.ordered_output = true;
+        continue;
+      }
+      Allow allow;
+      allow.loc = comment.loc;
+      allow.own_line = comment.own_line;
+      std::string error;
+      if (rest.substr(0, 11) == "allow-file(") {
+        allow.file_scope = true;
+        if (!parse_allow_args(rest.substr(10), &allow, &error)) {
+          out.malformed.add("DET031", comment.loc, error);
+          continue;
+        }
+      } else if (rest.substr(0, 6) == "allow(") {
+        if (!parse_allow_args(rest.substr(5), &allow, &error)) {
+          out.malformed.add("DET031", comment.loc, error);
+          continue;
+        }
+      } else {
+        const std::size_t word_end = rest.find_first_of(" \t(");
+        out.malformed.add("DET031", comment.loc,
+                          "unknown detlint directive '" +
+                              std::string(rest.substr(0, word_end)) + "'");
+        continue;
+      }
+      out.allows.push_back(std::move(allow));
+    }
+  }
+  return out;
+}
+
+// Splits source into lines for baseline fingerprinting; line N (1-based)
+// is lines[N-1].
+std::vector<std::string_view> split_lines(std::string_view source) {
+  std::vector<std::string_view> lines;
+  std::size_t start = 0;
+  while (start <= source.size()) {
+    std::size_t end = source.find('\n', start);
+    if (end == std::string_view::npos) end = source.size();
+    lines.push_back(source.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+bool try_suppress(std::vector<Allow>& allows, const Diagnostic& d) {
+  // Line-scoped allows are more specific; give them first claim so a
+  // file-scoped allow is not marked "used" by a finding a line allow
+  // already covers.
+  for (Allow& allow : allows) {
+    if (allow.file_scope || allow.id != d.id) continue;
+    if (d.loc.line == allow.loc.line ||
+        (allow.own_line && d.loc.line == allow.loc.line + 1)) {
+      allow.used = true;
+      return true;
+    }
+  }
+  for (Allow& allow : allows) {
+    if (allow.file_scope && allow.id == d.id) {
+      allow.used = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+CxxLintResult lint_cxx_source(std::string_view path, std::string_view source,
+                              const CxxLintOptions& options) {
+  const CxxScan scan = scan_cxx(source);
+  Directives directives = parse_directives(scan.comments);
+
+  CheckContext ctx;
+  ctx.path = path;
+  ctx.scan = &scan;
+  ctx.ordered_output = directives.ordered_output;
+  ctx.clock_exempt = clock_exempt_path(path);
+
+  DiagnosticList raw = run_det_checks(ctx);
+  raw.merge(std::move(directives.malformed));
+
+  const std::vector<std::string_view> lines = split_lines(source);
+  CxxLintResult result;
+  for (const Diagnostic& d : raw.all()) {
+    if (try_suppress(directives.allows, d)) {
+      ++result.suppressed;
+      continue;
+    }
+    const std::string_view line_text =
+        d.loc.line >= 1 && d.loc.line <= static_cast<int>(lines.size())
+            ? lines[d.loc.line - 1]
+            : std::string_view();
+    const std::uint64_t fp = Baseline::fingerprint(d.id, line_text);
+    result.surviving.push_back({d.id, fp, std::string(path)});
+    if (options.baseline != nullptr &&
+        options.baseline->consume(d.id, path, fp)) {
+      ++result.baselined;
+      continue;
+    }
+    result.diagnostics.add(d);
+  }
+
+  for (const Allow& allow : directives.allows) {
+    if (allow.used) continue;
+    result.diagnostics.add(
+        "DET030", allow.loc,
+        "suppression of " + allow.id + " matches no finding" +
+            (allow.file_scope ? " in this file" : " on its line") +
+            "; remove it (or fix its placement)");
+  }
+  result.diagnostics.sort_by_location();
+  return result;
+}
+
+}  // namespace psf::analysis::det

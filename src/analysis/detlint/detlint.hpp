@@ -1,0 +1,69 @@
+// detlint — determinism & concurrency-discipline lint for C++ sources.
+//
+// The repo's reproducibility guarantees (seeded chaos replay, parallel-DES
+// merge, planner reduction) are bit-identity contracts that nothing used
+// to enforce mechanically. detlint closes that gap the same way psflint
+// does for PSDL specs: a recovering front end (cxx_lexer), a battery of
+// checks (checks.cpp), stable catalog IDs through the shared
+// analysis::Diagnostic engine, and a CLI (tools/detlint) with severity
+// exit codes.
+//
+// Source-level directives are comments beginning with the tool's marker —
+// the tool name immediately followed by a colon. (Spelled indirectly here
+// because detlint lints its own sources; docs/ANALYSIS.md shows them
+// verbatim.) After the marker:
+//
+//   ordered-output
+//     File pragma (anywhere in the file, conventionally the header
+//     comment): this file's iteration order reaches a trace, plan, or
+//     merged output, enabling the DET010 unordered-iteration check.
+//
+//   allow(DET004 reason text)
+//     Suppresses DET004 on the comment's line — or on the next line when
+//     the comment stands alone. The reason is mandatory; it is the
+//     reviewable justification. Suppressions that match nothing are
+//     reported as DET030; malformed or unknown-ID directives as DET031.
+//
+//   allow-file(DET004 reason text)
+//     Same, file-wide — for files whose whole job is the exempted thing
+//     (e.g. a bench that legitimately measures wall-clock time).
+//
+// Findings that predate the linter live in a checked-in baseline
+// (baseline.hpp): matched findings are dropped and counted, so CI fails
+// only on NEW hazards. See docs/ANALYSIS.md for the workflow.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "analysis/detlint/baseline.hpp"
+#include "analysis/diagnostics.hpp"
+
+namespace psf::analysis::det {
+
+struct CxxLintOptions {
+  // When set, surviving findings are matched (and consumed) against it;
+  // the caller owns it across files so stale entries can be reported once
+  // at the end of the run.
+  Baseline* baseline = nullptr;
+};
+
+struct CxxLintResult {
+  // Post-suppression, post-baseline findings (incl. DET030/DET031),
+  // ordered by source location.
+  DiagnosticList diagnostics;
+  std::size_t suppressed = 0;  // findings dropped by allow directives
+  std::size_t baselined = 0;   // findings dropped by the baseline
+  // Baseline entries for every finding that survived suppression (what
+  // `--write-baseline` records for this file).
+  std::vector<BaselineEntry> surviving;
+};
+
+// Lints one C++ source buffer. `path` is the file's name as the caller
+// knows it: it lands in the baseline entries, drives the util/rng clock
+// exemption, and is the `file` field of rendered output.
+CxxLintResult lint_cxx_source(std::string_view path, std::string_view source,
+                              const CxxLintOptions& options = {});
+
+}  // namespace psf::analysis::det

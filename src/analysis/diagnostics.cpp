@@ -43,6 +43,26 @@ const std::vector<DiagnosticInfo>& diagnostic_catalog() {
       {"PSF041", Severity::kWarning, "suspicious zero behavior value"},
       {"PSF042", Severity::kNote, "installable component without code_size"},
       {"PSF100", Severity::kError, "PSDL parse error"},
+      // DET*: detlint's determinism & concurrency discipline for the C++
+      // sources themselves (docs/ANALYSIS.md carries the user-facing
+      // catalog with examples and fixes).
+      {"DET001", Severity::kError, "std::random_device entropy source"},
+      {"DET002", Severity::kError, "rand()/srand() hidden global RNG state"},
+      {"DET003", Severity::kError, "wall-clock read on a simulated path"},
+      {"DET004", Severity::kError, "std::chrono clock outside the sim clock"},
+      {"DET010", Severity::kError,
+       "unordered-container iteration in ordered-output file"},
+      {"DET011", Severity::kWarning,
+       "pointer-keyed ordered container iterates in address order"},
+      {"DET012", Severity::kWarning, "std::hash over a pointer type"},
+      {"DET020", Severity::kWarning,
+       "mutable static without atomic/mutex discipline"},
+      {"DET021", Severity::kError, "detached thread"},
+      {"DET022", Severity::kWarning, "manual mutex lock()/unlock()"},
+      {"DET023", Severity::kWarning,
+       "nested lock acquisition without documented order"},
+      {"DET030", Severity::kWarning, "unused detlint suppression"},
+      {"DET031", Severity::kError, "malformed detlint directive"},
   };
   return kCatalog;
 }

@@ -1,15 +1,16 @@
-// Reusable diagnostics engine for spec tooling.
+// Reusable diagnostics engine shared by the repo's static analyzers.
 //
-// A Diagnostic is one finding: a stable catalog ID (PSF001..), a severity,
-// a source location plumbed from the PSDL lexer, and a message. The
-// DiagnosticList collects findings across analysis passes (all of them — no
-// fail-fast), orders them by source position, and renders them as
-// compiler-style text or as JSON for machine consumers (psflint --json, CI
-// annotations).
+// A Diagnostic is one finding: a stable catalog ID (PSF001.. for psflint's
+// PSDL checks, DET001.. for detlint's C++ determinism checks), a severity,
+// a source location, and a message. The DiagnosticList collects findings
+// across analysis passes (all of them — no fail-fast), orders them by
+// source position, and renders them as compiler-style text or as JSON for
+// machine consumers (psflint/detlint --json, CI annotations).
 //
 // The catalog (diagnostic_catalog) is the single source of truth for IDs,
 // default severities, and one-line titles; docs/PSDL.md carries the
-// user-facing appendix with examples and fixes.
+// user-facing PSF appendix and docs/ANALYSIS.md the DET one. IDs are never
+// reused.
 #pragma once
 
 #include <cstddef>

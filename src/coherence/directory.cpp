@@ -1,3 +1,4 @@
+// detlint:ordered-output — fan-out batch order reaches replica update traces.
 #include "coherence/directory.hpp"
 
 #include <algorithm>

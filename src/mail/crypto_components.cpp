@@ -47,14 +47,14 @@ void EncryptorComponent::handle_request(const runtime::Request& request,
     call("DecryptorInterface", std::move(sealed),
          [this, key, done = std::move(done)](runtime::Response response) {
            // The return path arrives sealed; verify and unwrap it.
-           const auto* envelope = runtime::body_as<TunnelBody>(response);
-           if (envelope == nullptr) {
+           const auto* reply = runtime::body_as<TunnelBody>(response);
+           if (reply == nullptr) {
              // Plain response (e.g. an error raised before the decryptor).
              done(std::move(response));
              return;
            }
            std::vector<std::uint8_t> image;
-           if (!crypto::unseal(key, envelope->blob, image)) {
+           if (!crypto::unseal(key, reply->blob, image)) {
              ++stats_.mac_failures;
              done(runtime::Response::failure(
                  "tunnel MAC verification failed on response"));
@@ -65,10 +65,10 @@ void EncryptorComponent::handle_request(const runtime::Request& request,
            plain.ok = response.ok;
            plain.error = response.error;
            plain.transport = response.transport;
-           plain.body = envelope->inner;
-           plain.wire_bytes = envelope->inner_wire_bytes;
+           plain.body = reply->inner;
+           plain.wire_bytes = reply->inner_wire_bytes;
            const double resp_units =
-               crypto::crypto_cpu_cost(envelope->inner_wire_bytes);
+               crypto::crypto_cpu_cost(reply->inner_wire_bytes);
            charge_cpu(resp_units, [plain = std::move(plain),
                                    done = std::move(done)]() mutable {
              done(std::move(plain));
@@ -118,17 +118,17 @@ void DecryptorComponent::handle_request(const runtime::Request& request,
            }
            // Seal the response for the trip back across the insecure link.
            const std::uint64_t nonce = (nonce_ += 2);
-           auto envelope = std::make_shared<TunnelBody>();
-           envelope->inner = response.body;
-           envelope->inner_wire_bytes = response.wire_bytes;
-           envelope->blob = crypto::seal(
+           auto reply = std::make_shared<TunnelBody>();
+           reply->inner = response.body;
+           reply->inner_wire_bytes = response.wire_bytes;
+           reply->blob = crypto::seal(
                key, nonce, tunnel_image(response.wire_bytes, nonce));
            ++stats_.requests_sealed;
 
            runtime::Response sealed;
            sealed.ok = response.ok;
            sealed.error = response.error;
-           sealed.body = envelope;
+           sealed.body = reply;
            sealed.wire_bytes = response.wire_bytes + 48;
            const double resp_units =
                crypto::crypto_cpu_cost(response.wire_bytes);

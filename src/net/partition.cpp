@@ -1,3 +1,4 @@
+// detlint:ordered-output — partition assignment feeds region numbering and merge order.
 #include "net/partition.hpp"
 
 #include <algorithm>

@@ -1,3 +1,4 @@
+// detlint:ordered-output — cluster numbering feeds the hierarchical reduction.
 #include "planner/cluster.hpp"
 
 #include <algorithm>

@@ -1,3 +1,4 @@
+// detlint:ordered-output — DP results must equal search bit-for-bit.
 #include "planner/dp_chain.hpp"
 
 #include <algorithm>

@@ -1,3 +1,4 @@
+// detlint:ordered-output — refinement reduction order decides plan tie-breaks.
 #include "planner/hierarchy.hpp"
 
 #include <algorithm>

@@ -1,3 +1,4 @@
+// detlint:ordered-output — plan content is fingerprinted and compared bit-for-bit.
 #include "planner/plan.hpp"
 
 #include <map>

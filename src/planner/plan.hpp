@@ -1,3 +1,4 @@
+// detlint:ordered-output — plan content is fingerprinted and compared bit-for-bit.
 // Deployment plans: the planner's output, consumed by the Smock runtime's
 // deployment engine.
 #pragma once

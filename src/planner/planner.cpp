@@ -1,3 +1,5 @@
+// detlint:ordered-output — search visit order decides plan tie-breaks.
+// detlint:allow-file(DET004 PlanRequest::deadline_budget is a wall-clock anytime budget by design)
 #include "planner/planner.hpp"
 
 #include <algorithm>

@@ -1,3 +1,4 @@
+// detlint:allow-file(DET004 plan-latency telemetry and anytime deadlines deliberately read the host clock)
 #include "runtime/generic.hpp"
 
 #include <algorithm>
@@ -500,21 +501,22 @@ void GenericServer::run_improvement(std::function<void()> done) {
         }
         // Deployment took simulated time: re-check the epoch AND the entry
         // before swapping, exactly like finish_access does for cold plans.
-        ServiceState* state = state_of(job.service);
-        if (state == nullptr || state->epoch != job.epoch_at_enqueue) {
+        ServiceState* fresh_state = state_of(job.service);
+        if (fresh_state == nullptr ||
+            fresh_state->epoch != job.epoch_at_enqueue) {
           ++anytime_telemetry_.discarded_stale;
           run_improvement(std::move(done));
           return;
         }
-        PlanCache::Entry* entry = state->cache.find(
-            job.fingerprint, state->epoch, cache_telemetry_);
-        if (entry == nullptr) {
+        PlanCache::Entry* fresh_entry = fresh_state->cache.find(
+            job.fingerprint, fresh_state->epoch, cache_telemetry_);
+        if (fresh_entry == nullptr) {
           ++anytime_telemetry_.discarded_stale;
           run_improvement(std::move(done));
           return;
         }
         const double current = planner::plan_primary_score(
-            job.request.objective, entry->access.plan.metrics);
+            job.request.objective, fresh_entry->access.plan.metrics);
         if (!(improved_score < current - 1e-12)) {
           // The entry improved past us while we were deploying; refusing the
           // install keeps per-fingerprint swap scores monotonically
@@ -523,13 +525,13 @@ void GenericServer::run_improvement(std::function<void()> done) {
           run_improvement(std::move(done));
           return;
         }
-        absorb_deployment(*state, *plan_value, *deployed);
+        absorb_deployment(*fresh_state, *plan_value, *deployed);
         CachedAccess cached;
         cached.plan = *plan_value;
         cached.instances = deployed->instances;
         cached.entry = deployed->entry;
-        state->cache.insert(job.fingerprint, state->epoch, std::move(cached),
-                            cache_telemetry_);
+        fresh_state->cache.insert(job.fingerprint, fresh_state->epoch,
+                                  std::move(cached), cache_telemetry_);
         ++anytime_telemetry_.improved_swaps;
         anytime_telemetry_.swap_primary_scores.push_back(improved_score);
         PSF_INFO() << "anytime improver swapped access path for '"

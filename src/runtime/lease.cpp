@@ -78,11 +78,11 @@ void LeaseManager::heartbeat_tick() {
           ++heartbeats_delivered_;
           auto it = leases_.find(id);
           if (it == leases_.end()) return;
-          Lease& lease = it->second;
-          lease.last_renewal = runtime_.simulator().now();
-          if (!lease.active) {
+          Lease& renewed = it->second;
+          renewed.last_renewal = runtime_.simulator().now();
+          if (!renewed.active) {
             // A renewal from a node declared dead: the partition healed.
-            lease.active = true;
+            renewed.active = true;
             ++recoveries_;
             PSF_INFO() << "lease for node "
                        << runtime_.network().node(net::NodeId{id}).name

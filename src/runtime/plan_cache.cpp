@@ -1,3 +1,4 @@
+// detlint:ordered-output — fingerprint canonicalization must be order-stable.
 #include "runtime/plan_cache.hpp"
 
 #include <algorithm>

@@ -1,3 +1,4 @@
+// detlint:ordered-output — merged traces must be bit-identical across worker counts.
 #include "sim/parallel.hpp"
 
 #include <algorithm>

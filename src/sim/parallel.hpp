@@ -1,3 +1,4 @@
+// detlint:ordered-output — merged traces must be bit-identical across worker counts.
 // Region-parallel conservative discrete-event engine.
 //
 // The serial Simulator tops out at one core; this engine partitions the

@@ -1,3 +1,4 @@
+// detlint:ordered-output — per-region event order feeds the deterministic merge.
 #include "sim/region.hpp"
 
 #include "net/partition.hpp"

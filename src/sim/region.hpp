@@ -1,3 +1,4 @@
+// detlint:ordered-output — per-region event order feeds the deterministic merge.
 // Topology partitioning for the region-parallel simulation engine.
 //
 // partition_network is a thin wrapper over the shared graph-partitioning

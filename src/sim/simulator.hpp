@@ -1,3 +1,4 @@
+// detlint:ordered-output — event order here IS the trace.
 // Deterministic discrete-event simulator.
 //
 // This is the substrate that replaces the paper's emulated testbed (Pentium

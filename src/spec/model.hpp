@@ -27,7 +27,7 @@ struct PropertyDef {
   // For kInterval: inclusive bounds.
   std::int64_t interval_lo = 0;
   std::int64_t interval_hi = 0;
-  SourceLoc loc;  // of the declaration's name; invalid when built in code
+  SourceLoc loc{};  // of the declaration's name; invalid when built in code
 
   // Checks a literal against the declared type/range.
   bool admits(const PropertyValue& v) const;
@@ -37,7 +37,7 @@ struct PropertyDef {
 struct InterfaceDef {
   std::string name;
   std::vector<std::string> properties;  // names of PropertyDefs
-  SourceLoc loc;
+  SourceLoc loc{};
 
   bool has_property(const std::string& p) const;
   std::string to_string() const;
@@ -47,7 +47,7 @@ struct InterfaceDef {
 struct PropertyAssignment {
   std::string property;
   ValueExpr value;
-  SourceLoc loc;
+  SourceLoc loc{};
 
   std::string to_string() const;
 };
@@ -56,7 +56,7 @@ struct PropertyAssignment {
 struct LinkageDecl {
   std::string interface_name;
   std::vector<PropertyAssignment> properties;
-  SourceLoc loc;
+  SourceLoc loc{};
 
   std::optional<ValueExpr> value_of(const std::string& property) const;
   std::string to_string(const char* keyword) const;
@@ -72,7 +72,7 @@ struct Condition {
   PropertyValue value;            // kEq / kGe / kLe
   std::int64_t range_lo = 0;      // kInRange (inclusive)
   std::int64_t range_hi = 0;
-  SourceLoc loc;
+  SourceLoc loc{};
 
   // Evaluates against a node environment. A missing environment property
   // fails the condition (fail closed — this is a security check).
@@ -101,7 +101,7 @@ struct Behaviors {
   bool capacity_set = false;
   bool rrf_set = false;
   bool code_size_set = false;
-  SourceLoc loc;  // of the `behaviors` keyword
+  SourceLoc loc{};  // of the `behaviors` keyword
 
   std::string to_string() const;
 };
@@ -122,7 +122,7 @@ struct ComponentDef {
   std::vector<LinkageDecl> requires_;
   std::vector<Condition> conditions;
   Behaviors behaviors;
-  SourceLoc loc;
+  SourceLoc loc{};
 
   // Transparent components (e.g. Encryptor/Decryptor) pass through interface
   // properties they do not explicitly set: the effective implemented value is
@@ -163,7 +163,7 @@ class ServiceSpec {
   std::vector<InterfaceDef> interfaces;
   std::vector<ComponentDef> components;
   RuleSet rules;
-  SourceLoc loc;  // of the `service` keyword
+  SourceLoc loc{};  // of the `service` keyword
 
   const PropertyDef* find_property(const std::string& n) const;
   const InterfaceDef* find_interface(const std::string& n) const;

@@ -41,7 +41,7 @@ struct RuleRow {
   enum class OutKind { kLiteral, kInput, kEnvValue, kMin };
   OutKind out_kind = OutKind::kLiteral;
   PropertyValue out;
-  SourceLoc loc;
+  SourceLoc loc{};
 
   std::string to_string() const;
 };
@@ -50,7 +50,7 @@ class PropertyModificationRule {
  public:
   std::string property;
   std::vector<RuleRow> rows;
-  SourceLoc loc;
+  SourceLoc loc{};
 
   // Applies the table: returns the transformed value, or the input unchanged
   // when no row matches (identity default — a property with no rule is

@@ -36,7 +36,7 @@ struct SourceLoc {
 // these instead of stopping at the first failure.
 struct ParseError {
   std::string message;
-  SourceLoc loc;
+  SourceLoc loc{};
 };
 
 }  // namespace psf::spec

@@ -97,6 +97,7 @@ class SmallFn {
     std::atomic<std::uint64_t> heap_fallbacks{0};
   };
   static Counters& counters() {
+    // detlint:allow(DET020 Counters holds only std::atomic fields)
     static Counters c;
     return c;
   }

@@ -156,16 +156,16 @@ TEST_F(WorkloadFixture, CompletesConfiguredOperationCounts) {
   WorkloadParams params;
   params.sends = 30;
   params.receives = 3;
-  WorkloadClient client(runtime, "wl-user", config, transport(), params);
-  client.start();
+  WorkloadClient wl(runtime, "wl-user", config, transport(), params);
+  wl.start();
   sim.run();
-  ASSERT_TRUE(client.finished());
-  EXPECT_EQ(client.stats().sends_ok, 30u);
-  EXPECT_EQ(client.stats().receives_ok, 3u);
-  EXPECT_EQ(client.stats().sends_failed, 0u);
-  EXPECT_EQ(client.send_latency_ms().count(), 30u);
-  EXPECT_EQ(client.stats().plaintext_mismatches, 0u);
-  EXPECT_GT(client.stats().messages_received, 0u);
+  ASSERT_TRUE(wl.finished());
+  EXPECT_EQ(wl.stats().sends_ok, 30u);
+  EXPECT_EQ(wl.stats().receives_ok, 3u);
+  EXPECT_EQ(wl.stats().sends_failed, 0u);
+  EXPECT_EQ(wl.send_latency_ms().count(), 30u);
+  EXPECT_EQ(wl.stats().plaintext_mismatches, 0u);
+  EXPECT_GT(wl.stats().messages_received, 0u);
 }
 
 TEST_F(WorkloadFixture, HighSensitivitySendsAreSealedEndToEnd) {
@@ -173,11 +173,11 @@ TEST_F(WorkloadFixture, HighSensitivitySendsAreSealedEndToEnd) {
   params.sends = 10;
   params.receives = 2;
   params.high_send_every = 2;  // half the sends at sensitivity 5
-  WorkloadClient client(runtime, "sealed-user", config, transport(), params);
-  client.start();
+  WorkloadClient wl(runtime, "sealed-user", config, transport(), params);
+  wl.start();
   sim.run();
-  ASSERT_TRUE(client.finished());
-  EXPECT_EQ(client.stats().sends_ok, 10u);
+  ASSERT_TRUE(wl.finished());
+  EXPECT_EQ(wl.stats().sends_ok, 10u);
 
   auto* comp = dynamic_cast<mail::MailServerComponent*>(
       runtime.instance(server).component.get());
@@ -195,12 +195,12 @@ TEST_F(WorkloadFixture, ZeroReceivesConfiguration) {
   WorkloadParams params;
   params.sends = 5;
   params.receives = 0;
-  WorkloadClient client(runtime, "wr-user", config, transport(), params);
-  client.start();
+  WorkloadClient wl(runtime, "wr-user", config, transport(), params);
+  wl.start();
   sim.run();
-  ASSERT_TRUE(client.finished());
-  EXPECT_EQ(client.stats().sends_ok, 5u);
-  EXPECT_EQ(client.stats().receives_ok, 0u);
+  ASSERT_TRUE(wl.finished());
+  EXPECT_EQ(wl.stats().sends_ok, 5u);
+  EXPECT_EQ(wl.stats().receives_ok, 0u);
 }
 
 TEST_F(WorkloadFixture, ThinkTimePacesTheRun) {
@@ -208,8 +208,8 @@ TEST_F(WorkloadFixture, ThinkTimePacesTheRun) {
   params.sends = 10;
   params.receives = 0;
   params.think = sim::Duration::from_millis(100);
-  WorkloadClient client(runtime, "paced-user", config, transport(), params);
-  client.start();
+  WorkloadClient wl(runtime, "paced-user", config, transport(), params);
+  wl.start();
   sim.run();
   // 10 ops, each preceded by 100 ms of think time: at least 1 s elapsed.
   EXPECT_GE(sim.now().seconds(), 1.0);

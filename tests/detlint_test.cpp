@@ -1,0 +1,430 @@
+// Golden-file and unit suite for detlint, the C++ determinism linter.
+//
+// Mirrors psflint_test's contract: every DET catalog ID has a `_bad`
+// fixture that fires it exactly once and a `_clean` repaired twin that
+// stays error-free; plus unit coverage for the scanner, the suppression
+// directives, the baseline ledger, and the shared diagnostics engine's
+// JSON shape across both emitters.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+#include "analysis/detlint/baseline.hpp"
+#include "analysis/detlint/cxx_lexer.hpp"
+#include "analysis/detlint/detlint.hpp"
+
+namespace psf::analysis::det {
+namespace {
+
+std::filesystem::path fixture_dir() { return PSF_DETLINT_FIXTURE_DIR; }
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream file(path);
+  EXPECT_TRUE(file.is_open()) << "cannot open " << path;
+  std::ostringstream oss;
+  oss << file.rdbuf();
+  return oss.str();
+}
+
+bool det_id(const DiagnosticInfo& info) {
+  return std::string_view(info.id).substr(0, 3) == "DET";
+}
+
+std::size_t count_id(const DiagnosticList& diags, std::string_view id) {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diags.all()) {
+    if (d.id == id) ++n;
+  }
+  return n;
+}
+
+CxxLintResult lint(std::string_view source,
+                   std::string_view path = "src/sample.cpp") {
+  return lint_cxx_source(path, source);
+}
+
+// ---- scanner ------------------------------------------------------------
+
+TEST(CxxLexer, StringsCommentsAndPreprocessorProduceNoIdentTokens) {
+  const CxxScan scan = scan_cxx(
+      "#include <ctime>\n"
+      "// time( in a comment\n"
+      "const char* s = \"time(now) rand()\";\n"
+      "char c = 't';\n");
+  for (const CxxToken& tok : scan.tokens) {
+    if (tok.kind != TokKind::kIdent) continue;
+    // Identifiers from the #include line are flagged as preprocessor
+    // tokens; words inside strings/comments never become tokens at all.
+    if (tok.text == "ctime" || tok.text == "include") {
+      EXPECT_TRUE(tok.preproc) << tok.text;
+    }
+    EXPECT_NE(tok.text, "rand");
+    EXPECT_NE(tok.text, "time");
+  }
+  ASSERT_EQ(scan.comments.size(), 1u);
+  EXPECT_TRUE(scan.comments[0].own_line);
+}
+
+TEST(CxxLexer, RawStringsAndDigitSeparatorsScanAsSingleLiterals) {
+  const CxxScan scan = scan_cxx(
+      "auto r = R\"(rand() \"quoted\" time())\";\n"
+      "int n = 1'000'000;\n");
+  std::size_t strings = 0;
+  for (const CxxToken& tok : scan.tokens) {
+    if (tok.kind == TokKind::kString) ++strings;
+    EXPECT_FALSE(tok.kind == TokKind::kIdent && tok.text == "rand");
+  }
+  EXPECT_EQ(strings, 1u);
+}
+
+TEST(CxxLexer, TracksLocationsAcrossMultilineConstructs) {
+  const CxxScan scan = scan_cxx("/* a\nb */\nint x;\n");
+  ASSERT_FALSE(scan.tokens.empty());
+  EXPECT_EQ(scan.tokens[0].loc.line, 3);
+  EXPECT_EQ(scan.tokens[0].text, "int");
+}
+
+// ---- golden fixtures ----------------------------------------------------
+
+TEST(DetlintGolden, EveryDetIdHasBadAndCleanFixture) {
+  for (const DiagnosticInfo& info : diagnostic_catalog()) {
+    if (!det_id(info)) continue;
+    const auto bad = fixture_dir() / (std::string(info.id) + "_bad.cpp");
+    const auto clean = fixture_dir() / (std::string(info.id) + "_clean.cpp");
+    EXPECT_TRUE(std::filesystem::exists(bad)) << bad;
+    EXPECT_TRUE(std::filesystem::exists(clean)) << clean;
+  }
+}
+
+TEST(DetlintGolden, BadFixtureFiresItsIdExactlyOnce) {
+  for (const DiagnosticInfo& info : diagnostic_catalog()) {
+    if (!det_id(info)) continue;
+    const auto path = fixture_dir() / (std::string(info.id) + "_bad.cpp");
+    const CxxLintResult result = lint(read_file(path));
+    EXPECT_EQ(count_id(result.diagnostics, info.id), 1u)
+        << path << ":\n"
+        << result.diagnostics.render_text();
+  }
+}
+
+TEST(DetlintGolden, CleanFixtureDoesNotFireItsIdAndHasNoErrors) {
+  for (const DiagnosticInfo& info : diagnostic_catalog()) {
+    if (!det_id(info)) continue;
+    const auto path = fixture_dir() / (std::string(info.id) + "_clean.cpp");
+    const CxxLintResult result = lint(read_file(path));
+    EXPECT_EQ(count_id(result.diagnostics, info.id), 0u)
+        << path << ":\n"
+        << result.diagnostics.render_text();
+    EXPECT_FALSE(result.diagnostics.has_errors())
+        << path << ":\n"
+        << result.diagnostics.render_text();
+  }
+}
+
+TEST(DetlintGolden, CleanFileIsEntirelyClean) {
+  const CxxLintResult result = lint(read_file(fixture_dir() / "clean.cpp"));
+  EXPECT_TRUE(result.diagnostics.empty())
+      << result.diagnostics.render_text();
+  EXPECT_EQ(result.suppressed, 0u);
+}
+
+TEST(DetlintGolden, MultiDefectFileReportsEveryPlantedIdInOrder) {
+  const CxxLintResult result =
+      lint(read_file(fixture_dir() / "multi_defect.cpp"));
+  for (const char* id : {"DET002", "DET004", "DET011", "DET020", "DET021"}) {
+    EXPECT_TRUE(result.diagnostics.has(id))
+        << id << " missing:\n"
+        << result.diagnostics.render_text();
+  }
+  const auto& all = result.diagnostics.all();
+  ASSERT_GT(all.size(), 1u);
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_FALSE(all[i].loc < all[i - 1].loc);
+  }
+}
+
+// ---- directives ---------------------------------------------------------
+
+TEST(DetlintDirectives, TrailingAllowSuppressesSameLineFinding) {
+  const CxxLintResult result = lint(
+      "auto t = std::chrono::steady_clock::now();  "
+      "// detlint:allow(DET004 telemetry wall-clock)\n");
+  EXPECT_TRUE(result.diagnostics.empty())
+      << result.diagnostics.render_text();
+  EXPECT_EQ(result.suppressed, 1u);
+}
+
+TEST(DetlintDirectives, OwnLineAllowCoversTheNextLineOnly) {
+  const CxxLintResult covered = lint(
+      "// detlint:allow(DET002 replaying a recorded trace)\n"
+      "int x = rand();\n");
+  EXPECT_TRUE(covered.diagnostics.empty());
+
+  const CxxLintResult gap = lint(
+      "// detlint:allow(DET002 replaying a recorded trace)\n"
+      "int y = 0;\n"
+      "int x = rand();\n");
+  EXPECT_TRUE(gap.diagnostics.has("DET002"));
+  EXPECT_TRUE(gap.diagnostics.has("DET030"));  // the allow went unused
+}
+
+TEST(DetlintDirectives, IndentedOwnLineAllowStillCoversTheNextLine) {
+  // Indentation must not demote a comment to "trailing": an allow inside a
+  // function body is almost always preceded by whitespace.
+  const CxxLintResult result = lint(
+      "void f() {\n"
+      "    // detlint:allow(DET002 replaying a recorded trace)\n"
+      "    int x = rand();\n"
+      "}\n");
+  EXPECT_TRUE(result.diagnostics.empty())
+      << result.diagnostics.render_text();
+  EXPECT_EQ(result.suppressed, 1u);
+}
+
+TEST(DetlintDirectives, IndentedPreprocessorLineIsStillPreprocessor) {
+  const CxxLintResult result = lint(
+      "#ifdef PSF_TRACE\n"
+      "  #include <ctime>\n"
+      "#endif\n");
+  EXPECT_TRUE(result.diagnostics.empty())
+      << result.diagnostics.render_text();
+}
+
+TEST(DetlintDirectives, AllowFileCoversEveryInstanceInTheFile) {
+  const CxxLintResult result = lint(
+      "// detlint:allow-file(DET004 bench measures wall-clock on purpose)\n"
+      "auto a = std::chrono::steady_clock::now();\n"
+      "auto b = std::chrono::steady_clock::now();\n");
+  EXPECT_TRUE(result.diagnostics.empty())
+      << result.diagnostics.render_text();
+  EXPECT_EQ(result.suppressed, 2u);
+}
+
+TEST(DetlintDirectives, MissingReasonIsMalformed) {
+  const CxxLintResult result = lint("// detlint:allow(DET004)\n");
+  EXPECT_EQ(count_id(result.diagnostics, "DET031"), 1u)
+      << result.diagnostics.render_text();
+}
+
+TEST(DetlintDirectives, UnknownIdIsMalformed) {
+  const CxxLintResult result =
+      lint("// detlint:allow(PSF001 wrong catalog family)\n");
+  EXPECT_EQ(count_id(result.diagnostics, "DET031"), 1u);
+}
+
+TEST(DetlintDirectives, OrderedOutputPragmaGatesDet010) {
+  const std::string body =
+      "#include <unordered_map>\n"
+      "void emit(const std::unordered_map<int, int>& m) {\n"
+      "  for (const auto& e : m) { (void)e; }\n"
+      "}\n";
+  EXPECT_FALSE(lint(body).diagnostics.has("DET010"));
+  const CxxLintResult tagged =
+      lint("// detlint:ordered-output\n" + body);
+  EXPECT_EQ(count_id(tagged.diagnostics, "DET010"), 1u)
+      << tagged.diagnostics.render_text();
+}
+
+TEST(DetlintChecks, UtilRngPathIsClockExempt) {
+  const std::string body =
+      "#include <random>\n"
+      "unsigned seed() { std::random_device rd; return rd(); }\n";
+  EXPECT_TRUE(lint(body, "src/util/rng.cpp").diagnostics.empty());
+  EXPECT_TRUE(lint(body, "src/planner/planner.cpp").diagnostics.has("DET001"));
+}
+
+TEST(DetlintChecks, MemberAndForeignNamespaceCallsDoNotFire) {
+  const CxxLintResult result = lint(
+      "struct Sim { double time() const; };\n"
+      "double f(const Sim& s) { return s.time(); }\n"
+      "namespace detail { long time(int); }\n"
+      "long g() { return detail::time(0); }\n");
+  EXPECT_FALSE(result.diagnostics.has("DET003"))
+      << result.diagnostics.render_text();
+}
+
+TEST(DetlintChecks, IsDeterministicAcrossRuns) {
+  const std::string source = read_file(fixture_dir() / "multi_defect.cpp");
+  const std::string a =
+      lint(source).diagnostics.render_json("multi_defect.cpp");
+  const std::string b =
+      lint(source).diagnostics.render_json("multi_defect.cpp");
+  EXPECT_EQ(a, b);
+}
+
+// ---- baseline -----------------------------------------------------------
+
+TEST(DetlintBaseline, MatchedFindingIsDroppedAndCounted) {
+  const std::string source = "int x = rand();\n";
+  const CxxLintResult first = lint(source, "src/legacy.cpp");
+  ASSERT_EQ(first.surviving.size(), 1u);
+
+  Baseline baseline;
+  baseline.add(first.surviving[0]);
+  CxxLintOptions options;
+  options.baseline = &baseline;
+  const CxxLintResult second =
+      lint_cxx_source("src/legacy.cpp", source, options);
+  EXPECT_TRUE(second.diagnostics.empty());
+  EXPECT_EQ(second.baselined, 1u);
+  EXPECT_TRUE(baseline.unmatched().empty());
+}
+
+TEST(DetlintBaseline, PathSuffixMatchesAbsoluteInvocation) {
+  const std::string source = "int x = rand();\n";
+  const BaselineEntry entry = lint(source, "src/legacy.cpp").surviving[0];
+  Baseline baseline;
+  baseline.add(entry);
+  CxxLintOptions options;
+  options.baseline = &baseline;
+  EXPECT_EQ(lint_cxx_source("/repo/src/legacy.cpp", source, options)
+                .baselined,
+            1u);
+  // ...but not a mere substring of another file name.
+  Baseline again;
+  again.add(entry);
+  options.baseline = &again;
+  EXPECT_EQ(
+      lint_cxx_source("xsrc/legacy.cpp", source, options).baselined, 0u);
+}
+
+TEST(DetlintBaseline, FingerprintTracksLineContentNotLineNumber) {
+  const CxxLintResult orig = lint("int x = rand();\n", "src/legacy.cpp");
+  Baseline baseline;
+  baseline.add(orig.surviving[0]);
+  CxxLintOptions options;
+  options.baseline = &baseline;
+  // Code added above the finding: still matched.
+  EXPECT_EQ(lint_cxx_source("src/legacy.cpp",
+                            "void unrelated();\nint x = rand();\n", options)
+                .baselined,
+            1u);
+  // The flagged line itself changed: a fresh finding, not baselined.
+  Baseline again;
+  again.add(orig.surviving[0]);
+  options.baseline = &again;
+  const CxxLintResult changed =
+      lint_cxx_source("src/legacy.cpp", "int y = rand();\n", options);
+  EXPECT_EQ(changed.baselined, 0u);
+  EXPECT_TRUE(changed.diagnostics.has("DET002"));
+  EXPECT_EQ(again.unmatched().size(), 1u);  // now stale
+}
+
+TEST(DetlintBaseline, CountAwareMatchingAbsorbsExactlyN) {
+  const std::string source = "int a = rand();\nint b = rand();\n";
+  const CxxLintResult both = lint(source, "src/legacy.cpp");
+  ASSERT_EQ(both.surviving.size(), 2u);
+  Baseline baseline;
+  baseline.add(both.surviving[0]);  // ledger only ONE of the two
+  CxxLintOptions options;
+  options.baseline = &baseline;
+  const CxxLintResult result =
+      lint_cxx_source("src/legacy.cpp", source, options);
+  EXPECT_EQ(result.baselined, 1u);
+  EXPECT_EQ(count_id(result.diagnostics, "DET002"), 1u);
+}
+
+TEST(DetlintBaseline, RenderParseRoundTrip) {
+  std::vector<BaselineEntry> entries = {
+      {"DET011", 0x0123456789abcdefull, "src/planner/planner.cpp"},
+      {"DET020", 0xfedcba9876543210ull, "src/util/small_fn.hpp"},
+  };
+  std::vector<std::string> errors;
+  Baseline parsed = Baseline::parse(Baseline::render(entries), &errors);
+  EXPECT_TRUE(errors.empty());
+  EXPECT_EQ(parsed.size(), 2u);
+  EXPECT_TRUE(
+      parsed.consume("DET011", "src/planner/planner.cpp",
+                     0x0123456789abcdefull));
+  EXPECT_FALSE(
+      parsed.consume("DET011", "src/planner/planner.cpp",
+                     0x0123456789abcdefull));
+}
+
+TEST(DetlintBaseline, MalformedLinesAreReportedAndSkipped) {
+  std::vector<std::string> errors;
+  Baseline parsed =
+      Baseline::parse("DET011 nothex src/x.cpp\nDET020\n", &errors);
+  EXPECT_EQ(parsed.size(), 0u);
+  EXPECT_EQ(errors.size(), 2u);
+}
+
+// ---- shared diagnostics engine: JSON shape across both emitters ---------
+
+// Asserts the stable schema both CI consumers parse: a `file` string, a
+// `diagnostics` array whose entries carry id/severity/line/column/message
+// in order, and a `counts` object with all three severities.
+void expect_diag_json_shape(const std::string& json) {
+  const char* keys[] = {"{\"file\": ",      "\"diagnostics\": [",
+                        "\"counts\": ",     "\"error\": ",
+                        "\"warning\": ",    "\"note\": "};
+  std::size_t pos = 0;
+  for (const char* key : keys) {
+    const std::size_t found = json.find(key, pos);
+    ASSERT_NE(found, std::string::npos) << key << " missing in: " << json;
+    pos = found;
+  }
+  const std::size_t array_start = json.find("\"diagnostics\": [");
+  std::size_t entry = json.find('{', array_start + 1);
+  ASSERT_NE(entry, std::string::npos) << json;
+  while (entry != std::string::npos && entry < json.find("\"counts\"")) {
+    std::size_t cursor = entry;
+    for (const char* key : {"\"id\": ", "\"severity\": ", "\"line\": ",
+                            "\"column\": ", "\"message\": "}) {
+      const std::size_t found = json.find(key, cursor);
+      ASSERT_NE(found, std::string::npos)
+          << key << " missing in entry: " << json;
+      cursor = found;
+    }
+    entry = json.find('{', json.find('}', cursor));
+  }
+}
+
+TEST(DiagnosticsJson, DetlintEmitterMatchesSchema) {
+  const CxxLintResult result =
+      lint(read_file(fixture_dir() / "multi_defect.cpp"));
+  ASSERT_FALSE(result.diagnostics.empty());
+  expect_diag_json_shape(result.diagnostics.render_json("multi_defect.cpp"));
+}
+
+TEST(DiagnosticsJson, PsflintEmitterMatchesSchema) {
+  const LintResult result = lint_source("service Broken {");
+  ASSERT_FALSE(result.diagnostics.empty());
+  expect_diag_json_shape(result.diagnostics.render_json("broken.psdl"));
+}
+
+TEST(DiagnosticsJson, EscapesMessageContent) {
+  DiagnosticList list;
+  Diagnostic d;
+  d.id = "DET001";
+  d.severity = Severity::kError;
+  d.message = "quote \" backslash \\ tab \t";
+  list.add(d);
+  const std::string json = list.render_json("f.cpp");
+  EXPECT_NE(json.find("quote \\\" backslash \\\\ tab \\t"),
+            std::string::npos)
+      << json;
+}
+
+// ---- catalog ------------------------------------------------------------
+
+TEST(DetlintCatalog, DetIdsAreRegisteredWithStableSeverities) {
+  EXPECT_EQ(find_diagnostic("DET001")->severity, Severity::kError);
+  EXPECT_EQ(find_diagnostic("DET011")->severity, Severity::kWarning);
+  EXPECT_EQ(find_diagnostic("DET030")->severity, Severity::kWarning);
+  EXPECT_EQ(find_diagnostic("DET031")->severity, Severity::kError);
+  std::size_t det_count = 0;
+  for (const DiagnosticInfo& info : diagnostic_catalog()) {
+    if (det_id(info)) ++det_count;
+  }
+  EXPECT_EQ(det_count, 13u);
+}
+
+}  // namespace
+}  // namespace psf::analysis::det

@@ -1,0 +1,7 @@
+// Seeds from hardware entropy: a different plan trace every run.
+#include <random>
+
+unsigned seed_source() {
+  std::random_device entropy;
+  return entropy();
+}

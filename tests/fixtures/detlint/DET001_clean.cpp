@@ -1,0 +1,6 @@
+// Repaired: the seed flows in from the run configuration.
+#include "util/rng.hpp"
+
+unsigned seed_source(psf::util::Rng& rng) {
+  return static_cast<unsigned>(rng.next_u64());
+}

@@ -1,0 +1,4 @@
+// Hidden global RNG state: replay depends on every prior call site.
+int roll_die() {
+  return rand() % 6 + 1;
+}

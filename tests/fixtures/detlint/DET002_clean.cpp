@@ -1,0 +1,6 @@
+// Repaired: an explicitly seeded generator is passed in.
+#include "util/rng.hpp"
+
+int roll_die(psf::util::Rng& rng) {
+  return static_cast<int>(rng.next_u64() % 6) + 1;
+}

@@ -1,0 +1,6 @@
+// Wall-clock read: simulated runs replay at a different wall time.
+#include <ctime>
+
+long run_stamp() {
+  return time(nullptr);
+}

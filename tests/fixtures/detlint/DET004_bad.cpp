@@ -1,0 +1,6 @@
+// std::chrono clock on a simulated path: not replayable.
+#include <chrono>
+
+auto window_start() {
+  return std::chrono::steady_clock::now();
+}

@@ -1,0 +1,6 @@
+// Repaired: simulated time comes from the simulator.
+#include "sim/time.hpp"
+
+psf::sim::Time window_start(psf::sim::Time now) {
+  return now;
+}

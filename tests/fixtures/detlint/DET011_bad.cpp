@@ -1,0 +1,6 @@
+// Pointer keys order by address: iteration differs run to run.
+#include <map>
+
+struct Session {};
+
+std::map<Session*, int> session_rank;

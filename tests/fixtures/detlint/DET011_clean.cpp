@@ -1,0 +1,5 @@
+// Repaired: keyed on the session's stable numeric id.
+#include <cstdint>
+#include <map>
+
+std::map<std::uint64_t, int> session_rank;

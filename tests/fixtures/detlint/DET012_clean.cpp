@@ -1,0 +1,8 @@
+// Repaired: hash the stable id the session already carries.
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+std::size_t session_key(std::uint64_t session_id) {
+  return std::hash<std::uint64_t>{}(session_id);
+}

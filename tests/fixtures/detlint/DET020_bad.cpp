@@ -1,0 +1,5 @@
+// Unsynchronized shared state: racing workers see torn updates.
+int next_ticket() {
+  static int counter = 0;
+  return ++counter;
+}

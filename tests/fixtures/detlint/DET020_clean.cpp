@@ -1,0 +1,7 @@
+// Repaired: the counter is atomic.
+#include <atomic>
+
+int next_ticket() {
+  static std::atomic<int> counter{0};
+  return counter.fetch_add(1) + 1;
+}

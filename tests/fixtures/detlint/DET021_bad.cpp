@@ -1,0 +1,7 @@
+// A detached thread cannot be joined before results are read.
+#include <thread>
+
+void fire_and_forget() {
+  std::thread worker([] {});
+  worker.detach();
+}

@@ -1,0 +1,7 @@
+// Repaired: the owner keeps the handle and joins it.
+#include <thread>
+
+void run_and_wait() {
+  std::thread worker([] {});
+  worker.join();
+}

@@ -1,0 +1,8 @@
+// A bare lock() leaks the mutex on every early return and throw.
+#include <mutex>
+
+std::mutex mu;
+
+void touch() {
+  mu.lock();
+}

@@ -1,0 +1,8 @@
+// Repaired: RAII guard releases on every path.
+#include <mutex>
+
+std::mutex mu;
+
+void touch() {
+  std::lock_guard<std::mutex> hold(mu);
+}

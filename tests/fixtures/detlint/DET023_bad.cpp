@@ -1,0 +1,10 @@
+// Nested acquisition with no stated order invites deadlock.
+#include <mutex>
+
+std::mutex account_mu;
+std::mutex ledger_mu;
+
+void transfer() {
+  std::lock_guard<std::mutex> hold_account(account_mu);
+  std::lock_guard<std::mutex> hold_ledger(ledger_mu);
+}

@@ -1,0 +1,9 @@
+// Repaired: both mutexes taken atomically by one scoped_lock.
+#include <mutex>
+
+std::mutex account_mu;
+std::mutex ledger_mu;
+
+void transfer() {
+  std::scoped_lock both(account_mu, ledger_mu);
+}

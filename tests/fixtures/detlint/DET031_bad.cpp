@@ -1,0 +1,4 @@
+// Suppressing an ID that does not exist: the typo hides nothing.
+void noop() {
+  // detlint:allow(DET999 mistyped id)
+}

@@ -1,0 +1,2 @@
+// detlint:ordered-output — a well-formed directive parses silently.
+void noop() {}

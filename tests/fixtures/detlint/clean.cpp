@@ -1,0 +1,23 @@
+// A file that follows every determinism and concurrency rule.
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "util/rng.hpp"
+
+std::mutex table_mu;
+std::map<std::uint64_t, int> table;
+
+int sample(psf::util::Rng& rng) {
+  std::lock_guard<std::mutex> hold(table_mu);
+  static std::atomic<std::uint64_t> calls{0};
+  calls.fetch_add(1);
+  return static_cast<int>(rng.next_u64() % 10);
+}
+
+void run_worker() {
+  std::thread worker([] {});
+  worker.join();
+}

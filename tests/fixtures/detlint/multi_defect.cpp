@@ -1,0 +1,26 @@
+// Several planted defects: detlint reports all of them in one run.
+#include <chrono>
+#include <map>
+#include <thread>
+
+struct Node {};
+
+std::map<Node*, int> rank_by_node;
+
+int jitter() {
+  return rand() % 100;
+}
+
+auto stamp() {
+  return std::chrono::system_clock::now();
+}
+
+int bump() {
+  static int hits = 0;
+  return ++hits;
+}
+
+void spawn() {
+  std::thread worker([] {});
+  worker.detach();
+}

@@ -37,8 +37,8 @@ TEST_P(ScenarioSmoke, RunsCleanlyWithOneClient) {
 INSTANTIATE_TEST_SUITE_P(
     AllScenarios, ScenarioSmoke,
     ::testing::ValuesIn(core::kAllScenarios),
-    [](const ::testing::TestParamInfo<Scenario>& info) {
-      return core::scenario_name(info.param);
+    [](const ::testing::TestParamInfo<Scenario>& param_info) {
+      return core::scenario_name(param_info.param);
     });
 
 TEST(ScenarioOrdering, PaperGroupsHold) {

@@ -214,8 +214,8 @@ INSTANTIATE_TEST_SUITE_P(
                     "component C { implements I {} } "
                     "component C { implements I {} } }",
                     "duplicate"}),
-    [](const ::testing::TestParamInfo<BadSpecCase>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<BadSpecCase>& param_info) {
+      return param_info.param.name;
     });
 
 TEST(ParserTest, MailSpecParsesAndValidates) {

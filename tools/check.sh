@@ -10,8 +10,12 @@
 #   tools/check.sh --coherence # only: the coherence smoke suite
 #                             # (build + ctest -L coherence, via the
 #                             # coherence_smoke target)
-#   tools/check.sh --lint     # only: build psflint + run the lint-labeled
-#                             # tests (examples + fixtures stay clean)
+#   tools/check.sh --lint     # only: build psflint + detlint and run the
+#                             # lint-labeled tests (examples + fixtures stay
+#                             # clean, src/tools/bench free of non-baselined
+#                             # determinism findings)
+#   tools/check.sh --ubsan    # also: UndefinedBehaviorSanitizer build
+#                             # running the tier-1 suite
 #   tools/check.sh --chaos    # only: the robustness suite (build + ctest
 #                             # -L chaos + the chaos_sweep bench gates)
 #   tools/check.sh --megascale # only: the parallel-engine suite (build +
@@ -36,8 +40,15 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc)}"
+# PSF_WERROR=1 in the environment (the CI build job sets it) configures the
+# standard build with -Werror so the -Wall/-Wextra/-Wshadow set is enforced.
+WERROR_FLAG=""
+if [[ "${PSF_WERROR:-0}" == 1 ]]; then
+  WERROR_FLAG="-DPSF_WERROR=ON"
+fi
 RUN_TSAN=1
 RUN_ASAN=0
+RUN_UBSAN=0
 RUN_STRESS=0
 RUN_TIDY=0
 COHERENCE_ONLY=0
@@ -49,6 +60,7 @@ for arg in "$@"; do
   case "${arg}" in
     --no-tsan) RUN_TSAN=0 ;;
     --asan) RUN_ASAN=1 ;;
+    --ubsan) RUN_UBSAN=1 ;;
     --stress) RUN_STRESS=1 ;;
     --tidy) RUN_TIDY=1 ;;
     --coherence) COHERENCE_ONLY=1 ;;
@@ -61,10 +73,13 @@ for arg in "$@"; do
 done
 
 if [[ "${LINT_ONLY}" == 1 ]]; then
-  echo "== psflint (spec lint) =="
+  echo "== psflint (spec lint) + detlint (C++ determinism lint) =="
   cmake -B build -S . >/dev/null
-  cmake --build build -j "${JOBS}" --target psflint psflint_test
+  cmake --build build -j "${JOBS}" --target psflint psflint_test \
+    detlint detlint_test
   (cd build && ctest --output-on-failure -L lint)
+  echo "== detlint over src/ tools/ bench/ =="
+  ./build/tools/detlint src tools bench
   echo "== lint passed =="
   exit 0
 fi
@@ -120,7 +135,7 @@ if [[ "${COHERENCE_ONLY}" == 1 ]]; then
 fi
 
 echo "== standard build =="
-cmake -B build -S . >/dev/null
+cmake -B build -S . ${WERROR_FLAG} >/dev/null
 cmake --build build -j "${JOBS}"
 
 echo "== tier-1 tests =="
@@ -153,6 +168,13 @@ if [[ "${RUN_TIDY}" == 1 ]]; then
   else
     echo "clang-tidy not installed; skipping (config: .clang-tidy)"
   fi
+fi
+
+if [[ "${RUN_UBSAN}" == 1 ]]; then
+  echo "== UndefinedBehaviorSanitizer build (tier-1 suite) =="
+  cmake -B build-ubsan -S . -DPSF_SANITIZE=undefined >/dev/null
+  cmake --build build-ubsan -j "${JOBS}"
+  (cd build-ubsan && ctest --output-on-failure -j "${JOBS}" -L tier1)
 fi
 
 if [[ "${RUN_ASAN}" == 1 ]]; then

@@ -18,6 +18,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "analysis/analyzer.hpp"
@@ -52,8 +53,11 @@ int explain(const std::string& id) {
 }
 
 void list_catalog() {
+  // The catalog is shared with detlint; list only the PSF (spec) family
+  // here — `detlint --list` prints the DET one.
   for (const psf::analysis::DiagnosticInfo& info :
        psf::analysis::diagnostic_catalog()) {
+    if (std::string_view(info.id).substr(0, 3) != "PSF") continue;
     std::printf("%s  %-7s  %s\n", info.id,
                 psf::analysis::severity_name(info.severity), info.title);
   }
