@@ -148,7 +148,16 @@ void ReplicaCoherence::flush(std::function<void()> done) {
   const sim::Time sent_at = runtime_.simulator().now();
   transport_(std::move(request),
              [this, batch, attempt, sent_at,
+              alive = std::weak_ptr<char>(alive_),
               done = std::move(done)](runtime::Response response) mutable {
+               if (alive.expired()) {
+                 // The replica was retired (live migration / uninstall)
+                 // while this flush was in flight. The home has already
+                 // applied or rejected the batch; there is no replica left
+                 // to account it to, and `done` belonged to the dead
+                 // component too.
+                 return;
+               }
                on_flush_response(std::move(batch), attempt, sent_at,
                                  std::move(done), std::move(response));
              });

@@ -143,6 +143,11 @@ class ReplicaCoherence {
   std::optional<sim::Time> window_full_since_;
   std::function<void()> flush_listener_;
   std::optional<sim::PeriodicTimer> timer_;
+  // Liveness token for in-flight flush responses: a live migration can
+  // retire the replica's component (and this object with it) while a flush
+  // is still on the wire, and the response must then be dropped instead of
+  // dereferencing a dead replica.
+  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
   ReplicaStats stats_;
   runtime::CoherenceTelemetry* telemetry_ = nullptr;
 };

@@ -68,6 +68,69 @@ void ViewMailServerComponent::on_stop() {
   if (directory_) directory_->flush_staged();
 }
 
+void ViewMailServerComponent::prepare_migration(std::function<void()> done) {
+  if (directory_) directory_->flush_staged();
+  if (!replica_) {
+    done();
+    return;
+  }
+  // Push queued write-backs upstream before the snapshot is cut, so the
+  // exported cache and the home's authoritative state agree. flush() always
+  // completes its callback, even when the queue is empty or the flush
+  // window is full (queued updates then stay local — they still travel
+  // inside the exported cache_).
+  replica_->flush(std::move(done));
+}
+
+std::optional<runtime::StateSnapshot> ViewMailServerComponent::export_state() {
+  auto body = std::make_shared<ViewStateSnapshotBody>();
+  body->accounts = cache_;
+  runtime::StateSnapshot snapshot;
+  for (const auto& [user, account] : body->accounts) {
+    snapshot.bytes += 64;  // per-account framing
+    for (const MailMessage& message : account.inbox.messages) {
+      snapshot.bytes += send_wire_bytes(message);
+    }
+  }
+  snapshot.body = std::move(body);
+  return snapshot;
+}
+
+util::Status ViewMailServerComponent::import_state(
+    const runtime::StateSnapshot& snapshot) {
+  const auto* body =
+      dynamic_cast<const ViewStateSnapshotBody*>(snapshot.body.get());
+  if (body == nullptr) {
+    return util::invalid_argument(
+        "ViewMailServer: snapshot body is not a view state snapshot");
+  }
+  // Merge, don't overwrite: pushes may already have landed here between our
+  // on_start and the snapshot's arrival. Imported messages are older than
+  // anything absorbed live, so they go in front; duplicates (same message
+  // id) are dropped.
+  for (const auto& [user, imported] : body->accounts) {
+    Account& account = cache_[user];
+    if (account.user.empty()) account.user = imported.user;
+    account.contacts.insert(imported.contacts.begin(),
+                            imported.contacts.end());
+    std::set<std::uint64_t> local_ids;
+    for (const MailMessage& message : account.inbox.messages) {
+      local_ids.insert(message.id);
+    }
+    std::vector<MailMessage> merged;
+    merged.reserve(imported.inbox.messages.size() +
+                   account.inbox.messages.size());
+    for (const MailMessage& message : imported.inbox.messages) {
+      if (local_ids.count(message.id) == 0) merged.push_back(message);
+    }
+    for (MailMessage& message : account.inbox.messages) {
+      merged.push_back(std::move(message));
+    }
+    account.inbox.messages = std::move(merged);
+  }
+  return util::Status::ok();
+}
+
 void ViewMailServerComponent::handle_request(const runtime::Request& request,
                                              runtime::ResponseCallback done) {
   // While a coherence batch is propagating, user-facing operations wait

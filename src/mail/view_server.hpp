@@ -45,6 +45,13 @@ struct ViewServerStats {
   }
 };
 
+// The view's exported migration state: its warm account cache. Rides the
+// generic StateSnapshot body slot, so the transfer uses the same simulated
+// message machinery as everything else.
+struct ViewStateSnapshotBody : runtime::MessageBody {
+  std::map<std::string, Account> accounts;
+};
+
 class ViewMailServerComponent : public runtime::Component {
  public:
   explicit ViewMailServerComponent(MailConfigPtr config)
@@ -54,6 +61,14 @@ class ViewMailServerComponent : public runtime::Component {
   void on_stop() override;
   void handle_request(const runtime::Request& request,
                       runtime::ResponseCallback done) override;
+
+  // Live-migration hooks: quiesce = flush the coherence queue upstream (the
+  // snapshot must not race a half-propagated batch), export = copy the warm
+  // cache, import = merge into whatever the replacement has absorbed since
+  // its own on_start registered it with the directory.
+  void prepare_migration(std::function<void()> done) override;
+  std::optional<runtime::StateSnapshot> export_state() override;
+  util::Status import_state(const runtime::StateSnapshot& snapshot) override;
 
   std::int64_t trust_level() const { return trust_level_; }
   const ViewServerStats& view_stats() const { return stats_; }

@@ -1081,6 +1081,14 @@ util::Expected<DeploymentPlan> Planner::plan(
     return util::invalid_argument("negative request rate");
   }
 
+  // A restricted candidate set (plan repair) bypasses the chain-DP and
+  // hierarchical strategies: both assume the whole topology is in play, and
+  // a repair's set is already cluster-sized — flat BnB over it is exact and
+  // cheap.
+  if (!request.candidate_nodes.empty()) {
+    return plan_flat(request, existing, stats);
+  }
+
   // CANS chain-DP fast path (paper §3.3's pointer to [13]): answers the
   // request outright when the request/spec/topology shape allows it.
   if (auto dp = try_chain_dp(request, existing, stats)) {
@@ -1105,7 +1113,9 @@ util::Expected<DeploymentPlan> Planner::plan_flat(
                                                  request.deadline_budget)));
   const bool has_deadline = request.deadline_budget > 0.0;
 
-  const std::vector<net::NodeId> all_nodes = env_.network().all_nodes();
+  const std::vector<net::NodeId> all_nodes =
+      request.candidate_nodes.empty() ? env_.network().all_nodes()
+                                      : request.candidate_nodes;
   const std::vector<EntryBranch> branches =
       make_entry_branches(iface_index_, request, all_nodes);
 

@@ -128,6 +128,14 @@ struct PlanRequest {
   // the same optimal chain. Opt-out toggle for benchmarks and equivalence
   // tests; ineligible requests silently fall through to the search.
   bool chain_dp = true;
+  // Restricts where NEW components may be placed. Empty = every node (the
+  // normal case). Plan repair populates this with the surviving placement
+  // nodes plus the affected cluster's members so the search touches only the
+  // broken suffix of the deployment; existing instances offered for reuse
+  // are still considered wherever they live. Excluded from the plan-cache
+  // fingerprint (like deadline_budget): a restricted repair answers the same
+  // logical request, just with a smaller search space.
+  std::vector<net::NodeId> candidate_nodes;
   // Anytime mode: > 0 is a wall-clock budget in seconds. Once a first
   // incumbent exists, the search stops at the deadline and returns the best
   // plan found so far (SearchStats::deadline_hit tells the caller the
@@ -184,6 +192,39 @@ struct SearchStats {
   std::string to_string() const;
 };
 
+// A constraint violation detected against a running deployment — the input
+// to incremental plan repair. Produced by the runtime's AdaptationController
+// from monitor change events; the planner only cares about which nodes/links
+// it can no longer rely on.
+struct RepairViolation {
+  enum class Kind {
+    kNodeDeath,        // node crashed or is being drained: nothing may stay
+    kLinkDegradation,  // link latency/bandwidth/loss drifted past the plan's
+                       // assumptions; wires routed over it must be replaced
+    kLoadOverCapacity, // node capacity shrank (or load grew) past headroom
+    kPropertyDrift,    // node credential/property changed; placements there
+                       // must re-validate and may need to move
+  };
+  Kind kind = Kind::kNodeDeath;
+  net::NodeId node;  // kNodeDeath / kLoadOverCapacity / kPropertyDrift
+  net::LinkId link;  // kLinkDegradation
+  std::string detail;
+};
+
+const char* repair_violation_kind_name(RepairViolation::Kind kind);
+
+// What Planner::repair actually did, for telemetry and tests.
+struct RepairOutcome {
+  // Repair could not satisfy the request within the restricted candidate
+  // set; the result came from an unrestricted full replan instead.
+  bool fell_back_to_full = false;
+  std::size_t surviving_placements = 0;  // placements untouched by violations
+  std::size_t broken_placements = 0;     // placements invalidated
+  // The restricted node set the repair searched (before any fallback).
+  std::vector<net::NodeId> candidate_nodes;
+  SearchStats stats;
+};
+
 class Planner {
  public:
   Planner(const spec::ServiceSpec& spec, const EnvironmentView& env);
@@ -204,6 +245,24 @@ class Planner {
       const std::vector<PlanRequest>& requests,
       const std::vector<ExistingInstance>& existing = {},
       std::size_t num_threads = 0) const;
+
+  // Incremental plan repair (ROADMAP item 2, after Dearle/Kirby's autonomic
+  // management loop). Classifies old_plan's placements into surviving vs
+  // broken under the given violations, pins the survivors by offering them
+  // as reuse candidates, and re-searches only a restricted candidate set:
+  // the survivors' nodes, the client node, and the members + path border
+  // nodes of the clusters containing the broken placements (ClusterIndex —
+  // the same locality machinery hierarchical search uses). Violation nodes
+  // are excluded outright, which is also how drains work: the node is alive
+  // but nothing new may land on it. Falls back to a full replan (still
+  // excluding violation nodes) when the restricted search is unsatisfiable.
+  // kUnsatisfiable only when even the full replan fails. `existing` is the
+  // caller's reuse pool; repair filters out instances on violation nodes.
+  util::Expected<DeploymentPlan> repair(
+      const PlanRequest& request, const DeploymentPlan& old_plan,
+      const std::vector<RepairViolation>& violations,
+      const std::vector<ExistingInstance>& existing = {},
+      RepairOutcome* outcome = nullptr) const;
 
   const spec::ServiceSpec& spec() const { return spec_; }
   const EnvironmentView& environment() const { return env_; }

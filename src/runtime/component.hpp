@@ -14,6 +14,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "net/network.hpp"
@@ -32,6 +33,15 @@ class SmockRuntime;
 
 using RuntimeInstanceId = std::uint64_t;
 
+// A component's exported state, moved across nodes during live migration.
+// `body` is the same type-erased payload Request carries, so state rides the
+// existing message machinery; `bytes` is what the transfer costs on the
+// wire (0 = free, e.g. a stateless component that still wants the hooks).
+struct StateSnapshot {
+  std::uint64_t bytes = 0;
+  std::shared_ptr<const MessageBody> body;
+};
+
 class Component {
  public:
   virtual ~Component() = default;
@@ -40,6 +50,20 @@ class Component {
   // teardown.
   virtual void on_start() {}
   virtual void on_stop() {}
+
+  // Live-migration hooks (ROADMAP item 2). The runtime's migrate() calls
+  // them in order on the OLD instance: prepare_migration (quiesce — flush
+  // coherence queues, finish write-backs; MUST eventually invoke done),
+  // then export_state. import_state runs on the NEW instance after its
+  // on_start, so directory registrations made there already exist when the
+  // state lands; implementations should MERGE (imported state + anything
+  // absorbed since start), not overwrite. Defaults model a stateless
+  // component: nothing to quiesce, nothing to move.
+  virtual void prepare_migration(std::function<void()> done) { done(); }
+  virtual std::optional<StateSnapshot> export_state() { return std::nullopt; }
+  virtual util::Status import_state(const StateSnapshot&) {
+    return util::Status::ok();
+  }
 
   // Handles one request. `done` may be invoked synchronously or after
   // further simulated work (downstream calls, CPU charges).

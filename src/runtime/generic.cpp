@@ -261,6 +261,106 @@ void GenericServer::request_access(
       });
 }
 
+void GenericServer::request_repair(
+    const std::string& service, planner::PlanRequest request,
+    const planner::DeploymentPlan& old_plan,
+    const std::vector<planner::RepairViolation>& violations,
+    std::function<void(util::Expected<AccessOutcome>)> done,
+    planner::RepairOutcome* repair_outcome) {
+  ServiceState* state = state_of(service);
+  if (state == nullptr) {
+    done(util::not_found("service '" + service + "' not registered"));
+    return;
+  }
+  if (!request.code_origin.valid()) {
+    request.code_origin = state->registration.code_origin;
+  }
+  merge_principal_requirements(*state, request);
+  const std::string fingerprint = plan_fingerprint(request);
+  ++repair_telemetry_.repairs_attempted;
+
+  // An identical access (or repair) is already in flight: ride it. This is
+  // how a client rebinding mid-repair and the controller's own repair
+  // converge on one planner run.
+  if (auto it = state->inflight.find(fingerprint);
+      it != state->inflight.end()) {
+    ++cache_telemetry_.coalesced;
+    it->second->waiters.push_back(std::move(done));
+    return;
+  }
+  auto flight = std::make_shared<InFlightAccess>();
+  flight->epoch_at_start = state->epoch;
+  state->inflight.emplace(fingerprint, flight);
+
+  // Same stranded-instance sweep as the cold path: the violation that
+  // triggered this repair usually left pooled instances wired to dead ones.
+  for (auto it = state->existing.begin(); it != state->existing.end();) {
+    if (runtime_.has_dangling_wires(it->runtime_id)) {
+      PSF_INFO() << "retiring pooled instance " << it->runtime_id << " ("
+                 << it->component->name << "): dangling wire downstream";
+      state->cache.evict_referencing(it->runtime_id, cache_telemetry_);
+      it = state->existing.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  planner::RepairOutcome repair_stats;
+  auto plan = state->planner->repair(request, old_plan, violations,
+                                     state->existing, &repair_stats);
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  repair_telemetry_.repair_wall_ms.add(wall_seconds * 1000.0);
+  if (repair_stats.fell_back_to_full) ++repair_telemetry_.full_fallbacks;
+  if (repair_outcome != nullptr) *repair_outcome = repair_stats;
+  if (!plan) {
+    finish_access(*state, fingerprint, flight, std::move(done),
+                  plan.status());
+    return;
+  }
+
+  const double planning_units =
+      state->registration.planning_cpu_per_candidate *
+      static_cast<double>(repair_stats.stats.candidates_examined);
+  const sim::Time before_planning = runtime_.simulator().now();
+
+  auto plan_value = std::make_shared<planner::DeploymentPlan>(
+      std::move(plan).value());
+  runtime_.charge_cpu(
+      host_, planning_units,
+      [this, state, plan_value, wall_seconds, before_planning,
+       stats = repair_stats.stats, fingerprint, flight,
+       done = std::move(done)]() mutable {
+        const sim::Time after_planning = runtime_.simulator().now();
+        engine_.deploy(
+            *plan_value, state->registration.code_origin,
+            [this, state, plan_value, wall_seconds, before_planning,
+             after_planning, stats, fingerprint, flight,
+             done = std::move(done)](util::Expected<DeployedPlan> deployed) {
+              if (!deployed) {
+                finish_access(*state, fingerprint, flight, std::move(done),
+                              deployed.status());
+                return;
+              }
+              absorb_deployment(*state, *plan_value, *deployed);
+              ++repair_telemetry_.repairs_succeeded;
+              AccessOutcome outcome;
+              outcome.entry = deployed->entry;
+              outcome.plan = *plan_value;
+              outcome.instances = deployed->instances;
+              outcome.costs.planning = after_planning - before_planning;
+              outcome.costs.deployment = deployed->elapsed;
+              outcome.costs.planning_wall_seconds = wall_seconds;
+              outcome.search = stats;
+              finish_access(*state, fingerprint, flight, std::move(done),
+                            std::move(outcome));
+            });
+      });
+}
+
 void GenericServer::merge_principal_requirements(
     ServiceState& state, planner::PlanRequest& request) const {
   if (request.principal.empty()) return;

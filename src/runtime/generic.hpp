@@ -69,6 +69,16 @@ struct AnytimeTelemetry {
   std::vector<double> swap_primary_scores;
 };
 
+// Closed-loop repair counters (GenericServer::repair_telemetry). The wall
+// samples are what the adaptation bench compares against cold planning to
+// gate "repair latency ≪ cold replan".
+struct RepairTelemetry {
+  std::uint64_t repairs_attempted = 0;
+  std::uint64_t repairs_succeeded = 0;   // repaired plan deployed
+  std::uint64_t full_fallbacks = 0;      // restricted search was infeasible
+  util::SampleSet repair_wall_ms;        // planner wall-clock per repair
+};
+
 // One-time costs of establishing service access (§4.2 reports these summing
 // to ~10 s in the paper's configurations).
 struct AccessCosts {
@@ -118,6 +128,24 @@ class GenericServer {
   void request_access(
       const std::string& service, planner::PlanRequest request,
       std::function<void(util::Expected<AccessOutcome>)> done);
+
+  // Incremental repair of a running access path (ROADMAP item 2): like
+  // request_access's cold path, but the search runs Planner::repair against
+  // the broken plan + violations, pinning survivors and re-searching only
+  // the affected neighborhood. No cache lookup — a repair exists precisely
+  // because the cached path went bad — but the result IS published to the
+  // cache under the current epoch, and identical accesses arriving while
+  // the repair is in flight coalesce onto it, so rebinding clients ride the
+  // repair instead of triggering cold replans. `repair_outcome` (optional)
+  // is filled synchronously, before any simulated time elapses.
+  void request_repair(
+      const std::string& service, planner::PlanRequest request,
+      const planner::DeploymentPlan& old_plan,
+      const std::vector<planner::RepairViolation>& violations,
+      std::function<void(util::Expected<AccessOutcome>)> done,
+      planner::RepairOutcome* repair_outcome = nullptr);
+
+  const RepairTelemetry& repair_telemetry() const { return repair_telemetry_; }
 
   // Re-translates environments after the network changed (monitor callback)
   // and replans still-registered access paths on demand. Bumps the service's
@@ -270,6 +298,7 @@ class GenericServer {
   PlanCacheTelemetry cache_telemetry_;
   std::deque<ImprovementJob> improvements_;
   AnytimeTelemetry anytime_telemetry_;
+  RepairTelemetry repair_telemetry_;
 };
 
 class GenericProxy {

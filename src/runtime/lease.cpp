@@ -75,6 +75,14 @@ void LeaseManager::heartbeat_tick() {
     runtime_.send_bytes(
         node, registry_, params_.heartbeat_bytes,
         [this, id = id] {
+          if (!runtime_.network().node_up(net::NodeId{id})) {
+            // Stale heartbeat: sent while the node was up, delivered after it
+            // crashed. Renewing here would reactivate the lease and make the
+            // observer chain see a phantom recovery plus a SECOND expiry for
+            // the same crash.
+            ++heartbeats_lost_;
+            return;
+          }
           ++heartbeats_delivered_;
           auto it = leases_.find(id);
           if (it == leases_.end()) return;

@@ -188,6 +188,100 @@ TEST_F(FailoverFixture, ManagerReportsLostEntryAsUnrecoverable) {
   EXPECT_EQ(manager.redeploy_count(), 0u);
 }
 
+TEST_F(FailoverFixture, PartitionHealFiresExactlyOneExpiryAndOneRecovery) {
+  // A partitioned node's lease expires (indistinguishable from a crash);
+  // healing the cut lets a late renewal reactivate it. The observer chain
+  // must see exactly ONE failure report and the manager exactly ONE
+  // recovery — no double-firing from renewals racing the expiry sweep.
+  std::size_t failure_events = 0;
+  fw->monitor().subscribe([&](const runtime::NetworkMonitor::ChangeEvent& e) {
+    if (e.kind == runtime::NetworkMonitor::ChangeKind::kNodeFailure &&
+        e.node == sites.sd_client) {
+      ++failure_events;
+    }
+  });
+
+  std::vector<net::NodeId> others;
+  for (net::NodeId n : fw->network().all_nodes()) {
+    if (!(n == sites.sd_client)) others.push_back(n);
+  }
+  const std::vector<net::LinkId> cut =
+      fw->monitor().partition({sites.sd_client}, others);
+  ASSERT_FALSE(cut.empty());
+
+  const bool expired = fw->run_until_condition(
+      [&]() { return !lease->lease_active(sites.sd_client); },
+      sim::Duration::from_seconds(30));
+  ASSERT_TRUE(expired);
+  EXPECT_EQ(failure_events, 1u);
+
+  for (net::LinkId l : cut) fw->monitor().heal_link(l);
+  const bool recovered = fw->run_until_condition(
+      [&]() { return lease->lease_active(sites.sd_client); },
+      sim::Duration::from_seconds(30));
+  ASSERT_TRUE(recovered);
+  EXPECT_EQ(lease->recoveries(), 1u);
+
+  // Steady state after the heal: no further expiries, no further
+  // recoveries — one partition, one expiry, one recovery, done.
+  fw->run_for(sim::Duration::from_seconds(10));
+  EXPECT_EQ(failure_events, 1u);
+  EXPECT_EQ(lease->recoveries(), 1u);
+  EXPECT_TRUE(lease->lease_active(sites.sd_client));
+  std::size_t node_expiries = 0;
+  for (const auto& e : lease->expirations()) {
+    if (e.node == sites.sd_client) ++node_expiries;
+  }
+  EXPECT_EQ(node_expiries, 1u);
+}
+
+TEST_F(FailoverFixture, StaleHeartbeatCannotReviveACrashedNode) {
+  // The race: a renewal is IN FLIGHT on a slow link when its node crashes.
+  // Store-and-forward delivers it after the lease has already expired; an
+  // unguarded registry would renew the lease, report a phantom recovery,
+  // and then fire a SECOND expiry for the same crash. The registry must
+  // drop renewals from nodes it can see are down.
+  std::size_t failure_events = 0;
+  fw->monitor().subscribe([&](const runtime::NetworkMonitor::ChangeEvent& e) {
+    if (e.kind == runtime::NetworkMonitor::ChangeKind::kNodeFailure &&
+        e.node == sites.sd_client) {
+      ++failure_events;
+    }
+  });
+  fw->run_for(sim::Duration::from_seconds(2));  // settle into steady renewal
+
+  // Stretch EVERY access link of the client beyond the lease duration (a
+  // single slowed link would just reroute), then crash the node the instant
+  // its next renewal is on the wire.
+  std::size_t slowed = 0;
+  for (std::uint32_t l = 0; l < fw->network().link_count(); ++l) {
+    const net::LinkId lid{l};
+    const net::Link& link = fw->network().link(lid);
+    if (link.a == sites.sd_client || link.b == sites.sd_client) {
+      fw->monitor().set_link_latency(lid, sim::Duration::from_millis(2500));
+      ++slowed;
+    }
+  }
+  ASSERT_GT(slowed, 0u);
+  const std::uint64_t sent_before = lease->heartbeats_sent();
+  ASSERT_TRUE(fw->run_until_condition(
+      [&]() { return lease->heartbeats_sent() > sent_before; },
+      sim::Duration::from_seconds(2)));
+  fw->crash_node(sites.sd_client);
+
+  // 10s covers the in-flight delivery (2.5s), the expiry, and — were the
+  // bug present — the phantom recovery plus its second expiry.
+  fw->run_for(sim::Duration::from_seconds(10));
+  EXPECT_FALSE(lease->lease_active(sites.sd_client));
+  EXPECT_EQ(failure_events, 1u);
+  EXPECT_EQ(lease->recoveries(), 0u);
+  std::size_t node_expiries = 0;
+  for (const auto& e : lease->expirations()) {
+    if (e.node == sites.sd_client) ++node_expiries;
+  }
+  EXPECT_EQ(node_expiries, 1u);
+}
+
 TEST_F(FailoverFixture, CrashOfEmptyNodeIsHarmless) {
   crash_and_detect(sites.seattle[1]);
   EXPECT_TRUE(fw->runtime().instances_on(sites.seattle[1]).empty());

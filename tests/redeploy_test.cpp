@@ -8,6 +8,8 @@
 #include "mail/registration.hpp"
 #include "mail/types.hpp"
 #include "mail/view_server.hpp"
+#include "planner/planner.hpp"
+#include "planner/validate.hpp"
 
 namespace psf {
 namespace {
@@ -218,6 +220,67 @@ TEST_F(RedeployFixture, OrphanedTunnelIsCollected) {
   EXPECT_TRUE(new_view);
   // No instance leak: old chain collected as the new one arrived.
   EXPECT_LE(fw->runtime().instance_count(), before + 2);
+}
+
+// ---- repair vs cold equivalence (acceptance criterion) ----------------------
+
+TEST_F(RedeployFixture, RepairSatisfiesColdPlanConstraintsDeterministically) {
+  auto request = sd_request();
+  auto outcome = bind(request);
+
+  // Fault: the client machine shrinks below the co-located view's footprint,
+  // then the environment view is refreshed so both planner paths see the
+  // post-fault world.
+  fw->monitor().set_node_capacity(sites.sd_client, 3.5e3);
+  ASSERT_TRUE(fw->server().refresh_environment("SecureMail").is_ok());
+  const spec::ServiceSpec* spec = fw->server().service_spec("SecureMail");
+  const planner::EnvironmentView* env = fw->server().environment("SecureMail");
+  ASSERT_NE(spec, nullptr);
+  ASSERT_NE(env, nullptr);
+  planner::Planner planner(*spec, *env);
+
+  std::vector<planner::RepairViolation> violations(1);
+  violations[0].kind = planner::RepairViolation::Kind::kLoadOverCapacity;
+  violations[0].node = sites.sd_client;
+  const auto& pool = fw->server().existing_instances("SecureMail");
+
+  planner::RepairOutcome ro;
+  auto repaired = planner.repair(request, outcome.plan, violations, pool, &ro);
+  ASSERT_TRUE(repaired.has_value()) << repaired.status().to_string();
+
+  // The incremental result satisfies exactly the constraints a cold plan
+  // must: the full validator accepts it against the post-fault environment.
+  EXPECT_TRUE(
+      planner::validate_plan(*spec, *env, request, *repaired, pool).ok())
+      << planner::validate_plan(*spec, *env, request, *repaired, pool)
+             .to_string();
+  auto cold = planner.plan(request, pool);
+  ASSERT_TRUE(cold.has_value()) << cold.status().to_string();
+  EXPECT_TRUE(planner::validate_plan(*spec, *env, request, *cold, pool).ok());
+
+  // Repair stayed local: the violating node left the candidate set, some
+  // placements broke, the rest were pinned, and no fallback was needed.
+  EXPECT_FALSE(ro.fell_back_to_full);
+  EXPECT_GE(ro.broken_placements, 1u);
+  EXPECT_EQ(ro.surviving_placements + ro.broken_placements,
+            outcome.plan.placements.size());
+  for (net::NodeId n : ro.candidate_nodes) EXPECT_NE(n, sites.sd_client);
+  // Only the pinned entry may remain on the squeezed node.
+  for (const auto& p : repaired->placements) {
+    if (p.node == sites.sd_client) {
+      EXPECT_EQ(p.component->name, "MailClient");
+    }
+  }
+
+  // Bit-identical under a fixed environment: a second repair with the same
+  // inputs renders the same plan, byte for byte.
+  planner::RepairOutcome ro2;
+  auto repaired2 =
+      planner.repair(request, outcome.plan, violations, pool, &ro2);
+  ASSERT_TRUE(repaired2.has_value());
+  EXPECT_EQ(repaired->to_string(fw->network()),
+            repaired2->to_string(fw->network()));
+  EXPECT_EQ(ro.candidate_nodes, ro2.candidate_nodes);
 }
 
 }  // namespace

@@ -18,6 +18,9 @@
 #                             # running the tier-1 suite
 #   tools/check.sh --chaos    # only: the robustness suite (build + ctest
 #                             # -L chaos + the chaos_sweep bench gates)
+#   tools/check.sh --adapt    # only: the adaptation suite (build + ctest
+#                             # -L adapt + the adaptation_sweep bench gates
+#                             # + a TSan run of the controller tests)
 #   tools/check.sh --megascale # only: the parallel-engine suite (build +
 #                             # ctest -L megascale + the megascale bench
 #                             # smoke gates + a TSan run of the engine tests)
@@ -54,6 +57,7 @@ RUN_TIDY=0
 COHERENCE_ONLY=0
 LINT_ONLY=0
 CHAOS_ONLY=0
+ADAPT_ONLY=0
 MEGASCALE_ONLY=0
 PLANNER_ONLY=0
 for arg in "$@"; do
@@ -66,6 +70,7 @@ for arg in "$@"; do
     --coherence) COHERENCE_ONLY=1 ;;
     --lint) LINT_ONLY=1 ;;
     --chaos) CHAOS_ONLY=1 ;;
+    --adapt) ADAPT_ONLY=1 ;;
     --megascale) MEGASCALE_ONLY=1 ;;
     --planner) PLANNER_ONLY=1 ;;
     *) echo "unknown option: ${arg}" >&2; exit 2 ;;
@@ -92,6 +97,23 @@ if [[ "${CHAOS_ONLY}" == 1 ]]; then
   echo "== chaos_sweep acceptance gates =="
   ./build/bench/chaos_sweep
   echo "== chaos suite passed =="
+  exit 0
+fi
+
+if [[ "${ADAPT_ONLY}" == 1 ]]; then
+  echo "== adaptation suite (controller + repair + migration + cache) =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "${JOBS}" --target \
+    adaptation_controller_test redeploy_test plan_cache_test failover_test \
+    adaptation_sweep
+  (cd build && ctest --output-on-failure -L adapt)
+  echo "== adaptation_sweep acceptance gates =="
+  ./build/bench/adaptation_sweep
+  echo "== TSan build (adaptation controller) =="
+  cmake -B build-tsan -S . -DPSF_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "${JOBS}" --target adaptation_controller_test
+  ./build-tsan/tests/adaptation_controller_test
+  echo "== adaptation suite passed =="
   exit 0
 fi
 
